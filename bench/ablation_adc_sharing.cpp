@@ -1,0 +1,39 @@
+// Ablation for the paper's footnote 1: the concept figures assume every
+// column owns an ADC; the evaluation revisits that with shared ADCs.
+// Sweeps ADCs-per-crossbar and reports the TacitMap-ePCM and
+// EinsteinBarrier speedups over Baseline-ePCM (averaged over MlBench).
+#include <cstdio>
+
+#include "bnn/model_zoo.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eb;
+  static_cast<void>(Config::from_args(argc, argv));
+  const auto nets = bnn::mlbench_specs();
+
+  Table t({"ADCs per crossbar", "TacitMap avg speedup",
+           "EinsteinBarrier avg speedup", "TacitMap VMM time, 512 cols (ns)"});
+  for (const std::size_t adcs : {1u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    arch::TechParams p = arch::TechParams::paper_defaults();
+    p.adcs_per_xbar = adcs;
+    const auto fig7 = eval::run_fig7(p, nets);
+    const double t_vmm =
+        p.t_dac_settle_ns +
+        static_cast<double>((512 + adcs - 1) / adcs) * p.t_adc_ns;
+    t.add_row({std::to_string(adcs),
+               Table::num(arithmetic_mean(fig7.tacit_speedups()), 1),
+               Table::num(arithmetic_mean(fig7.einstein_speedups()), 1),
+               Table::num(t_vmm, 0)});
+  }
+  std::puts("== Ablation: ADC sharing (paper footnote 1) ==");
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nWith one ADC per crossbar the VMM readout serializes and the"
+            "\nTacitMap advantage collapses toward the baseline; the paper's"
+            "\noperating point (64 ADCs -> 100 ns VMM) recovers the ~154x"
+            "\nper-crossbar ceiling.");
+  return 0;
+}

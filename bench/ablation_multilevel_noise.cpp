@@ -1,0 +1,72 @@
+// Reproduces the motivation the paper takes from Cardoso et al. (DATE'23,
+// section II-C): with realistic read noise, multi-level PCM hurts accuracy
+// while binary operation is robust -- the reason TacitMap/EinsteinBarrier
+// use PCM cells in binary mode.
+//
+// Experiment: program oPCM devices to each of L levels, read them back
+// through a noisy receiver chain, and measure the level-decode error rate
+// as a function of L and the noise sigma. Binary (L = 2) should stay
+// error-free far past the point where 8- or 16-level cells fail.
+#include <cstdio>
+
+#include <cmath>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "device/noise.hpp"
+#include "device/pcm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eb;
+  const Config cfg = Config::from_args(argc, argv);
+  const int trials = static_cast<int>(cfg.get_int("trials", 20000));
+  Rng rng(17);
+
+  const std::vector<double> sigmas = {0.01, 0.02, 0.05, 0.10, 0.20};
+  const std::vector<std::size_t> levels = {2, 4, 8, 16};
+
+  Table t({"read noise sigma (frac of range)", "L=2 error", "L=4 error",
+           "L=8 error", "L=16 error"});
+  for (const double sigma : sigmas) {
+    std::vector<std::string> row = {Table::num(sigma, 2)};
+    for (const std::size_t l : levels) {
+      dev::OpcmParams params = dev::OpcmParams::ideal();
+      params.levels = l;
+      const dev::GaussianReadNoise noise(sigma);
+      const double range = params.t_amorphous - params.t_crystalline;
+
+      std::size_t errors = 0;
+      for (int i = 0; i < trials; ++i) {
+        const auto level =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<long long>(l) - 1));
+        dev::OpcmDevice device(params);
+        device.program(level, rng);
+        // Noisy transmission readout, then nearest-level decode.
+        const double read =
+            noise.apply(device.nominal_transmission(level), range, rng);
+        const double frac = (read - params.t_crystalline) / range;
+        const long long decoded = std::llround(
+            frac * static_cast<double>(l - 1));
+        const auto clamped = static_cast<std::size_t>(
+            std::max<long long>(0, std::min<long long>(decoded,
+                                                       static_cast<long long>(l) - 1)));
+        if (clamped != level) {
+          ++errors;
+        }
+      }
+      row.push_back(Table::num(
+          static_cast<double>(errors) / static_cast<double>(trials), 4));
+    }
+    t.add_row(std::move(row));
+  }
+
+  std::puts("== Ablation: multi-level PCM robustness under read noise ==");
+  std::printf("(%d reads per cell configuration)\n", trials);
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nBinary cells tolerate an order of magnitude more read noise"
+            "\nthan 8/16-level cells -- the paper's section II-C argument"
+            "\nfor running PCM in binary mode, and the fit between BNNs and"
+            "\nphotonic CIM at high readout rates.");
+  return 0;
+}

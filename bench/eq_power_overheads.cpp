@@ -1,0 +1,54 @@
+// Regenerates the paper's power-overhead equations (section IV-B):
+//   Eq. 2: P_crossbar = N x 2 mW                  (receiver TIAs)
+//   Eq. 3: P_total = P_laser + 3*K*M + 3*(K*M+1)/K * 45   [mW]
+// sweeping the WDM capacity K and the crossbar geometry.
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "photonics/transmitter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eb;
+  const Config cfg = Config::from_args(argc, argv);
+  const double laser = cfg.get_double("laser_mw", 100.0);
+
+  std::puts("== Eq. 2: receiver TIA power, P = N x 2 mW ==");
+  {
+    Table t({"N (columns)", "P_crossbar (mW)"});
+    for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+      t.add_row({std::to_string(n),
+                 Table::num(phot::crossbar_tia_power_mw(n), 0)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  std::puts("\n== Eq. 3: transmitter power vs WDM capacity K (M = rows) ==");
+  {
+    Table t({"K", "M", "P_laser (mW)", "modulators 3KM (mW)",
+             "tuning 3(KM+1)/K*45 (mW)", "P_total (mW)",
+             "P_total / K (mW per parallel input)"});
+    for (const std::size_t m : {64u, 256u, 512u}) {
+      for (const std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        phot::TransmitterParams params;
+        params.laser_power_mw = laser;
+        const phot::Transmitter tx(params, k, m);
+        t.add_row({std::to_string(k), std::to_string(m),
+                   Table::num(tx.laser_term_mw(), 0),
+                   Table::num(tx.modulator_term_mw(), 0),
+                   Table::num(tx.tuning_term_mw(), 0),
+                   Table::num(tx.total_power_mw(), 0),
+                   Table::num(tx.total_power_mw() / static_cast<double>(k),
+                              0)});
+      }
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  std::puts(
+      "\nObservation (paper section IV-B): total transmitter power grows"
+      "\nwith K and M, but the power *per simultaneously processed input*"
+      "\nfalls with K -- the WDM trade the EinsteinBarrier energy win"
+      "\nrests on.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Regenerates paper Fig. 7: normalized latency improvement of
+// TacitMap-ePCM, EinsteinBarrier and Baseline-GPU over Baseline-ePCM for
+// the six MlBench BNNs.
+//
+// Paper bands: TacitMap avg ~78x (max ~154x); EinsteinBarrier avg ~1205x
+// (range ~22x..~3113x); EB vs TacitMap avg ~15x; GPU mixed (~4x slower on
+// CNN-1, ~27x faster than Baseline-ePCM on MLP-L).
+#include <cstdio>
+
+#include "bnn/model_zoo.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "eval/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eb;
+  const Config cfg = Config::from_args(argc, argv);
+  arch::TechParams params = arch::TechParams::paper_defaults();
+  params.wdm_capacity = static_cast<std::size_t>(
+      cfg.get_int("k", static_cast<long long>(params.wdm_capacity)));
+  params.vcore_budget = static_cast<std::size_t>(
+      cfg.get_int("budget", static_cast<long long>(params.vcore_budget)));
+
+  const auto nets = bnn::mlbench_specs();
+  const auto result = eval::run_fig7(params, nets);
+
+  std::puts("== Figure 7: normalized latency improvement over Baseline-ePCM ==");
+  std::fputs(eval::fig7_table(result).render().c_str(), stdout);
+
+  const auto t = result.tacit_speedups();
+  const auto e = result.einstein_speedups();
+  const auto et = result.einstein_over_tacit();
+  std::printf("\nTacitMap-ePCM   : arith mean %.1fx, geo mean %.1fx  (paper ~78x, max ~154x)\n",
+              arithmetic_mean(t), geometric_mean(t));
+  std::printf("EinsteinBarrier : arith mean %.1fx, geo mean %.1fx  (paper ~1205x, range ~22x..~3113x)\n",
+              arithmetic_mean(e), geometric_mean(e));
+  std::printf("EB vs TacitMap  : arith mean %.1fx, geo mean %.1fx  (paper ~15x)\n",
+              arithmetic_mean(et), geometric_mean(et));
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Regenerates paper Fig. 8: energy consumption of TacitMap-ePCM and
+// EinsteinBarrier normalized to Baseline-ePCM.
+//
+// Paper bands: TacitMap-ePCM ~5.35x MORE energy; EinsteinBarrier ~1.56x
+// LESS (normalized ~0.64); EB ~11.94x less than TacitMap-ePCM.
+#include <cstdio>
+
+#include "bnn/model_zoo.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "eval/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eb;
+  const Config cfg = Config::from_args(argc, argv);
+  arch::TechParams params = arch::TechParams::paper_defaults();
+  params.wdm_capacity = static_cast<std::size_t>(
+      cfg.get_int("k", static_cast<long long>(params.wdm_capacity)));
+
+  const auto nets = bnn::mlbench_specs();
+  const auto result = eval::run_fig8(params, nets);
+
+  std::puts("== Figure 8: energy normalized to Baseline-ePCM ==");
+  std::fputs(eval::fig8_table(result).render().c_str(), stdout);
+
+  const auto t = result.tacit_normalized();
+  const auto e = result.einstein_normalized();
+  const auto te = result.tacit_over_einstein();
+  std::printf("\nTacitMap-ePCM normalized  : arith mean %.2fx (paper ~5.35x more)\n",
+              arithmetic_mean(t));
+  std::printf("EinsteinBarrier normalized: arith mean %.2fx (paper ~0.64, i.e. ~1.56x better)\n",
+              arithmetic_mean(e));
+  std::printf("TacitMap / EinsteinBarrier: arith mean %.2fx (paper ~11.94x)\n",
+              arithmetic_mean(te));
+  return 0;
+}

@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// the packed XNOR+Popcount kernel, functional crossbar VMMs, mapping
+// construction and execution. These gate the practicality of the
+// functional validation path (everything else in bench/ measures the
+// *modeled* hardware, not the simulator).
+#include <benchmark/benchmark.h>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "device/noise.hpp"
+#include "mapping/custbinarymap.hpp"
+#include "mapping/tacitmap.hpp"
+#include "mapping/task.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace {
+
+const eb::dev::NoNoise kNoNoise;
+
+void BM_XnorPopcount(benchmark::State& state) {
+  eb::Rng rng(1);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const eb::BitVec a = eb::BitVec::random(len, rng);
+  const eb::BitVec b = eb::BitVec::random(len, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.xnor_popcount(b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_XnorPopcount)->Arg(128)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_BinaryDenseLayerForward(benchmark::State& state) {
+  eb::Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const eb::BitMatrix w = eb::BitMatrix::random(n, 1024, rng);
+  const eb::BitVec x = eb::BitVec::random(1024, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.xnor_popcount_all(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * 1024));
+}
+BENCHMARK(BM_BinaryDenseLayerForward)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ElectricalCrossbarVmm(benchmark::State& state) {
+  eb::Rng rng(3);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  eb::xbar::ElectricalCrossbar xb({dim, dim}, eb::dev::EpcmParams::ideal());
+  for (std::size_t c = 0; c < dim; ++c) {
+    xb.program_column(c, eb::BitVec::random(dim, rng));
+  }
+  const eb::BitVec active = eb::BitVec::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        xb.vmm_currents_bits(active, 0.2, kNoNoise, rng));
+  }
+}
+BENCHMARK(BM_ElectricalCrossbarVmm)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_TacitMapBuild(benchmark::State& state) {
+  eb::Rng rng(4);
+  const auto task = eb::map::XnorPopcountTask::random(512, 256, 1, rng);
+  for (auto _ : state) {
+    eb::map::TacitMapElectrical mapped(task.weights,
+                                       eb::map::TacitElectricalConfig{});
+    benchmark::DoNotOptimize(mapped.partition().crossbars());
+  }
+}
+BENCHMARK(BM_TacitMapBuild);
+
+void BM_TacitMapExecute(benchmark::State& state) {
+  eb::Rng rng(5);
+  const auto task = eb::map::XnorPopcountTask::random(512, 256, 1, rng);
+  const eb::map::TacitMapElectrical mapped(task.weights,
+                                           eb::map::TacitElectricalConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapped.execute(task.inputs[0], kNoNoise, rng));
+  }
+}
+BENCHMARK(BM_TacitMapExecute);
+
+void BM_CustBinaryMapExecute(benchmark::State& state) {
+  eb::Rng rng(6);
+  const auto task = eb::map::XnorPopcountTask::random(512, 256, 1, rng);
+  const eb::map::CustBinaryMap mapped(task.weights,
+                                      eb::map::CustBinaryConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapped.execute(task.inputs[0], kNoNoise, rng));
+  }
+}
+BENCHMARK(BM_CustBinaryMapExecute);
+
+void BM_OpticalWdmExecute(benchmark::State& state) {
+  eb::Rng rng(7);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto task = eb::map::XnorPopcountTask::random(256, 64, k, rng);
+  eb::map::TacitOpticalConfig cfg;
+  cfg.wdm_capacity = 16;
+  const eb::map::TacitMapOptical mapped(task.weights, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapped.execute_wdm(task.inputs, kNoNoise, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_OpticalWdmExecute)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Design-space exploration of oPCM VCores -- the study the paper leaves as
+// future work (section VI-C: "a study that can freely explore this design
+// space is encouraged").
+//
+// Sweeps WDM capacity x crossbar size x ADC provisioning, evaluates the
+// MlBench average latency/energy, checks each point against the optical
+// link budget (can the receiver still resolve one PCM cell at that channel
+// count?), and prints the Pareto frontier.
+//
+//   ./build/examples/design_space
+#include <cstdio>
+
+#include <vector>
+
+#include "bnn/model_zoo.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "device/pcm.hpp"
+#include "eval/experiments.hpp"
+#include "photonics/link_budget.hpp"
+
+namespace {
+
+struct DesignPoint {
+  std::size_t k = 0;
+  std::size_t dim = 0;
+  std::size_t adcs = 0;
+  double avg_latency_us = 0.0;
+  double avg_energy_nj = 0.0;
+  bool link_feasible = false;
+};
+
+}  // namespace
+
+int main() {
+  using namespace eb;
+  const auto nets = bnn::mlbench_specs();
+  const dev::OpcmParams opcm = dev::OpcmParams::ideal();
+
+  phot::LinkBudgetParams lb = phot::LinkBudgetParams::defaults();
+  lb.receiver_noise_floor_mw = 2e-4;
+  const phot::LinkBudget budget(phot::TransmitterParams::defaults(), lb);
+
+  std::vector<DesignPoint> points;
+  for (const std::size_t dim : {256u, 512u, 1024u}) {
+    for (const std::size_t k : {4u, 8u, 16u, 32u}) {
+      for (const std::size_t adcs : {32u, 64u, 128u}) {
+        arch::TechParams p = arch::TechParams::paper_defaults();
+        p.dims = {dim, dim};
+        p.wdm_capacity = k;
+        p.adcs_per_xbar = adcs;
+        const arch::CostModel model(p);
+        StatAccumulator lat;
+        StatAccumulator en;
+        for (const auto& net : nets) {
+          const auto c = model.evaluate(arch::Design::EinsteinBarrier, net);
+          lat.add(ns_to_us(c.latency_ns));
+          en.add(pj_to_nj(c.energy_pj));
+        }
+        DesignPoint pt;
+        pt.k = k;
+        pt.dim = dim;
+        pt.adcs = adcs;
+        pt.avg_latency_us = lat.mean();
+        pt.avg_energy_nj = en.mean();
+        pt.link_feasible =
+            budget.evaluate(k, dim, opcm.t_amorphous, opcm.t_crystalline)
+                .feasible;
+        points.push_back(pt);
+      }
+    }
+  }
+
+  Table t({"K", "crossbar", "ADCs", "avg latency (us)", "avg energy (nJ)",
+           "link budget", "Pareto"});
+  std::size_t pareto_count = 0;
+  for (const auto& pt : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      if (!other.link_feasible) {
+        continue;
+      }
+      if (other.avg_latency_us <= pt.avg_latency_us &&
+          other.avg_energy_nj <= pt.avg_energy_nj &&
+          (other.avg_latency_us < pt.avg_latency_us ||
+           other.avg_energy_nj < pt.avg_energy_nj)) {
+        dominated = true;
+        break;
+      }
+    }
+    const bool pareto = pt.link_feasible && !dominated;
+    pareto_count += pareto ? 1 : 0;
+    t.add_row({std::to_string(pt.k),
+               std::to_string(pt.dim) + "x" + std::to_string(pt.dim),
+               std::to_string(pt.adcs), Table::num(pt.avg_latency_us, 3),
+               Table::num(pt.avg_energy_nj, 1),
+               pt.link_feasible ? "ok" : "INFEASIBLE",
+               pareto ? "*" : ""});
+  }
+
+  std::puts("== oPCM VCore design-space exploration (paper section VI-C) ==");
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n%zu Pareto-optimal feasible points (*). Larger K buys conv"
+              "\nlatency until the link budget starves each wavelength;"
+              "\nlarger arrays help until ADC sharing dominates the pass"
+              "\ntime.\n",
+              pareto_count);
+
+  // Feasible-K boundary per the link budget, independent of workloads.
+  Table kmax({"crossbar rows", "max feasible K (link budget)"});
+  for (const std::size_t dim : {128u, 256u, 512u, 1024u}) {
+    kmax.add_row({std::to_string(dim),
+                  std::to_string(budget.max_feasible_k(
+                      64, dim, opcm.t_amorphous, opcm.t_crystalline))});
+  }
+  std::printf("\n%s", kmax.render().c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// End-to-end MLP study: trains MLP-S (784-500-250-10, the paper's MlBench
+// configuration), deploys its binarized core on all three CIM designs, and
+// reports (a) that accuracy is identical everywhere -- paper section V-C:
+// the mappings "simply accelerate" the same arithmetic -- and (b) the
+// modeled latency/energy of each design for this network.
+//
+//   ./build/examples/mnist_mlp [train_samples=2000] [epochs=4] [eval=300]
+#include <cstdio>
+
+#include "arch/cost_model.hpp"
+#include "arch/machine.hpp"
+#include "baselines/baseline_epcm.hpp"
+#include "bnn/dataset.hpp"
+#include "bnn/trainer.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "compiler/compiler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eb;
+  const Config cfg = Config::from_args(argc, argv);
+  const auto train_samples =
+      static_cast<std::size_t>(cfg.get_int("train_samples", 2000));
+  const auto epochs = static_cast<std::size_t>(cfg.get_int("epochs", 4));
+  const auto eval_count = static_cast<std::size_t>(cfg.get_int("eval", 300));
+
+  // ---- train MLP-S ------------------------------------------------------
+  bnn::TrainerConfig tcfg;
+  tcfg.dims = {784, 500, 250, 10};
+  tcfg.epochs = epochs;
+  tcfg.train_samples = train_samples;
+  tcfg.learning_rate = 0.01;
+  bnn::MlpTrainer trainer(tcfg);
+  bnn::SyntheticMnist data(42);
+  std::printf("training MLP-S on %zu synthetic digits, %zu epochs...\n",
+              train_samples, epochs);
+  const bnn::TrainResult tr = trainer.train(data);
+  std::printf("  final train loss %.3f, train accuracy %.1f%%\n",
+              tr.final_train_loss, 100.0 * tr.train_accuracy);
+  const bnn::Network net = trainer.export_network("MLP-S");
+
+  // ---- deploy on the three designs --------------------------------------
+  arch::MachineConfig eb_cfg;  // oPCM EinsteinBarrier
+  arch::MachineConfig tm_cfg;  // ePCM TacitMap machine
+  tm_cfg.optical = false;
+  const comp::MlpCompiler eb_compiler(eb_cfg);
+  const comp::MlpCompiler tm_compiler(tm_cfg);
+  const comp::CompiledMlp eb_prog = eb_compiler.compile(net);
+  const comp::CompiledMlp tm_prog = tm_compiler.compile(net);
+  arch::Machine eb_machine(eb_cfg);
+  arch::Machine tm_machine(tm_cfg);
+  const base::BaselineEpcmEngine baseline(net, map::CustBinaryConfig{},
+                                          arch::TechParams::paper_defaults());
+
+  std::size_t ref_correct = 0;
+  std::size_t eb_correct = 0;
+  std::size_t tm_correct = 0;
+  std::size_t base_correct = 0;
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < eval_count; ++i) {
+    const bnn::Sample s = data.sample(100000 + i);
+    const std::size_t ref = net.predict(s.image);
+    const auto eb_run =
+        comp::run_mlp_on_machine(eb_machine, eb_prog, net, {s.image});
+    const auto tm_run =
+        comp::run_mlp_on_machine(tm_machine, tm_prog, net, {s.image});
+    const auto base_run = baseline.run(s.image);
+    ref_correct += (ref == s.label);
+    eb_correct += (eb_run.predictions[0] == s.label);
+    tm_correct += (tm_run.predictions[0] == s.label);
+    base_correct += (base_run.predictions[0] == s.label);
+    if (eb_run.predictions[0] != ref || tm_run.predictions[0] != ref ||
+        base_run.predictions[0] != ref) {
+      ++disagreements;
+    }
+  }
+
+  Table acc({"engine", "held-out accuracy"});
+  const auto pct = [&](std::size_t c) {
+    return Table::num(100.0 * static_cast<double>(c) /
+                          static_cast<double>(eval_count),
+                      1) +
+           " %";
+  };
+  acc.add_row({"reference (packed-kernel)", pct(ref_correct)});
+  acc.add_row({"EinsteinBarrier machine (oPCM)", pct(eb_correct)});
+  acc.add_row({"TacitMap machine (ePCM)", pct(tm_correct)});
+  acc.add_row({"Baseline-ePCM engine (CustBinaryMap)", pct(base_correct)});
+  std::printf("\n== accuracy over %zu held-out samples ==\n%s", eval_count,
+              acc.render().c_str());
+  std::printf("prediction disagreements vs reference: %zu (paper V-C: the"
+              " mappings do not change accuracy)\n",
+              disagreements);
+
+  // ---- modeled performance for this network ------------------------------
+  const arch::CostModel model(arch::TechParams::paper_defaults());
+  const auto spec = net.spec();
+  Table perf({"design", "latency (us)", "energy (nJ)", "speedup vs baseline"});
+  const auto base_cost = model.evaluate(arch::Design::BaselineEpcm, spec);
+  for (const auto design :
+       {arch::Design::BaselineEpcm, arch::Design::TacitEpcm,
+        arch::Design::EinsteinBarrier, arch::Design::BaselineGpu}) {
+    const auto c = model.evaluate(design, spec);
+    perf.add_row({arch::to_string(design), Table::num(ns_to_us(c.latency_ns), 3),
+                  design == arch::Design::BaselineGpu
+                      ? "-"
+                      : Table::num(pj_to_nj(c.energy_pj), 1),
+                  Table::num(base_cost.latency_ns / c.latency_ns, 1)});
+  }
+  std::printf("\n== modeled per-inference cost (MLP-S) ==\n%s",
+              perf.render().c_str());
+  return 0;
+}

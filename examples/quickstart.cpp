@@ -1,0 +1,49 @@
+// Quickstart: train a small BNN, compile it onto EinsteinBarrier, run one
+// sample, and print what the accelerator did.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "arch/machine.hpp"
+#include "bnn/dataset.hpp"
+#include "bnn/trainer.hpp"
+#include "compiler/compiler.hpp"
+
+int main() {
+  using namespace eb;
+
+  // 1. Train a binarized MLP on the synthetic MNIST stand-in.
+  bnn::TrainerConfig tcfg;
+  tcfg.dims = {784, 128, 64, 10};
+  tcfg.epochs = 3;
+  tcfg.train_samples = 1000;
+  bnn::MlpTrainer trainer(tcfg);
+  bnn::SyntheticMnist data(42);
+  trainer.train(data);
+  const bnn::Network net = trainer.export_network("quickstart-mlp");
+  std::printf("trained  : held-out accuracy %.1f%%\n",
+              100.0 * trainer.evaluate(data, 50000, 200));
+
+  // 2. Compile the binarized core onto an oPCM EinsteinBarrier machine.
+  arch::MachineConfig mcfg;  // defaults: 1 node, 4 tiles, oPCM VCores
+  const comp::MlpCompiler compiler(mcfg);
+  const comp::CompiledMlp compiled = compiler.compile(net);
+  std::printf("compiled : %zu instructions, %zu weight tiles, %zu tables\n",
+              compiled.program.instruction_count(),
+              compiled.program.images.size(),
+              compiled.program.tables.size());
+
+  // 3. Run one sample and compare with the reference network.
+  arch::Machine machine(mcfg);
+  const bnn::Sample sample = data.sample(60000);
+  const comp::MlpRun run =
+      comp::run_mlp_on_machine(machine, compiled, net, {sample.image});
+
+  std::printf("sample   : label %zu, reference predicts %zu, machine %zu\n",
+              sample.label, net.predict(sample.image), run.predictions[0]);
+  std::printf("machine  : %.0f ns critical path, %zu VMM / %zu MMM ops\n",
+              run.stats.latency_ns, run.stats.vmm_ops, run.stats.mmm_ops);
+  std::printf("energy   :\n%s", run.stats.energy.report().c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Analytic latency / energy models for the four evaluated designs.
+//
+// These formulas aggregate the step counts of the mapping partitions with
+// the TechParams event costs; they are what regenerate Fig. 7 (latency)
+// and Fig. 8 (energy). The cycle-level machine simulator (arch/machine)
+// executes the same schedules instruction by instruction and is tested to
+// agree with these aggregates on small networks -- the two views answer
+// different needs (sweeps vs. traceability).
+//
+// Design recap (DESIGN.md §4):
+//   Baseline-ePCM : CustBinaryMap, sequential row activation, PCSA + digital
+//                   popcount; row groups and width tiles on distinct
+//                   crossbars run in parallel (merged by the popcount tree).
+//   TacitMap-ePCM : 1 VMM per (window, pass); per-column ADC readout with
+//                   sharing; row segments are parallel crossbars whose
+//                   partial popcounts meet in a digital adder.
+//   EinsteinBarrier: TacitMap on oPCM; up to K windows per pass via WDM;
+//                   per-wavelength serialized TIA/ADC readout; transmitter
+//                   (Eq. 3) and TIA (Eq. 2) power integrated over time.
+//   Baseline-GPU  : batch-1 roofline with launch overhead and a small-conv
+//                   efficiency floor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/tech_params.hpp"
+#include "bnn/spec.hpp"
+
+namespace eb::arch {
+
+enum class Design { BaselineEpcm, TacitEpcm, EinsteinBarrier, BaselineGpu };
+
+[[nodiscard]] const char* to_string(Design d);
+
+struct LayerCost {
+  std::string layer;
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  // Traceability fields for tests / ablations.
+  std::size_t crossbar_passes = 0;   // sequential analog steps
+  std::size_t window_batches = 0;    // serialized window groups
+  std::size_t replicas = 1;          // weight copies across crossbars
+};
+
+struct NetworkCost {
+  std::string network;
+  Design design = Design::BaselineEpcm;
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  std::vector<LayerCost> layers;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(TechParams params);
+
+  [[nodiscard]] const TechParams& params() const { return params_; }
+
+  // Per-workload costs for each design.
+  [[nodiscard]] LayerCost baseline_epcm(const bnn::XnorWorkload& w) const;
+  [[nodiscard]] LayerCost tacit_epcm(const bnn::XnorWorkload& w) const;
+  [[nodiscard]] LayerCost einstein_barrier(const bnn::XnorWorkload& w) const;
+  [[nodiscard]] LayerCost gpu(const bnn::XnorWorkload& w) const;
+
+  // Whole-network evaluation (sums crossbar workloads; BN/sign/pool are
+  // folded into per-output digital costs and are negligible by design).
+  [[nodiscard]] NetworkCost evaluate(Design d,
+                                     const bnn::NetworkSpec& net) const;
+
+ private:
+  struct Lowered {
+    std::size_t m = 0;        // weight-vector length (elements)
+    std::size_t n_eff = 0;    // weight vectors x weight bit-planes
+    std::size_t windows = 1;  // input vectors
+    std::size_t passes = 1;   // input bit-serial passes
+  };
+  [[nodiscard]] static Lowered lower(const bnn::XnorWorkload& w);
+
+  // Weight replication bounded by the crossbar budget.
+  [[nodiscard]] std::size_t replicas_for(std::size_t xbars_per_replica) const;
+
+  TechParams params_;
+};
+
+}  // namespace eb::arch

@@ -1,0 +1,45 @@
+#include "arch/energy.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace eb::arch {
+
+void EnergyLedger::add(const std::string& component, double pj) {
+  EB_REQUIRE(pj >= 0.0, "energy contributions must be non-negative");
+  counters_[component] += pj;
+}
+
+double EnergyLedger::component_pj(const std::string& component) const {
+  const auto it = counters_.find(component);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double EnergyLedger::total_pj() const {
+  double total = 0.0;
+  for (const auto& [_, pj] : counters_) {
+    total += pj;
+  }
+  return total;
+}
+
+std::string EnergyLedger::report() const {
+  std::ostringstream os;
+  for (const auto& [name, pj] : counters_) {
+    os << "  " << name << ": " << pj_to_nj(pj) << " nJ\n";
+  }
+  os << "  TOTAL: " << pj_to_nj(total_pj()) << " nJ\n";
+  return os.str();
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) {
+  for (const auto& [name, pj] : other.counters_) {
+    counters_[name] += pj;
+  }
+}
+
+void EnergyLedger::clear() { counters_.clear(); }
+
+}  // namespace eb::arch

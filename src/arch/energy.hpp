@@ -1,0 +1,32 @@
+// Per-component energy accounting for machine simulation runs.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace eb::arch {
+
+class EnergyLedger {
+ public:
+  // Adds `pj` picojoules to the named component counter.
+  void add(const std::string& component, double pj);
+
+  [[nodiscard]] double component_pj(const std::string& component) const;
+  [[nodiscard]] double total_pj() const;
+
+  // component -> pJ, sorted by name.
+  [[nodiscard]] const std::map<std::string, double>& breakdown() const {
+    return counters_;
+  }
+
+  [[nodiscard]] std::string report() const;
+
+  void merge(const EnergyLedger& other);
+  void clear();
+
+ private:
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace eb::arch

@@ -1,0 +1,26 @@
+#include "arch/event_queue.hpp"
+
+namespace eb::arch {
+
+bool MessageQueue::pop_for(std::size_t core, std::size_t from, Message& out) {
+  // The heap is small (messages in flight); scan by draining into a
+  // temporary. Simplicity beats asymptotics at these sizes.
+  std::vector<Message> skipped;
+  bool found = false;
+  while (!heap_.empty()) {
+    Message m = heap_.top();
+    heap_.pop();
+    if (!found && m.to_core == core && m.from_core == from) {
+      out = std::move(m);
+      found = true;
+    } else {
+      skipped.push_back(std::move(m));
+    }
+  }
+  for (auto& m : skipped) {
+    heap_.push(std::move(m));
+  }
+  return found;
+}
+
+}  // namespace eb::arch

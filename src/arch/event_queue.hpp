@@ -1,0 +1,45 @@
+// Discrete-event primitives for the machine simulator.
+//
+// The ECores run a cooperative scoreboard model; cross-core messages (the
+// tile receiver buffers of paper Fig. 4-(d)) flow through this queue so
+// delivery order is globally time-consistent.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+namespace eb::arch {
+
+struct Message {
+  double arrival_ns = 0.0;
+  std::size_t from_core = 0;
+  std::size_t to_core = 0;
+  std::vector<long long> payload;
+};
+
+struct MessageLater {
+  bool operator()(const Message& a, const Message& b) const {
+    return a.arrival_ns > b.arrival_ns;  // min-heap on arrival time
+  }
+};
+
+class MessageQueue {
+ public:
+  void push(Message m) { heap_.push(std::move(m)); }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  // Earliest message destined for `core` tagged from `from`, if its
+  // arrival time has a defined value (messages are always deliverable;
+  // the receiver advances its clock to the arrival time). Returns true
+  // and fills `out` on success.
+  [[nodiscard]] bool pop_for(std::size_t core, std::size_t from,
+                             Message& out);
+
+ private:
+  std::priority_queue<Message, std::vector<Message>, MessageLater> heap_;
+};
+
+}  // namespace eb::arch

@@ -1,0 +1,351 @@
+#include "arch/isa.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace eb::arch {
+
+namespace {
+
+constexpr std::uint64_t kOpBits = 4;
+constexpr std::uint64_t kAluBits = 4;
+constexpr std::uint64_t kRegBits = 4;
+constexpr std::uint64_t kImmBits = 16;
+constexpr std::uint64_t kAddrBits = 15;
+constexpr std::uint64_t kLenBits = 13;
+
+constexpr std::uint64_t mask(std::uint64_t bits) {
+  return (std::uint64_t{1} << bits) - 1;
+}
+
+}  // namespace
+
+std::uint64_t encode(const Instruction& ins) {
+  EB_REQUIRE(static_cast<std::uint64_t>(ins.op) <= mask(kOpBits),
+             "opcode out of encoding range");
+  EB_REQUIRE(static_cast<std::uint64_t>(ins.alu) <= mask(kAluBits),
+             "alu op out of encoding range");
+  EB_REQUIRE(ins.dst <= mask(kRegBits) && ins.src1 <= mask(kRegBits) &&
+                 ins.src2 <= mask(kRegBits),
+             "register index out of encoding range");
+  EB_REQUIRE(ins.len <= mask(kLenBits), "vector length out of encoding range");
+
+  std::uint64_t w = 0;
+  std::uint64_t shift = 0;
+  auto put = [&](std::uint64_t value, std::uint64_t bits) {
+    w |= (value & mask(bits)) << shift;
+    shift += bits;
+  };
+  put(static_cast<std::uint64_t>(ins.op), kOpBits);
+  put(static_cast<std::uint64_t>(ins.alu), kAluBits);
+  put(ins.dst, kRegBits);
+  put(ins.src1, kRegBits);
+  put(ins.src2, kRegBits);
+  put(ins.imm, kImmBits);
+  put(ins.addr, kAddrBits);
+  put(ins.len, kLenBits);
+  EB_ASSERT(shift == 64, "encoding must fill exactly 64 bits");
+  return w;
+}
+
+Instruction decode(std::uint64_t w) {
+  Instruction ins;
+  std::uint64_t shift = 0;
+  auto get = [&](std::uint64_t bits) {
+    const std::uint64_t v = (w >> shift) & mask(bits);
+    shift += bits;
+    return v;
+  };
+  ins.op = static_cast<Opcode>(get(kOpBits));
+  ins.alu = static_cast<AluOp>(get(kAluBits));
+  ins.dst = static_cast<std::uint8_t>(get(kRegBits));
+  ins.src1 = static_cast<std::uint8_t>(get(kRegBits));
+  ins.src2 = static_cast<std::uint8_t>(get(kRegBits));
+  ins.imm = static_cast<std::uint16_t>(get(kImmBits));
+  ins.addr = static_cast<std::uint16_t>(get(kAddrBits));
+  ins.len = static_cast<std::uint16_t>(get(kLenBits));
+  EB_REQUIRE(static_cast<std::uint8_t>(ins.op) <=
+                 static_cast<std::uint8_t>(Opcode::Halt),
+             "decoded word has an invalid opcode");
+  return ins;
+}
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::Nop:
+      return "nop";
+    case Opcode::Set:
+      return "set";
+    case Opcode::Mov:
+      return "mov";
+    case Opcode::LoadV:
+      return "loadv";
+    case Opcode::StoreV:
+      return "storev";
+    case Opcode::LoadB:
+      return "loadb";
+    case Opcode::StoreB:
+      return "storeb";
+    case Opcode::Vmm:
+      return "vmm";
+    case Opcode::Mmm:
+      return "mmm";
+    case Opcode::AluV:
+      return "aluv";
+    case Opcode::SignV:
+      return "signv";
+    case Opcode::PlaneB:
+      return "planeb";
+    case Opcode::Send:
+      return "send";
+    case Opcode::Recv:
+      return "recv";
+    case Opcode::Barrier:
+      return "barrier";
+    case Opcode::Halt:
+      return "halt";
+  }
+  return "?";
+}
+
+const char* to_string(AluOp op) {
+  switch (op) {
+    case AluOp::Add:
+      return "add";
+    case AluOp::Sub:
+      return "sub";
+    case AluOp::Max:
+      return "max";
+    case AluOp::ShiftAdd:
+      return "shiftadd";
+    case AluOp::ScaleEq1:
+      return "scale_eq1";
+    case AluOp::XnorToAnd:
+      return "xnor2and";
+    case AluOp::AddImm:
+      return "addimm";
+    case AluOp::AddTab:
+      return "addtab";
+  }
+  return "?";
+}
+
+std::string to_assembly(const Instruction& ins) {
+  std::ostringstream os;
+  os << to_string(ins.op);
+  switch (ins.op) {
+    case Opcode::Nop:
+    case Opcode::Halt:
+    case Opcode::Barrier:
+      break;
+    case Opcode::Set:
+      os << " r" << int(ins.dst) << ", " << ins.imm;
+      break;
+    case Opcode::Mov:
+      os << " r" << int(ins.dst) << ", r" << int(ins.src1);
+      break;
+    case Opcode::LoadV:
+      os << " v" << int(ins.dst) << ", [" << ins.addr << "], " << ins.len;
+      break;
+    case Opcode::StoreV:
+      os << " [" << ins.addr << "], v" << int(ins.src1) << ", " << ins.len;
+      break;
+    case Opcode::LoadB:
+      os << " b" << int(ins.dst) << ", [" << ins.addr << "], " << ins.len;
+      break;
+    case Opcode::StoreB:
+      os << " [" << ins.addr << "], b" << int(ins.src1) << ", " << ins.len;
+      break;
+    case Opcode::Vmm:
+      os << " v" << int(ins.dst) << ", b" << int(ins.src1) << ", xb"
+         << int(ins.src2) << (ins.imm & 1 ? ", acc" : "");
+      break;
+    case Opcode::Mmm:
+      os << " v" << int(ins.dst) << ", b" << int(ins.src1) << ", xb"
+         << int(ins.src2) << ", k=" << ins.imm;
+      break;
+    case Opcode::AluV:
+      os << "." << to_string(ins.alu) << " v" << int(ins.dst) << ", v"
+         << int(ins.src1) << ", v" << int(ins.src2) << ", " << ins.imm;
+      break;
+    case Opcode::SignV:
+      os << " b" << int(ins.dst) << ", v" << int(ins.src1) << ", thr"
+         << ins.imm;
+      break;
+    case Opcode::PlaneB:
+      os << " b" << int(ins.dst) << ", i" << int(ins.src1) << ", plane"
+         << ins.imm;
+      break;
+    case Opcode::Send:
+      os << " v" << int(ins.src1) << ", core" << ins.imm;
+      break;
+    case Opcode::Recv:
+      os << " v" << int(ins.dst) << ", tag" << ins.imm;
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+// Minimal tokenizer for the assembler: splits on spaces, commas, brackets.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == ',' || c == '[' || c == ']' || c == '\t') {
+      if (!cur.empty()) {
+        toks.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    toks.push_back(cur);
+  }
+  return toks;
+}
+
+std::uint16_t parse_u16(const std::string& s) {
+  EB_REQUIRE(!s.empty(), "empty numeric token");
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  EB_REQUIRE(end != nullptr && *end == '\0' && v >= 0 && v <= 0xFFFF,
+             "bad numeric token: " + s);
+  return static_cast<std::uint16_t>(v);
+}
+
+std::uint8_t parse_reg(const std::string& s, char prefix) {
+  EB_REQUIRE(s.size() >= 2 && s[0] == prefix,
+             std::string("expected register with prefix '") + prefix +
+                 "', got: " + s);
+  return static_cast<std::uint8_t>(parse_u16(s.substr(1)));
+}
+
+std::uint8_t parse_xb(const std::string& s) {
+  EB_REQUIRE(s.size() >= 3 && s.rfind("xb", 0) == 0,
+             "expected crossbar operand, got: " + s);
+  return static_cast<std::uint8_t>(parse_u16(s.substr(2)));
+}
+
+}  // namespace
+
+Instruction from_assembly(const std::string& line) {
+  const auto toks = tokenize(line);
+  EB_REQUIRE(!toks.empty(), "empty assembly line");
+  Instruction ins;
+  const std::string& head = toks[0];
+
+  auto expect_args = [&](std::size_t n) {
+    EB_REQUIRE(toks.size() == n + 1,
+               "wrong operand count for '" + head + "'");
+  };
+
+  if (head == "nop") {
+    ins.op = Opcode::Nop;
+  } else if (head == "halt") {
+    ins.op = Opcode::Halt;
+  } else if (head == "barrier") {
+    ins.op = Opcode::Barrier;
+  } else if (head == "set") {
+    expect_args(2);
+    ins.op = Opcode::Set;
+    ins.dst = parse_reg(toks[1], 'r');
+    ins.imm = parse_u16(toks[2]);
+  } else if (head == "mov") {
+    expect_args(2);
+    ins.op = Opcode::Mov;
+    ins.dst = parse_reg(toks[1], 'r');
+    ins.src1 = parse_reg(toks[2], 'r');
+  } else if (head == "loadv" || head == "loadb") {
+    expect_args(3);
+    ins.op = head == "loadv" ? Opcode::LoadV : Opcode::LoadB;
+    ins.dst = parse_reg(toks[1], head == "loadv" ? 'v' : 'b');
+    ins.addr = parse_u16(toks[2]);
+    ins.len = parse_u16(toks[3]);
+  } else if (head == "storev" || head == "storeb") {
+    expect_args(3);
+    ins.op = head == "storev" ? Opcode::StoreV : Opcode::StoreB;
+    ins.addr = parse_u16(toks[1]);
+    ins.src1 = parse_reg(toks[2], head == "storev" ? 'v' : 'b');
+    ins.len = parse_u16(toks[3]);
+  } else if (head == "vmm") {
+    EB_REQUIRE(toks.size() == 4 || toks.size() == 5,
+               "vmm takes 3 operands plus optional 'acc'");
+    ins.op = Opcode::Vmm;
+    ins.dst = parse_reg(toks[1], 'v');
+    ins.src1 = parse_reg(toks[2], 'b');
+    ins.src2 = parse_xb(toks[3]);
+    if (toks.size() == 5) {
+      EB_REQUIRE(toks[4] == "acc", "unknown vmm flag: " + toks[4]);
+      ins.imm = 1;
+    }
+  } else if (head == "mmm") {
+    expect_args(4);
+    ins.op = Opcode::Mmm;
+    ins.dst = parse_reg(toks[1], 'v');
+    ins.src1 = parse_reg(toks[2], 'b');
+    ins.src2 = parse_xb(toks[3]);
+    EB_REQUIRE(toks[4].rfind("k=", 0) == 0, "mmm needs k=<count>");
+    ins.imm = parse_u16(toks[4].substr(2));
+  } else if (head.rfind("aluv.", 0) == 0) {
+    expect_args(4);
+    ins.op = Opcode::AluV;
+    const std::string name = head.substr(5);
+    bool found = false;
+    for (int a = 0; a <= static_cast<int>(AluOp::AddTab); ++a) {
+      if (name == to_string(static_cast<AluOp>(a))) {
+        ins.alu = static_cast<AluOp>(a);
+        found = true;
+        break;
+      }
+    }
+    EB_REQUIRE(found, "unknown ALU op: " + name);
+    ins.dst = parse_reg(toks[1], 'v');
+    ins.src1 = parse_reg(toks[2], 'v');
+    ins.src2 = parse_reg(toks[3], 'v');
+    ins.imm = parse_u16(toks[4]);
+  } else if (head == "signv") {
+    expect_args(3);
+    ins.op = Opcode::SignV;
+    ins.dst = parse_reg(toks[1], 'b');
+    ins.src1 = parse_reg(toks[2], 'v');
+    EB_REQUIRE(toks[3].rfind("thr", 0) == 0, "signv needs thr<id>");
+    ins.imm = parse_u16(toks[3].substr(3));
+  } else if (head == "planeb") {
+    expect_args(3);
+    ins.op = Opcode::PlaneB;
+    ins.dst = parse_reg(toks[1], 'b');
+    ins.src1 = parse_reg(toks[2], 'i');
+    EB_REQUIRE(toks[3].rfind("plane", 0) == 0, "planeb needs plane<id>");
+    ins.imm = parse_u16(toks[3].substr(5));
+  } else if (head == "send") {
+    expect_args(2);
+    ins.op = Opcode::Send;
+    ins.src1 = parse_reg(toks[1], 'v');
+    EB_REQUIRE(toks[2].rfind("core", 0) == 0, "send needs core<id>");
+    ins.imm = parse_u16(toks[2].substr(4));
+  } else if (head == "recv") {
+    expect_args(2);
+    ins.op = Opcode::Recv;
+    ins.dst = parse_reg(toks[1], 'v');
+    EB_REQUIRE(toks[2].rfind("tag", 0) == 0, "recv needs tag<id>");
+    ins.imm = parse_u16(toks[2].substr(3));
+  } else {
+    EB_REQUIRE(false, "unknown mnemonic: " + head);
+  }
+  return ins;
+}
+
+std::string disassemble(const std::vector<Instruction>& prog) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    os << i << ":\t" << to_assembly(prog[i]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace eb::arch

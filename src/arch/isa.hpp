@@ -1,0 +1,95 @@
+// EinsteinBarrier instruction set.
+//
+// The paper describes EinsteinBarrier as "a heavily extended version of
+// PUMA" whose ISA gains support for multiple simultaneous VMMs (MMM)
+// [section IV]. This module defines that ISA: a compact 64-bit encoding,
+// an assembler/disassembler, and the operand model the ECore pipeline
+// executes (paper Fig. 4-(e): instruction memory, decoder, operand steer
+// unit, scalar FU, memory unit, VCore, output registers).
+//
+// Register model (per ECore):
+//   b0..b15  : input bit-vector slots (the "input registers" feeding the
+//              transmitter / DAC row drivers)
+//   v0..v15  : output vector accumulators (signed integers; the "output
+//              registers" behind the ADCs)
+//   i0..i15  : integer activation vectors (8-bit activations for the
+//              non-binarized first/last layers)
+//   r0..r15  : scalar registers
+// Tile shared memory is word-addressed; LOADV/STOREV move vector slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eb::arch {
+
+enum class Opcode : std::uint8_t {
+  Nop = 0,
+  Set,       // r[dst] = imm
+  Mov,       // r[dst] = r[src1]
+  LoadV,     // v[dst] = tile_mem[addr .. addr+len)
+  StoreV,    // tile_mem[addr ..) = v[src1]
+  LoadB,     // b[dst] = bit slot from tile_mem at addr (len bits)
+  StoreB,    // tile_mem at addr = b[src1]
+  Vmm,       // v[dst] (+)= VCore[src2].vmm(b[src1][addr:addr+len]);
+             // imm bit0: accumulate. addr/len slice the driven bit slot
+             // so one plane register can feed several m-chunk crossbars.
+  Mmm,       // WDM: v[dst+k] = VCore[src2].mmm(b[src1+k][addr:addr+len])
+             // for k < imm
+  AluV,      // v[dst] = alu(v[src1], v[src2] | imm), element-wise
+  SignV,     // b[dst] = v[src1] >= thresholds[imm] (threshold table id)
+  PlaneB,    // b[dst] = bit-plane imm of i[src1] (multi-bit lowering)
+  Send,      // send v[src1] to (tile, ecore) packed in imm
+  Recv,      // v[dst] = blocking receive tagged imm
+  Barrier,   // wait until all of this ECore's VCores are idle
+  Halt,
+};
+
+enum class AluOp : std::uint8_t {
+  Add = 0,   // v[dst] = v[src1] + v[src2]
+  Sub,       // v[dst] = v[src1] - v[src2]
+  Max,       // element-wise max
+  ShiftAdd,  // v[dst] = v[src1] + (v[src2] << imm)   (bit-plane combine)
+  ScaleEq1,  // v[dst] = 2*v[src1] - imm               (paper Eq. 1 affine)
+  XnorToAnd, // v[dst] = (v[src1] + popcount(b[imm&15]) + tab[imm>>4]
+             //           - len) / 2 -- recovers the AND-plane dot product
+             // from an XNOR popcount (multi-bit layer lowering)
+  AddImm,    // v[dst] = v[src1] + imm
+  AddTab,    // v[dst] = v[src1] + const_table[imm]       (bias vectors)
+};
+
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  AluOp alu = AluOp::Add;
+  std::uint8_t dst = 0;
+  std::uint8_t src1 = 0;
+  std::uint8_t src2 = 0;
+  std::uint16_t imm = 0;
+  std::uint16_t addr = 0;
+  std::uint16_t len = 0;
+
+  [[nodiscard]] bool operator==(const Instruction& o) const = default;
+};
+
+// 64-bit packing (LSB first): op:4 alu:4 dst:4 src1:4 src2:4 imm:16
+// addr:15 len:13. Field widths bound the architecture: 16 slots per
+// register file, a 32K-word tile-memory window, vectors up to 8191
+// elements. The encoding is exercised round-trip by tests/test_arch.
+[[nodiscard]] std::uint64_t encode(const Instruction& ins);
+[[nodiscard]] Instruction decode(std::uint64_t word);
+
+// Human-readable one-line form, e.g. "vmm v2, b0, xb1, acc".
+[[nodiscard]] std::string to_assembly(const Instruction& ins);
+
+// Parses the to_assembly() format back (assembler). Throws eb::Error on
+// malformed input.
+[[nodiscard]] Instruction from_assembly(const std::string& line);
+
+// Disassembles a whole stream with line numbers.
+[[nodiscard]] std::string disassemble(const std::vector<Instruction>& prog);
+
+[[nodiscard]] const char* to_string(Opcode op);
+[[nodiscard]] const char* to_string(AluOp op);
+
+}  // namespace eb::arch

@@ -1,0 +1,94 @@
+#include "baselines/baseline_epcm.hpp"
+
+#include <cmath>
+
+#include "bnn/binarize.hpp"
+#include "bnn/layers.hpp"
+#include "common/error.hpp"
+#include "device/noise.hpp"
+
+namespace eb::base {
+
+namespace {
+const dev::NoNoise kNoNoise;
+}
+
+BaselineEpcmEngine::BaselineEpcmEngine(const bnn::Network& net,
+                                       map::CustBinaryConfig cfg,
+                                       arch::TechParams tech)
+    : net_(net), cfg_(cfg), tech_(tech) {
+  // Walk the Dense-BN-Sign pattern, mirroring the EinsteinBarrier
+  // compiler's front end.
+  const std::size_t count = net.layer_count();
+  EB_REQUIRE(count >= 5, "network too small for the MLP pattern");
+  std::size_t i = 0;
+  first_ = dynamic_cast<const bnn::DenseLayer*>(&net.layer(i++));
+  EB_REQUIRE(first_ != nullptr, "expected Dense input layer");
+  first_bn_ = dynamic_cast<const bnn::BatchNormLayer*>(&net.layer(i++));
+  EB_REQUIRE(first_bn_ != nullptr, "expected BatchNorm after input layer");
+  EB_REQUIRE(dynamic_cast<const bnn::SignLayer*>(&net.layer(i++)) != nullptr,
+             "expected Sign after input BatchNorm");
+
+  while (i + 1 < count) {
+    const auto* fc = dynamic_cast<const bnn::BinaryDenseLayer*>(&net.layer(i));
+    if (fc == nullptr) {
+      break;
+    }
+    ++i;
+    const auto* bn = dynamic_cast<const bnn::BatchNormLayer*>(&net.layer(i++));
+    EB_REQUIRE(bn != nullptr, "expected BatchNorm after BinaryDense");
+    EB_REQUIRE(dynamic_cast<const bnn::SignLayer*>(&net.layer(i++)) != nullptr,
+               "expected Sign after hidden BatchNorm");
+
+    HiddenLayer layer;
+    layer.m = fc->weights().cols();
+    layer.n = fc->weights().rows();
+    layer.mapped = std::make_unique<map::CustBinaryMap>(fc->weights(), cfg_);
+    for (const double t : bn->fold_to_thresholds()) {
+      layer.sign_thresholds.push_back(static_cast<long long>(std::ceil(t)));
+    }
+    hidden_.push_back(std::move(layer));
+  }
+  EB_REQUIRE(!hidden_.empty(), "network has no binarized hidden layers");
+  last_ = dynamic_cast<const bnn::DenseLayer*>(&net.layer(count - 1));
+  EB_REQUIRE(last_ != nullptr, "expected Dense output layer");
+}
+
+BaselineRun BaselineEpcmEngine::run(const bnn::Tensor& input) const {
+  BaselineRun result;
+  Rng rng(42);
+
+  // Host-side first layer + BN + Sign.
+  const bnn::Tensor pre = first_->forward(input);
+  const bnn::Tensor bn = first_bn_->forward(pre);
+  BitVec bits = bnn::binarize(bn);
+
+  for (const auto& layer : hidden_) {
+    EB_REQUIRE(bits.size() == layer.m, "hidden layer width mismatch");
+    const auto popcounts = layer.mapped->execute(bits, kNoNoise, rng);
+    result.row_activations += layer.mapped->steps_per_input();
+    BitVec next(layer.n);
+    for (std::size_t j = 0; j < layer.n; ++j) {
+      // Eq. 1 affine + folded BN threshold in the digital periphery.
+      const long long y = 2 * static_cast<long long>(popcounts[j]) -
+                          static_cast<long long>(layer.m);
+      next.set(j, y >= layer.sign_thresholds[j]);
+    }
+    bits = std::move(next);
+  }
+  result.core_output_bits.push_back(bits);
+
+  const bnn::Tensor acts = bnn::to_signed_tensor(bits, {bits.size()});
+  const bnn::Tensor logits = last_->forward(acts);
+  result.predictions.push_back(bnn::argmax(logits));
+
+  // Modeled whole-network cost from the shared analytic formulas.
+  const arch::CostModel model(tech_);
+  const auto cost =
+      model.evaluate(arch::Design::BaselineEpcm, net_.spec());
+  result.modeled_latency_ns = cost.latency_ns;
+  result.modeled_energy_pj = cost.energy_pj;
+  return result;
+}
+
+}  // namespace eb::base

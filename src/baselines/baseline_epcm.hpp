@@ -1,0 +1,65 @@
+// Baseline-ePCM: an end-to-end engine for the SotA comparison design
+// (Hirtzlin et al. 2020 -- CustBinaryMap on 2T2R ePCM arrays with PCSA
+// readout and digital popcount).
+//
+// Unlike EinsteinBarrier this is not a programmable spatial architecture,
+// so the engine drives the CustBinaryMap executors directly: hidden
+// binarized Dense layers run on the differential crossbars (sequential
+// row activation, functionally exact on ideal devices), the
+// higher-precision first/last layers run host-side exactly as in the
+// EinsteinBarrier functional pipeline, keeping the accuracy comparison
+// apples-to-apples. Latency/energy come from arch::CostModel's
+// Baseline-ePCM formulas.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "arch/cost_model.hpp"
+#include "bnn/network.hpp"
+#include "mapping/custbinarymap.hpp"
+
+namespace eb::base {
+
+struct BaselineRun {
+  std::vector<std::size_t> predictions;
+  std::vector<BitVec> core_output_bits;  // last hidden layer bits
+  double modeled_latency_ns = 0.0;
+  double modeled_energy_pj = 0.0;
+  std::size_t row_activations = 0;  // total sequential PCSA steps
+};
+
+class BaselineEpcmEngine {
+ public:
+  // Builds CustBinaryMap executors for every hidden BinaryDense layer of
+  // `net` (which must follow the Dense-BN-Sign MLP pattern).
+  BaselineEpcmEngine(const bnn::Network& net, map::CustBinaryConfig cfg,
+                     arch::TechParams tech);
+
+  // Runs one sample end to end (host first/last layers, crossbar hidden
+  // layers); fills functional outputs and the modeled cost for the whole
+  // network.
+  [[nodiscard]] BaselineRun run(const bnn::Tensor& input) const;
+
+  [[nodiscard]] std::size_t hidden_layers() const { return hidden_.size(); }
+
+ private:
+  struct HiddenLayer {
+    std::unique_ptr<map::CustBinaryMap> mapped;
+    std::vector<long long> sign_thresholds;  // folded BN, ceil'd
+    std::size_t m = 0;
+    std::size_t n = 0;
+  };
+
+  const bnn::Network& net_;
+  map::CustBinaryConfig cfg_;
+  arch::TechParams tech_;
+  std::vector<HiddenLayer> hidden_;
+  // Host-side layers (owned by net_).
+  const bnn::DenseLayer* first_ = nullptr;
+  const bnn::BatchNormLayer* first_bn_ = nullptr;
+  const bnn::DenseLayer* last_ = nullptr;
+};
+
+}  // namespace eb::base

@@ -1,0 +1,48 @@
+#include "baselines/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace eb::base {
+
+GpuModel::GpuModel(arch::TechParams params) : params_(params) {}
+
+GpuLayerCost GpuModel::layer_cost(const bnn::XnorWorkload& w) const {
+  GpuLayerCost c;
+  c.layer = w.layer_name;
+  const double ops = static_cast<double>(w.m) * static_cast<double>(w.n) *
+                     static_cast<double>(w.windows);
+  const double weight_bytes = static_cast<double>(w.m) *
+                              static_cast<double>(w.n) *
+                              static_cast<double>(w.weight_bits) / 8.0;
+  const double act_bytes = static_cast<double>(w.m) *
+                           static_cast<double>(w.windows) *
+                           static_cast<double>(w.input_bits) / 8.0;
+  c.launch_ns = params_.gpu_launch_ns;
+  c.compute_ns =
+      ops / (params_.gpu_peak_tops * 1000.0 * params_.gpu_efficiency);
+  c.memory_ns = (weight_bytes + act_bytes) / params_.gpu_mem_bw_gbps;
+  c.total_ns = c.launch_ns + std::max(c.compute_ns, c.memory_ns);
+  if (w.windows > 1 && c.total_ns < params_.gpu_small_conv_floor_ns) {
+    c.total_ns = params_.gpu_small_conv_floor_ns;
+    c.floor_applied = true;
+  }
+  return c;
+}
+
+GpuNetworkCost GpuModel::evaluate(const bnn::NetworkSpec& net) const {
+  GpuNetworkCost total;
+  total.network = net.name;
+  for (const auto& w : net.crossbar_workloads()) {
+    GpuLayerCost c = layer_cost(w);
+    total.total_ns += c.total_ns;
+    total.layers.push_back(std::move(c));
+  }
+  return total;
+}
+
+double GpuModel::total_latency_ns(const bnn::NetworkSpec& net) const {
+  const arch::CostModel model(params_);
+  return model.evaluate(arch::Design::BaselineGpu, net).latency_ns;
+}
+
+}  // namespace eb::base

@@ -1,0 +1,52 @@
+// Baseline-GPU: analytical batch-1 inference model.
+//
+// Substitution note (DESIGN.md): the paper measured a real GPU; offline we
+// model one from first principles -- per-kernel launch overhead, a memory
+// term streaming (bit-packed) weights, a compute term at a derated peak,
+// and an efficiency floor for small convolutions. What Fig. 7 needs from
+// this baseline is its *relative* position: slower than Baseline-ePCM on
+// the small CNNs (launch/occupancy bound at batch 1), an order of
+// magnitude faster on the large MLPs (bandwidth bound, no row
+// serialization) -- which this model reproduces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/cost_model.hpp"
+#include "arch/tech_params.hpp"
+#include "bnn/spec.hpp"
+
+namespace eb::base {
+
+struct GpuLayerCost {
+  std::string layer;
+  double launch_ns = 0.0;
+  double compute_ns = 0.0;
+  double memory_ns = 0.0;
+  double total_ns = 0.0;
+  bool floor_applied = false;  // small-conv inefficiency floor hit
+};
+
+struct GpuNetworkCost {
+  std::string network;
+  double total_ns = 0.0;
+  std::vector<GpuLayerCost> layers;
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(arch::TechParams params);
+
+  [[nodiscard]] GpuLayerCost layer_cost(const bnn::XnorWorkload& w) const;
+  [[nodiscard]] GpuNetworkCost evaluate(const bnn::NetworkSpec& net) const;
+
+  // Consistency hook: the aggregate must match arch::CostModel's GPU path
+  // (tested), since Fig. 7 uses that path.
+  [[nodiscard]] double total_latency_ns(const bnn::NetworkSpec& net) const;
+
+ private:
+  arch::TechParams params_;
+};
+
+}  // namespace eb::base

@@ -1,0 +1,171 @@
+#include "bnn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace eb::bnn {
+
+namespace {
+
+// Seven-segment truth table: segments a..g (top, top-right, bottom-right,
+// bottom, bottom-left, top-left, middle) for digits 0..9.
+constexpr bool kSegments[10][7] = {
+    {true, true, true, true, true, true, false},     // 0
+    {false, true, true, false, false, false, false}, // 1
+    {true, true, false, true, true, false, true},    // 2
+    {true, true, true, true, false, false, true},    // 3
+    {false, true, true, false, false, true, true},   // 4
+    {true, false, true, true, false, true, true},    // 5
+    {true, false, true, true, true, true, true},     // 6
+    {true, true, true, false, false, false, false},  // 7
+    {true, true, true, true, true, true, true},      // 8
+    {true, true, true, true, false, true, true},     // 9
+};
+
+struct Segment {
+  double x0, y0, x1, y1;  // normalized [0,1] coordinates in the glyph box
+};
+
+// Geometry of the seven segments in a unit box (x right, y down).
+constexpr Segment kSegmentGeom[7] = {
+    {0.15, 0.05, 0.85, 0.05},  // a: top
+    {0.85, 0.05, 0.85, 0.50},  // b: top-right
+    {0.85, 0.50, 0.85, 0.95},  // c: bottom-right
+    {0.15, 0.95, 0.85, 0.95},  // d: bottom
+    {0.15, 0.50, 0.15, 0.95},  // e: bottom-left
+    {0.15, 0.05, 0.15, 0.50},  // f: top-left
+    {0.15, 0.50, 0.85, 0.50},  // g: middle
+};
+
+// Distance from point p to segment [a,b].
+double point_segment_distance(double px, double py, const Segment& s) {
+  const double vx = s.x1 - s.x0;
+  const double vy = s.y1 - s.y0;
+  const double wx = px - s.x0;
+  const double wy = py - s.y0;
+  const double len2 = vx * vx + vy * vy;
+  double t = len2 > 0.0 ? (wx * vx + wy * vy) / len2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const double dx = px - (s.x0 + t * vx);
+  const double dy = py - (s.y0 + t * vy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+SyntheticMnist::SyntheticMnist(std::uint64_t seed) : seed_(seed) {}
+
+Sample SyntheticMnist::sample(std::size_t index) const {
+  // Per-sample RNG: deterministic in (seed, index).
+  Rng rng(seed_ * 0x9E3779B97F4A7C15ULL + index);
+  const std::size_t label = index % kClasses;
+
+  const double jitter_x = rng.uniform(-2.0, 2.0);
+  const double jitter_y = rng.uniform(-2.0, 2.0);
+  const double scale = rng.uniform(0.8, 1.0);
+  const double thickness = rng.uniform(1.2, 2.0);
+  const double intensity = rng.uniform(0.7, 1.0);
+  const double noise_amp = 0.15;
+
+  Tensor img({kFeatures});
+  const double box = kImageSize * 0.7 * scale;  // glyph box in pixels
+  const double off_x = (kImageSize - box * 0.7) / 2.0 + jitter_x;
+  const double off_y = (kImageSize - box) / 2.0 + jitter_y;
+
+  for (std::size_t y = 0; y < kImageSize; ++y) {
+    for (std::size_t x = 0; x < kImageSize; ++x) {
+      // Normalized coordinates in the glyph box (glyph is narrower than
+      // tall, like a digit).
+      const double gx = (static_cast<double>(x) - off_x) / (box * 0.7);
+      const double gy = (static_cast<double>(y) - off_y) / box;
+      double v = 0.0;
+      if (gx >= -0.2 && gx <= 1.2 && gy >= -0.2 && gy <= 1.2) {
+        double dmin = 1e9;
+        for (int s = 0; s < 7; ++s) {
+          if (!kSegments[label][s]) {
+            continue;
+          }
+          dmin = std::min(dmin,
+                          point_segment_distance(gx, gy, kSegmentGeom[s]));
+        }
+        const double d_pixels = dmin * box;
+        if (d_pixels < thickness) {
+          v = intensity;
+        } else if (d_pixels < thickness + 1.5) {
+          v = intensity * (1.0 - (d_pixels - thickness) / 1.5);
+        }
+      }
+      v += rng.gaussian(0.0, noise_amp);
+      img[y * kImageSize + x] = std::clamp(v, 0.0, 1.0);
+    }
+  }
+  // Center to roughly zero-mean, as a normalization stage would.
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = img[i] * 2.0 - 0.3;
+  }
+  return Sample{std::move(img), label};
+}
+
+std::vector<Sample> SyntheticMnist::batch(std::size_t start,
+                                          std::size_t count) const {
+  std::vector<Sample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(sample(start + i));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------------
+
+SyntheticCifar::SyntheticCifar(std::uint64_t seed) : seed_(seed) {}
+
+Sample SyntheticCifar::sample(std::size_t index) const {
+  Rng rng(seed_ * 0xD1B54A32D192ED03ULL + index);
+  const std::size_t label = index % kClasses;
+
+  // Class-dependent signature: orientation, spatial frequency, RGB phase.
+  const double angle = (static_cast<double>(label) / kClasses) * 3.14159265;
+  const double freq = 0.25 + 0.08 * static_cast<double>(label % 5);
+  const double phase = rng.uniform(0.0, 6.28318);
+  const double blob_x = 6.0 + 2.2 * static_cast<double>(label);
+  const double blob_y = 26.0 - 2.2 * static_cast<double>(label);
+
+  const double ca = std::cos(angle);
+  const double sa = std::sin(angle);
+
+  Tensor img({kChannels, kImageSize, kImageSize});
+  for (std::size_t y = 0; y < kImageSize; ++y) {
+    for (std::size_t x = 0; x < kImageSize; ++x) {
+      const double u = ca * static_cast<double>(x) + sa * static_cast<double>(y);
+      const double g = std::sin(u * freq + phase);
+      const double dx = static_cast<double>(x) - blob_x;
+      const double dy = static_cast<double>(y) - blob_y;
+      const double blob = std::exp(-(dx * dx + dy * dy) / 18.0);
+      for (std::size_t c = 0; c < kChannels; ++c) {
+        // Per-channel phase shift gives each class a distinct hue pattern.
+        const double chan =
+            0.5 * g * std::cos(phase + 2.1 * static_cast<double>(c) +
+                               0.7 * static_cast<double>(label)) +
+            blob * (c == label % 3 ? 0.9 : 0.2);
+        const double v = chan + rng.gaussian(0.0, 0.12);
+        img.at({c, y, x}) = std::clamp(v, -1.0, 1.0);
+      }
+    }
+  }
+  return Sample{std::move(img), label};
+}
+
+std::vector<Sample> SyntheticCifar::batch(std::size_t start,
+                                          std::size_t count) const {
+  std::vector<Sample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(sample(start + i));
+  }
+  return out;
+}
+
+}  // namespace eb::bnn

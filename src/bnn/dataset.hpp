@@ -1,0 +1,67 @@
+// Procedural stand-ins for MNIST and CIFAR-10.
+//
+// The offline build environment has no dataset files, and the paper's
+// mappings do not affect accuracy anyway (section V-C), so the accuracy
+// experiments only need *a* learnable 10-class problem with the right
+// tensor shapes. Substitution (documented in DESIGN.md):
+//
+//  * SyntheticMnist -- 28x28 grayscale glyphs. Each class renders its digit
+//    as a thick seven-segment figure, then applies random translation,
+//    per-pixel noise and intensity jitter. Classes are well separated but
+//    not trivially so (shared segments between e.g. 8/0/6).
+//  * SyntheticCifar -- 32x32x3 images. Each class is a distinct oriented
+//    color grating plus a class-positioned blob, with noise.
+//
+// Samples are generated deterministically from (seed, index), so train and
+// test splits are reproducible and never overlap (disjoint index ranges).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bnn/tensor.hpp"
+#include "common/rng.hpp"
+
+namespace eb::bnn {
+
+struct Sample {
+  Tensor image;       // [784] for MNIST-like, [3,32,32] for CIFAR-like
+  std::size_t label;  // 0..9
+};
+
+class SyntheticMnist {
+ public:
+  explicit SyntheticMnist(std::uint64_t seed = 1234);
+
+  // Deterministic sample for a global index; label = index % 10.
+  [[nodiscard]] Sample sample(std::size_t index) const;
+
+  // Batches of consecutive indices starting at `start`.
+  [[nodiscard]] std::vector<Sample> batch(std::size_t start,
+                                          std::size_t count) const;
+
+  static constexpr std::size_t kImageSize = 28;
+  static constexpr std::size_t kFeatures = kImageSize * kImageSize;
+  static constexpr std::size_t kClasses = 10;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class SyntheticCifar {
+ public:
+  explicit SyntheticCifar(std::uint64_t seed = 4321);
+
+  [[nodiscard]] Sample sample(std::size_t index) const;
+  [[nodiscard]] std::vector<Sample> batch(std::size_t start,
+                                          std::size_t count) const;
+
+  static constexpr std::size_t kImageSize = 32;
+  static constexpr std::size_t kChannels = 3;
+  static constexpr std::size_t kClasses = 10;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace eb::bnn

@@ -1,0 +1,395 @@
+#include "bnn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bnn/binarize.hpp"
+#include "common/error.hpp"
+
+namespace eb::bnn {
+
+// ---------------------------------------------------------------- Dense --
+
+DenseLayer::DenseLayer(std::string name, Tensor weights, Tensor bias,
+                       Precision precision)
+    : name_(std::move(name)),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      precision_(precision) {
+  EB_REQUIRE(weights_.rank() == 2, "dense weights must be [out, in]");
+  EB_REQUIRE(bias_.size() == weights_.dim(0),
+             "bias length must match output count");
+}
+
+DenseLayer DenseLayer::random(std::string name, std::size_t in,
+                              std::size_t out, Precision precision, Rng& rng) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(in));
+  return DenseLayer(std::move(name), Tensor::random_uniform({out, in}, scale, rng),
+                    Tensor::zeros({out}), precision);
+}
+
+Tensor DenseLayer::forward(const Tensor& x) const {
+  EB_REQUIRE(x.size() == weights_.dim(1),
+             "dense input size mismatch in " + name_);
+  const std::size_t out = weights_.dim(0);
+  const std::size_t in = weights_.dim(1);
+  Tensor y({out});
+  for (std::size_t o = 0; o < out; ++o) {
+    double acc = bias_[o];
+    const double* w = weights_.data() + o * in;
+    for (std::size_t i = 0; i < in; ++i) {
+      acc += w[i] * x[i];
+    }
+    y[o] = acc;
+  }
+  return y;
+}
+
+LayerSpec DenseLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::Dense;
+  s.precision = precision_;
+  s.name = name_;
+  s.in_features = weights_.dim(1);
+  s.out_features = weights_.dim(0);
+  return s;
+}
+
+// ---------------------------------------------------------- BinaryDense --
+
+BinaryDenseLayer::BinaryDenseLayer(std::string name, BitMatrix weights)
+    : name_(std::move(name)), weights_(std::move(weights)) {}
+
+BinaryDenseLayer BinaryDenseLayer::random(std::string name, std::size_t in,
+                                          std::size_t out, Rng& rng) {
+  return BinaryDenseLayer(std::move(name), BitMatrix::random(out, in, rng));
+}
+
+Tensor BinaryDenseLayer::forward(const Tensor& x) const {
+  const BitVec xb = binarize(x);
+  const auto y = forward_bits(xb);
+  Tensor out({y.size()});
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = static_cast<double>(y[i]);
+  }
+  return out;
+}
+
+std::vector<long long> BinaryDenseLayer::forward_bits(const BitVec& x) const {
+  EB_REQUIRE(x.size() == weights_.cols(),
+             "binary dense input size mismatch in " + name_);
+  std::vector<long long> y(weights_.rows());
+  for (std::size_t r = 0; r < weights_.rows(); ++r) {
+    y[r] = weights_.row(r).signed_dot(x);
+  }
+  return y;
+}
+
+LayerSpec BinaryDenseLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::Dense;
+  s.precision = Precision::Binary;
+  s.name = name_;
+  s.in_features = weights_.cols();
+  s.out_features = weights_.rows();
+  return s;
+}
+
+// --------------------------------------------------------------- Conv2d --
+
+Conv2dLayer::Conv2dLayer(std::string name, Conv2dGeom geom, Tensor weights,
+                         Tensor bias, Precision precision)
+    : name_(std::move(name)),
+      geom_(geom),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      precision_(precision) {
+  EB_REQUIRE(weights_.rank() == 4, "conv weights must be [oc, ic, k, k]");
+  EB_REQUIRE(weights_.dim(0) == geom_.out_ch &&
+                 weights_.dim(1) == geom_.in_ch &&
+                 weights_.dim(2) == geom_.kernel &&
+                 weights_.dim(3) == geom_.kernel,
+             "conv weight shape mismatch");
+  EB_REQUIRE(bias_.size() == geom_.out_ch, "conv bias shape mismatch");
+}
+
+Conv2dLayer Conv2dLayer::random(std::string name, Conv2dGeom geom,
+                                Precision precision, Rng& rng) {
+  const double fan_in =
+      static_cast<double>(geom.kernel * geom.kernel * geom.in_ch);
+  return Conv2dLayer(
+      std::move(name), geom,
+      Tensor::random_uniform({geom.out_ch, geom.in_ch, geom.kernel, geom.kernel},
+                             1.0 / std::sqrt(fan_in), rng),
+      Tensor::zeros({geom.out_ch}), precision);
+}
+
+Tensor Conv2dLayer::forward(const Tensor& x) const {
+  EB_REQUIRE(x.rank() == 3 && x.dim(0) == geom_.in_ch &&
+                 x.dim(1) == geom_.in_h && x.dim(2) == geom_.in_w,
+             "conv input shape mismatch in " + name_);
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  Tensor y({geom_.out_ch, oh, ow});
+  for (std::size_t oc = 0; oc < geom_.out_ch; ++oc) {
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        double acc = bias_[oc];
+        for (std::size_t ic = 0; ic < geom_.in_ch; ++ic) {
+          for (std::size_t kh = 0; kh < geom_.kernel; ++kh) {
+            for (std::size_t kw = 0; kw < geom_.kernel; ++kw) {
+              const long long r =
+                  static_cast<long long>(i * geom_.stride + kh) -
+                  static_cast<long long>(geom_.pad);
+              const long long c =
+                  static_cast<long long>(j * geom_.stride + kw) -
+                  static_cast<long long>(geom_.pad);
+              if (r < 0 || c < 0 ||
+                  r >= static_cast<long long>(geom_.in_h) ||
+                  c >= static_cast<long long>(geom_.in_w)) {
+                continue;  // zero padding
+              }
+              acc += weights_.at({oc, ic, kh, kw}) *
+                     x.at({ic, static_cast<std::size_t>(r),
+                           static_cast<std::size_t>(c)});
+            }
+          }
+        }
+        y.at({oc, i, j}) = acc;
+      }
+    }
+  }
+  return y;
+}
+
+LayerSpec Conv2dLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::Conv2d;
+  s.precision = precision_;
+  s.name = name_;
+  s.conv = geom_;
+  return s;
+}
+
+// --------------------------------------------------------- BinaryConv2d --
+
+BinaryConv2dLayer::BinaryConv2dLayer(std::string name, Conv2dGeom geom,
+                                     std::vector<BitVec> kernels)
+    : name_(std::move(name)), geom_(geom), kernels_(std::move(kernels)) {
+  EB_REQUIRE(kernels_.size() == geom_.out_ch,
+             "one kernel per output channel required");
+  const std::size_t m = geom_.kernel * geom_.kernel * geom_.in_ch;
+  for (const auto& k : kernels_) {
+    EB_REQUIRE(k.size() == m, "kernel length mismatch");
+  }
+}
+
+BinaryConv2dLayer BinaryConv2dLayer::random(std::string name, Conv2dGeom geom,
+                                            Rng& rng) {
+  const std::size_t m = geom.kernel * geom.kernel * geom.in_ch;
+  std::vector<BitVec> kernels;
+  kernels.reserve(geom.out_ch);
+  for (std::size_t oc = 0; oc < geom.out_ch; ++oc) {
+    kernels.push_back(BitVec::random(m, rng));
+  }
+  return BinaryConv2dLayer(std::move(name), geom, std::move(kernels));
+}
+
+BitVec BinaryConv2dLayer::im2col_window(const Tensor& x, const Conv2dGeom& geom,
+                                        std::size_t oh, std::size_t ow) {
+  const std::size_t m = geom.kernel * geom.kernel * geom.in_ch;
+  BitVec bits(m);
+  std::size_t idx = 0;
+  for (std::size_t ic = 0; ic < geom.in_ch; ++ic) {
+    for (std::size_t kh = 0; kh < geom.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < geom.kernel; ++kw, ++idx) {
+        const long long r = static_cast<long long>(oh * geom.stride + kh) -
+                            static_cast<long long>(geom.pad);
+        const long long c = static_cast<long long>(ow * geom.stride + kw) -
+                            static_cast<long long>(geom.pad);
+        if (r < 0 || c < 0 || r >= static_cast<long long>(geom.in_h) ||
+            c >= static_cast<long long>(geom.in_w)) {
+          bits.set(idx, false);  // pad -> -1 in the signed interpretation
+          continue;
+        }
+        bits.set(idx, x.at({ic, static_cast<std::size_t>(r),
+                            static_cast<std::size_t>(c)}) >= 0.0);
+      }
+    }
+  }
+  return bits;
+}
+
+Tensor BinaryConv2dLayer::forward(const Tensor& x) const {
+  EB_REQUIRE(x.rank() == 3 && x.dim(0) == geom_.in_ch &&
+                 x.dim(1) == geom_.in_h && x.dim(2) == geom_.in_w,
+             "binary conv input shape mismatch in " + name_);
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  Tensor y({geom_.out_ch, oh, ow});
+  for (std::size_t i = 0; i < oh; ++i) {
+    for (std::size_t j = 0; j < ow; ++j) {
+      const BitVec window = im2col_window(x, geom_, i, j);
+      for (std::size_t oc = 0; oc < geom_.out_ch; ++oc) {
+        y.at({oc, i, j}) =
+            static_cast<double>(kernels_[oc].signed_dot(window));
+      }
+    }
+  }
+  return y;
+}
+
+LayerSpec BinaryConv2dLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::Conv2d;
+  s.precision = Precision::Binary;
+  s.name = name_;
+  s.conv = geom_;
+  return s;
+}
+
+// ------------------------------------------------------------ BatchNorm --
+
+BatchNormLayer::BatchNormLayer(std::string name, std::vector<double> gamma,
+                               std::vector<double> beta,
+                               std::vector<double> mean,
+                               std::vector<double> var, double eps)
+    : name_(std::move(name)),
+      gamma_(std::move(gamma)),
+      beta_(std::move(beta)),
+      mean_(std::move(mean)),
+      var_(std::move(var)),
+      eps_(eps) {
+  EB_REQUIRE(gamma_.size() == beta_.size() && gamma_.size() == mean_.size() &&
+                 gamma_.size() == var_.size(),
+             "batchnorm parameter sizes must match");
+  EB_REQUIRE(!gamma_.empty(), "batchnorm needs at least one channel");
+}
+
+BatchNormLayer BatchNormLayer::identity(std::string name,
+                                        std::size_t features) {
+  return BatchNormLayer(std::move(name), std::vector<double>(features, 1.0),
+                        std::vector<double>(features, 0.0),
+                        std::vector<double>(features, 0.0),
+                        std::vector<double>(features, 1.0));
+}
+
+Tensor BatchNormLayer::forward(const Tensor& x) const {
+  const std::size_t ch = gamma_.size();
+  Tensor y = x;
+  if (x.rank() == 1) {
+    EB_REQUIRE(x.size() == ch, "batchnorm feature mismatch in " + name_);
+    for (std::size_t c = 0; c < ch; ++c) {
+      y[c] = gamma_[c] * (x[c] - mean_[c]) / std::sqrt(var_[c] + eps_) +
+             beta_[c];
+    }
+    return y;
+  }
+  EB_REQUIRE(x.rank() == 3 && x.dim(0) == ch,
+             "batchnorm expects [C,H,W] or [F] in " + name_);
+  const std::size_t hw = x.dim(1) * x.dim(2);
+  for (std::size_t c = 0; c < ch; ++c) {
+    const double scale = gamma_[c] / std::sqrt(var_[c] + eps_);
+    for (std::size_t i = 0; i < hw; ++i) {
+      y[c * hw + i] = scale * (x[c * hw + i] - mean_[c]) + beta_[c];
+    }
+  }
+  return y;
+}
+
+std::vector<double> BatchNormLayer::fold_to_thresholds() const {
+  std::vector<double> thr(gamma_.size());
+  for (std::size_t c = 0; c < gamma_.size(); ++c) {
+    EB_REQUIRE(gamma_[c] > 0.0,
+               "threshold folding requires positive gamma in " + name_);
+    // sign(gamma*(x-mean)/sqrt(var+eps)+beta) == sign(x - thr)
+    thr[c] = mean_[c] - beta_[c] * std::sqrt(var_[c] + eps_) / gamma_[c];
+  }
+  return thr;
+}
+
+LayerSpec BatchNormLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::BatchNorm;
+  s.name = name_;
+  s.features = gamma_.size();
+  return s;
+}
+
+// ----------------------------------------------------------------- Sign --
+
+SignLayer::SignLayer(std::string name, std::size_t features)
+    : name_(std::move(name)), features_(features) {}
+
+Tensor SignLayer::forward(const Tensor& x) const {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = sign_pm1(y[i]);
+  }
+  return y;
+}
+
+LayerSpec SignLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::Sign;
+  s.name = name_;
+  s.features = features_;
+  return s;
+}
+
+// ------------------------------------------------------------- MaxPool --
+
+MaxPool2dLayer::MaxPool2dLayer(std::string name, std::size_t pool)
+    : name_(std::move(name)), pool_(pool) {
+  EB_REQUIRE(pool_ >= 1, "pool size must be >= 1");
+}
+
+Tensor MaxPool2dLayer::forward(const Tensor& x) const {
+  EB_REQUIRE(x.rank() == 3, "maxpool expects [C,H,W] in " + name_);
+  const std::size_t ch = x.dim(0);
+  const std::size_t oh = x.dim(1) / pool_;
+  const std::size_t ow = x.dim(2) / pool_;
+  EB_REQUIRE(oh > 0 && ow > 0, "maxpool output would be empty in " + name_);
+  Tensor y({ch, oh, ow});
+  for (std::size_t c = 0; c < ch; ++c) {
+    for (std::size_t i = 0; i < oh; ++i) {
+      for (std::size_t j = 0; j < ow; ++j) {
+        double best = x.at({c, i * pool_, j * pool_});
+        for (std::size_t di = 0; di < pool_; ++di) {
+          for (std::size_t dj = 0; dj < pool_; ++dj) {
+            best = std::max(best, x.at({c, i * pool_ + di, j * pool_ + dj}));
+          }
+        }
+        y.at({c, i, j}) = best;
+      }
+    }
+  }
+  return y;
+}
+
+LayerSpec MaxPool2dLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::MaxPool2d;
+  s.name = name_;
+  s.pool = pool_;
+  return s;
+}
+
+// ------------------------------------------------------------- Flatten --
+
+FlattenLayer::FlattenLayer(std::string name) : name_(std::move(name)) {}
+
+Tensor FlattenLayer::forward(const Tensor& x) const {
+  Tensor y = x;
+  y.reshape({x.size()});
+  return y;
+}
+
+LayerSpec FlattenLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::Flatten;
+  s.name = name_;
+  return s;
+}
+
+}  // namespace eb::bnn

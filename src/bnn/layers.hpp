@@ -1,0 +1,211 @@
+// Functional (inference) layers.
+//
+// These implement the bit-exact reference semantics the crossbar mappings
+// are validated against. Binary layers compute through the packed
+// XNOR+Popcount kernel (paper Eq. 1) so that "reference output" and
+// "ideal-crossbar output" are the same integers, not approximately-equal
+// floats.
+//
+// Data layout: a single sample flows through as
+//   Dense path : [features]
+//   Conv path  : [channels, height, width]
+// Batch loops live in the callers (trainer / evaluation drivers).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bnn/spec.hpp"
+#include "bnn/tensor.hpp"
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace eb::bnn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  [[nodiscard]] virtual Tensor forward(const Tensor& x) const = 0;
+  [[nodiscard]] virtual LayerSpec spec() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Higher-precision dense layer (paper keeps first/last layers non-binary).
+class DenseLayer final : public Layer {
+ public:
+  // weights shape [out, in]; bias shape [out].
+  DenseLayer(std::string name, Tensor weights, Tensor bias,
+             Precision precision);
+
+  [[nodiscard]] static DenseLayer random(std::string name, std::size_t in,
+                                         std::size_t out, Precision precision,
+                                         Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] const Tensor& weights() const { return weights_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
+
+ private:
+  std::string name_;
+  Tensor weights_;
+  Tensor bias_;
+  Precision precision_;
+};
+
+// Binarized dense layer. Expects +/-1 inputs (output of a Sign layer);
+// produces integer-valued pre-activations 2*popcount - m.
+class BinaryDenseLayer final : public Layer {
+ public:
+  // weights: one BitVec row per output neuron, each of length in_features.
+  BinaryDenseLayer(std::string name, BitMatrix weights);
+
+  [[nodiscard]] static BinaryDenseLayer random(std::string name,
+                                               std::size_t in, std::size_t out,
+                                               Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  // Packed fast path: y[j] = 2*popcount(x XNOR w_j) - m.
+  [[nodiscard]] std::vector<long long> forward_bits(const BitVec& x) const;
+
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] const BitMatrix& weights() const { return weights_; }
+
+ private:
+  std::string name_;
+  BitMatrix weights_;
+};
+
+// Higher-precision conv layer (first layer of the CNNs).
+class Conv2dLayer final : public Layer {
+ public:
+  // weights shape [out_ch, in_ch, k, k]; bias [out_ch].
+  Conv2dLayer(std::string name, Conv2dGeom geom, Tensor weights, Tensor bias,
+              Precision precision);
+
+  [[nodiscard]] static Conv2dLayer random(std::string name, Conv2dGeom geom,
+                                          Precision precision, Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Conv2dGeom geom_;
+  Tensor weights_;
+  Tensor bias_;
+  Precision precision_;
+};
+
+// Binarized conv layer: kernels and activations in {-1,+1}, computed via
+// packed XNOR+Popcount over im2col windows.
+class BinaryConv2dLayer final : public Layer {
+ public:
+  // kernels: one BitVec per output channel, length k*k*in_ch, bit order
+  // (in_ch, kh, kw) row-major -- the same order im2col_window uses.
+  BinaryConv2dLayer(std::string name, Conv2dGeom geom,
+                    std::vector<BitVec> kernels);
+
+  [[nodiscard]] static BinaryConv2dLayer random(std::string name,
+                                                Conv2dGeom geom, Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] const std::vector<BitVec>& kernels() const { return kernels_; }
+  [[nodiscard]] const Conv2dGeom& geom() const { return geom_; }
+
+  // Extracts the binarized im2col window at output position (oh, ow) from a
+  // +/-1 input tensor [C,H,W]. Padding positions binarize to 0 (-1).
+  [[nodiscard]] static BitVec im2col_window(const Tensor& x,
+                                            const Conv2dGeom& geom,
+                                            std::size_t oh, std::size_t ow);
+
+ private:
+  std::string name_;
+  Conv2dGeom geom_;
+  std::vector<BitVec> kernels_;
+};
+
+// Inference-time batch normalization (per-channel affine).
+class BatchNormLayer final : public Layer {
+ public:
+  BatchNormLayer(std::string name, std::vector<double> gamma,
+                 std::vector<double> beta, std::vector<double> mean,
+                 std::vector<double> var, double eps = 1e-5);
+
+  // Identity-initialized BN over `features` channels.
+  [[nodiscard]] static BatchNormLayer identity(std::string name,
+                                               std::size_t features);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  // Thresholds t_c such that sign(BN(x)) == sign(x - t_c) for gamma_c > 0.
+  // Folding BN+Sign into a per-channel comparison is the standard BNN
+  // deployment trick; the compiler uses it to keep post-processing digital
+  // logic trivial. Requires all gamma > 0.
+  [[nodiscard]] std::vector<double> fold_to_thresholds() const;
+
+  [[nodiscard]] std::size_t features() const { return gamma_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<double> gamma_;
+  std::vector<double> beta_;
+  std::vector<double> mean_;
+  std::vector<double> var_;
+  double eps_;
+};
+
+// Element-wise sign into {-1,+1}.
+class SignLayer final : public Layer {
+ public:
+  explicit SignLayer(std::string name, std::size_t features = 0);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t features_;
+};
+
+// Max pool over [C,H,W] with square window == stride.
+class MaxPool2dLayer final : public Layer {
+ public:
+  MaxPool2dLayer(std::string name, std::size_t pool);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t pool_;
+};
+
+// [C,H,W] -> [C*H*W].
+class FlattenLayer final : public Layer {
+ public:
+  explicit FlattenLayer(std::string name);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace eb::bnn

@@ -1,0 +1,281 @@
+#include "bnn/model_zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace eb::bnn {
+
+namespace {
+
+LayerSpec conv_spec(std::string name, Precision prec, std::size_t in_ch,
+                    std::size_t out_ch, std::size_t kernel, std::size_t pad,
+                    std::size_t in_h, std::size_t in_w) {
+  LayerSpec s;
+  s.kind = LayerKind::Conv2d;
+  s.precision = prec;
+  s.name = std::move(name);
+  s.conv.in_ch = in_ch;
+  s.conv.out_ch = out_ch;
+  s.conv.kernel = kernel;
+  s.conv.stride = 1;
+  s.conv.pad = pad;
+  s.conv.in_h = in_h;
+  s.conv.in_w = in_w;
+  return s;
+}
+
+LayerSpec bn_spec(std::string name, std::size_t features) {
+  LayerSpec s;
+  s.kind = LayerKind::BatchNorm;
+  s.name = std::move(name);
+  s.features = features;
+  return s;
+}
+
+LayerSpec sign_spec(std::string name, std::size_t features) {
+  LayerSpec s;
+  s.kind = LayerKind::Sign;
+  s.name = std::move(name);
+  s.features = features;
+  return s;
+}
+
+LayerSpec pool_spec(std::string name, std::size_t pool) {
+  LayerSpec s;
+  s.kind = LayerKind::MaxPool2d;
+  s.name = std::move(name);
+  s.pool = pool;
+  return s;
+}
+
+LayerSpec flatten_spec(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::Flatten;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec dense_spec(std::string name, Precision prec, std::size_t in,
+                     std::size_t out) {
+  LayerSpec s;
+  s.kind = LayerKind::Dense;
+  s.precision = prec;
+  s.name = std::move(name);
+  s.in_features = in;
+  s.out_features = out;
+  return s;
+}
+
+}  // namespace
+
+NetworkSpec mlp_s_spec() { return make_mlp_spec("MLP-S", {784, 500, 250, 10}); }
+
+NetworkSpec mlp_m_spec() {
+  return make_mlp_spec("MLP-M", {784, 1000, 500, 250, 10});
+}
+
+NetworkSpec mlp_l_spec() {
+  return make_mlp_spec("MLP-L", {784, 1500, 1000, 500, 10});
+}
+
+NetworkSpec cnn1_spec() {
+  NetworkSpec net;
+  net.name = "CNN-1";
+  net.dataset = "MNIST";
+  net.layers.push_back(
+      conv_spec("conv1", Precision::Int8, 1, 5, 5, 0, 28, 28));  // -> 5x24x24
+  net.layers.push_back(bn_spec("bn1", 5));
+  net.layers.push_back(sign_spec("sign1", 5));
+  net.layers.push_back(pool_spec("pool1", 2));  // -> 5x12x12
+  net.layers.push_back(flatten_spec("flat"));   // -> 720
+  net.layers.push_back(dense_spec("fc1", Precision::Binary, 720, 70));
+  net.layers.push_back(bn_spec("bn2", 70));
+  net.layers.push_back(sign_spec("sign2", 70));
+  net.layers.push_back(dense_spec("fc2", Precision::Int8, 70, 10));
+  return net;
+}
+
+NetworkSpec cnn2_spec() {
+  NetworkSpec net;
+  net.name = "CNN-2";
+  net.dataset = "MNIST";
+  net.layers.push_back(
+      conv_spec("conv1", Precision::Int8, 1, 10, 7, 0, 28, 28));  // -> 10x22x22
+  net.layers.push_back(bn_spec("bn1", 10));
+  net.layers.push_back(sign_spec("sign1", 10));
+  net.layers.push_back(pool_spec("pool1", 2));  // -> 10x11x11
+  net.layers.push_back(flatten_spec("flat"));   // -> 1210
+  net.layers.push_back(dense_spec("fc1", Precision::Binary, 1210, 120));
+  net.layers.push_back(bn_spec("bn2", 120));
+  net.layers.push_back(sign_spec("sign2", 120));
+  net.layers.push_back(dense_spec("fc2", Precision::Int8, 120, 10));
+  return net;
+}
+
+NetworkSpec vgg_d_spec() {
+  NetworkSpec net;
+  net.name = "VGG-D";
+  net.dataset = "CIFAR-10";
+  struct Block {
+    std::size_t convs;
+    std::size_t channels;
+  };
+  const std::vector<Block> blocks = {{2, 64}, {2, 128}, {3, 256}, {3, 512},
+                                     {3, 512}};
+  std::size_t h = 32;
+  std::size_t w = 32;
+  std::size_t in_ch = 3;
+  std::size_t conv_idx = 1;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::size_t c = 0; c < blocks[b].convs; ++c) {
+      // Only the very first conv stays 8-bit (input layer).
+      const Precision prec =
+          (conv_idx == 1) ? Precision::Int8 : Precision::Binary;
+      const std::string cname = "conv" + std::to_string(conv_idx);
+      net.layers.push_back(
+          conv_spec(cname, prec, in_ch, blocks[b].channels, 3, 1, h, w));
+      net.layers.push_back(bn_spec("bn" + std::to_string(conv_idx),
+                                   blocks[b].channels));
+      net.layers.push_back(sign_spec("sign" + std::to_string(conv_idx),
+                                     blocks[b].channels));
+      in_ch = blocks[b].channels;
+      ++conv_idx;
+    }
+    net.layers.push_back(pool_spec("pool" + std::to_string(b + 1), 2));
+    h /= 2;
+    w /= 2;
+  }
+  net.layers.push_back(flatten_spec("flat"));  // -> 512 (1x1x512)
+  net.layers.push_back(dense_spec("fc1", Precision::Binary, 512, 4096));
+  net.layers.push_back(bn_spec("bn_fc1", 4096));
+  net.layers.push_back(sign_spec("sign_fc1", 4096));
+  net.layers.push_back(dense_spec("fc2", Precision::Binary, 4096, 4096));
+  net.layers.push_back(bn_spec("bn_fc2", 4096));
+  net.layers.push_back(sign_spec("sign_fc2", 4096));
+  net.layers.push_back(dense_spec("fc3", Precision::Int8, 4096, 10));
+  return net;
+}
+
+std::vector<NetworkSpec> mlbench_specs() {
+  return {cnn1_spec(), cnn2_spec(),  vgg_d_spec(),
+          mlp_s_spec(), mlp_m_spec(), mlp_l_spec()};
+}
+
+// ------------------------------------------------------------ builders --
+
+Network build_mlp(const std::string& name,
+                  const std::vector<std::size_t>& dims, Rng& rng) {
+  EB_REQUIRE(dims.size() >= 3, "MLP needs at least in-hidden-out dims");
+  Network net(name, "MNIST");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool first = (i == 0);
+    const bool last = (i + 2 == dims.size());
+    const std::string idx = std::to_string(i + 1);
+    if (first || last) {
+      net.add(DenseLayer::random("fc" + idx, dims[i], dims[i + 1],
+                                 Precision::Int8, rng));
+    } else {
+      net.add(BinaryDenseLayer::random("fc" + idx, dims[i], dims[i + 1], rng));
+    }
+    if (!last) {
+      net.add(BatchNormLayer::identity("bn" + idx, dims[i + 1]));
+      net.add(SignLayer("sign" + idx, dims[i + 1]));
+    }
+  }
+  return net;
+}
+
+Network build_mlp_s(Rng& rng) { return build_mlp("MLP-S", {784, 500, 250, 10}, rng); }
+
+Network build_cnn1(Rng& rng) {
+  Network net("CNN-1", "MNIST");
+  Conv2dGeom g;
+  g.in_ch = 1;
+  g.out_ch = 5;
+  g.kernel = 5;
+  g.stride = 1;
+  g.pad = 0;
+  g.in_h = 28;
+  g.in_w = 28;
+  net.add(Conv2dLayer::random("conv1", g, Precision::Int8, rng));
+  net.add(BatchNormLayer::identity("bn1", 5));
+  net.add(SignLayer("sign1", 5));
+  net.add(MaxPool2dLayer("pool1", 2));
+  net.add(FlattenLayer("flat"));
+  net.add(BinaryDenseLayer::random("fc1", 720, 70, rng));
+  net.add(BatchNormLayer::identity("bn2", 70));
+  net.add(SignLayer("sign2", 70));
+  net.add(DenseLayer::random("fc2", 70, 10, Precision::Int8, rng));
+  return net;
+}
+
+Network build_cnn2(Rng& rng) {
+  Network net("CNN-2", "MNIST");
+  Conv2dGeom g;
+  g.in_ch = 1;
+  g.out_ch = 10;
+  g.kernel = 7;
+  g.stride = 1;
+  g.pad = 0;
+  g.in_h = 28;
+  g.in_w = 28;
+  net.add(Conv2dLayer::random("conv1", g, Precision::Int8, rng));
+  net.add(BatchNormLayer::identity("bn1", 10));
+  net.add(SignLayer("sign1", 10));
+  net.add(MaxPool2dLayer("pool1", 2));
+  net.add(FlattenLayer("flat"));
+  net.add(BinaryDenseLayer::random("fc1", 1210, 120, rng));
+  net.add(BatchNormLayer::identity("bn2", 120));
+  net.add(SignLayer("sign2", 120));
+  net.add(DenseLayer::random("fc2", 120, 10, Precision::Int8, rng));
+  return net;
+}
+
+Network build_vgg_d(Rng& rng) {
+  Network net("VGG-D", "CIFAR-10");
+  struct Block {
+    std::size_t convs;
+    std::size_t channels;
+  };
+  const std::vector<Block> blocks = {{2, 64}, {2, 128}, {3, 256}, {3, 512},
+                                     {3, 512}};
+  std::size_t h = 32;
+  std::size_t w = 32;
+  std::size_t in_ch = 3;
+  std::size_t conv_idx = 1;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::size_t c = 0; c < blocks[b].convs; ++c) {
+      Conv2dGeom g;
+      g.in_ch = in_ch;
+      g.out_ch = blocks[b].channels;
+      g.kernel = 3;
+      g.stride = 1;
+      g.pad = 1;
+      g.in_h = h;
+      g.in_w = w;
+      const std::string idx = std::to_string(conv_idx);
+      if (conv_idx == 1) {
+        net.add(Conv2dLayer::random("conv" + idx, g, Precision::Int8, rng));
+      } else {
+        net.add(BinaryConv2dLayer::random("conv" + idx, g, rng));
+      }
+      net.add(BatchNormLayer::identity("bn" + idx, blocks[b].channels));
+      net.add(SignLayer("sign" + idx, blocks[b].channels));
+      in_ch = blocks[b].channels;
+      ++conv_idx;
+    }
+    net.add(MaxPool2dLayer("pool" + std::to_string(b + 1), 2));
+    h /= 2;
+    w /= 2;
+  }
+  net.add(FlattenLayer("flat"));
+  net.add(BinaryDenseLayer::random("fc1", 512, 4096, rng));
+  net.add(BatchNormLayer::identity("bn_fc1", 4096));
+  net.add(SignLayer("sign_fc1", 4096));
+  net.add(BinaryDenseLayer::random("fc2", 4096, 4096, rng));
+  net.add(BatchNormLayer::identity("bn_fc2", 4096));
+  net.add(SignLayer("sign_fc2", 4096));
+  net.add(DenseLayer::random("fc3", 4096, 10, Precision::Int8, rng));
+  return net;
+}
+
+}  // namespace eb::bnn

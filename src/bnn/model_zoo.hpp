@@ -1,0 +1,50 @@
+// MlBench model zoo (PRIME, ISCA'16) -- the six BNNs of paper section V-C.
+//
+//   MLP-S : 784-500-250-10                  (MNIST)
+//   MLP-M : 784-1000-500-250-10             (MNIST)
+//   MLP-L : 784-1500-1000-500-10            (MNIST)
+//   CNN-1 : conv5x5x5 - pool2 - 720-70-10   (MNIST)
+//   CNN-2 : conv7x7x10 - pool2 - 1210-120-10 (MNIST)
+//   VGG-D : VGG-16 configuration D          (CIFAR-10)
+//
+// Following paper section II-B, the first and last compute layers stay at
+// 8-bit precision and every hidden Dense/Conv layer is binarized with a
+// BatchNorm + Sign pair after it.
+//
+// Two views are provided:
+//   *_spec()  -- shape-only (for the performance models; no weights)
+//   build_*() -- functional networks with randomly initialized weights
+//                (for mapping-equivalence tests and examples; the trainer
+//                can replace MLP weights with trained ones)
+#pragma once
+
+#include <vector>
+
+#include "bnn/network.hpp"
+#include "bnn/spec.hpp"
+#include "common/rng.hpp"
+
+namespace eb::bnn {
+
+[[nodiscard]] NetworkSpec mlp_s_spec();
+[[nodiscard]] NetworkSpec mlp_m_spec();
+[[nodiscard]] NetworkSpec mlp_l_spec();
+[[nodiscard]] NetworkSpec cnn1_spec();
+[[nodiscard]] NetworkSpec cnn2_spec();
+[[nodiscard]] NetworkSpec vgg_d_spec();
+
+// All six, in the paper's grouping order (CNNs then MLPs).
+[[nodiscard]] std::vector<NetworkSpec> mlbench_specs();
+
+// Functional builders (randomly initialized weights).
+[[nodiscard]] Network build_mlp(const std::string& name,
+                                const std::vector<std::size_t>& dims,
+                                Rng& rng);
+[[nodiscard]] Network build_mlp_s(Rng& rng);
+[[nodiscard]] Network build_cnn1(Rng& rng);
+[[nodiscard]] Network build_cnn2(Rng& rng);
+// Warning: allocates the full VGG-16 binary weight set (~2 MB packed bits
+// plus the int8 first/last layers); forward of one CIFAR sample is ~100 ms.
+[[nodiscard]] Network build_vgg_d(Rng& rng);
+
+}  // namespace eb::bnn

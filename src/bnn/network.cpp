@@ -1,0 +1,47 @@
+#include "bnn/network.hpp"
+
+#include "common/error.hpp"
+
+namespace eb::bnn {
+
+Tensor Network::forward(const Tensor& input) const {
+  Tensor x = input;
+  for (const auto& l : layers_) {
+    x = l->forward(x);
+  }
+  return x;
+}
+
+Tensor Network::forward_trace(const Tensor& input,
+                              std::vector<Tensor>& layer_inputs) const {
+  layer_inputs.clear();
+  layer_inputs.reserve(layers_.size());
+  Tensor x = input;
+  for (const auto& l : layers_) {
+    layer_inputs.push_back(x);
+    x = l->forward(x);
+  }
+  return x;
+}
+
+std::size_t Network::predict(const Tensor& input) const {
+  return argmax(forward(input));
+}
+
+const Layer& Network::layer(std::size_t i) const {
+  EB_REQUIRE(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+NetworkSpec Network::spec() const {
+  NetworkSpec s;
+  s.name = name_;
+  s.dataset = dataset_;
+  s.layers.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    s.layers.push_back(l->spec());
+  }
+  return s;
+}
+
+}  // namespace eb::bnn

@@ -1,0 +1,57 @@
+// Sequential network container (inference).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bnn/layers.hpp"
+#include "bnn/spec.hpp"
+#include "bnn/tensor.hpp"
+
+namespace eb::bnn {
+
+class Network {
+ public:
+  Network(std::string name, std::string dataset)
+      : name_(std::move(name)), dataset_(std::move(dataset)) {}
+
+  // Non-copyable (owns polymorphic layers), movable.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  template <typename L>
+  L& add(L layer) {
+    auto owned = std::make_unique<L>(std::move(layer));
+    L& ref = *owned;
+    layers_.push_back(std::move(owned));
+    return ref;
+  }
+
+  [[nodiscard]] Tensor forward(const Tensor& input) const;
+
+  // Forward that also records the input tensor seen by each layer (index-
+  // aligned with layers()). Mapping-equivalence tests use this to replay a
+  // single layer on the crossbar model with the exact activations the
+  // reference engine produced.
+  [[nodiscard]] Tensor forward_trace(const Tensor& input,
+                                     std::vector<Tensor>& layer_inputs) const;
+
+  [[nodiscard]] std::size_t predict(const Tensor& input) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& dataset() const { return dataset_; }
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const;
+
+  [[nodiscard]] NetworkSpec spec() const;
+
+ private:
+  std::string name_;
+  std::string dataset_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace eb::bnn

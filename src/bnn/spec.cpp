@@ -1,0 +1,141 @@
+#include "bnn/spec.hpp"
+
+#include "common/error.hpp"
+
+namespace eb::bnn {
+
+const char* to_string(LayerKind k) {
+  switch (k) {
+    case LayerKind::Dense:
+      return "Dense";
+    case LayerKind::Conv2d:
+      return "Conv2d";
+    case LayerKind::MaxPool2d:
+      return "MaxPool2d";
+    case LayerKind::BatchNorm:
+      return "BatchNorm";
+    case LayerKind::Sign:
+      return "Sign";
+    case LayerKind::Flatten:
+      return "Flatten";
+  }
+  return "?";
+}
+
+const char* to_string(Precision p) {
+  return p == Precision::Binary ? "binary" : "int8";
+}
+
+std::size_t LayerSpec::mac_count() const {
+  switch (kind) {
+    case LayerKind::Dense:
+      return in_features * out_features;
+    case LayerKind::Conv2d:
+      return conv.kernel * conv.kernel * conv.in_ch * conv.out_ch *
+             conv.out_h() * conv.out_w();
+    default:
+      return 0;
+  }
+}
+
+std::vector<XnorWorkload> NetworkSpec::crossbar_workloads() const {
+  std::vector<XnorWorkload> out;
+  for (const auto& l : layers) {
+    if (l.kind == LayerKind::Dense) {
+      XnorWorkload w;
+      w.layer_name = l.name;
+      w.m = l.in_features;
+      w.n = l.out_features;
+      w.windows = 1;
+      w.binary = (l.precision == Precision::Binary);
+      w.input_bits = w.binary ? 1 : 8;
+      w.weight_bits = w.binary ? 1 : 8;
+      out.push_back(w);
+    } else if (l.kind == LayerKind::Conv2d) {
+      XnorWorkload w;
+      w.layer_name = l.name;
+      w.m = l.conv.kernel * l.conv.kernel * l.conv.in_ch;
+      w.n = l.conv.out_ch;
+      w.windows = l.conv.out_h() * l.conv.out_w();
+      w.binary = (l.precision == Precision::Binary);
+      w.input_bits = w.binary ? 1 : 8;
+      w.weight_bits = w.binary ? 1 : 8;
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+std::size_t NetworkSpec::binary_bit_ops() const {
+  std::size_t total = 0;
+  for (const auto& w : crossbar_workloads()) {
+    if (w.binary) {
+      total += w.bit_ops();
+    }
+  }
+  return total;
+}
+
+std::size_t NetworkSpec::int8_macs() const {
+  std::size_t total = 0;
+  for (const auto& l : layers) {
+    if (l.precision == Precision::Int8) {
+      total += l.mac_count();
+    }
+  }
+  return total;
+}
+
+std::size_t NetworkSpec::binary_param_bits() const {
+  std::size_t total = 0;
+  for (const auto& w : crossbar_workloads()) {
+    if (w.binary) {
+      total += w.m * w.n;
+    }
+  }
+  return total;
+}
+
+std::size_t NetworkSpec::int8_params() const {
+  std::size_t total = 0;
+  for (const auto& w : crossbar_workloads()) {
+    if (!w.binary) {
+      total += w.m * w.n;
+    }
+  }
+  return total;
+}
+
+NetworkSpec make_mlp_spec(const std::string& name,
+                          const std::vector<std::size_t>& dims) {
+  EB_REQUIRE(dims.size() >= 3, "MLP needs at least in-hidden-out dims");
+  NetworkSpec net;
+  net.name = name;
+  net.dataset = "MNIST";
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool first = (i == 0);
+    const bool last = (i + 2 == dims.size());
+    LayerSpec fc;
+    fc.kind = LayerKind::Dense;
+    fc.precision = (first || last) ? Precision::Int8 : Precision::Binary;
+    fc.name = "fc" + std::to_string(i + 1);
+    fc.in_features = dims[i];
+    fc.out_features = dims[i + 1];
+    net.layers.push_back(fc);
+    if (!last) {
+      LayerSpec bn;
+      bn.kind = LayerKind::BatchNorm;
+      bn.name = "bn" + std::to_string(i + 1);
+      bn.features = dims[i + 1];
+      net.layers.push_back(bn);
+      LayerSpec sg;
+      sg.kind = LayerKind::Sign;
+      sg.name = "sign" + std::to_string(i + 1);
+      sg.features = dims[i + 1];
+      net.layers.push_back(sg);
+    }
+  }
+  return net;
+}
+
+}  // namespace eb::bnn

@@ -1,0 +1,105 @@
+// Shape-only network descriptions.
+//
+// The performance models (mapping step counts, EinsteinBarrier compiler,
+// Baseline-ePCM, GPU roofline) never need weight values -- only layer
+// geometry. NetworkSpec is that geometry, and XnorWorkload is the unit the
+// crossbar designs consume: one weight matrix (n vectors of m bits) hit by
+// `windows` input vectors, at a given input/weight bit width.
+//
+// Paper section II-B: hidden layers are binarized; the input and output
+// layers stay at higher precision (8-bit here), executed on the same
+// crossbar primitive via bit-serial inputs x bit-sliced weights.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eb::bnn {
+
+enum class LayerKind { Dense, Conv2d, MaxPool2d, BatchNorm, Sign, Flatten };
+
+enum class Precision { Binary, Int8 };
+
+[[nodiscard]] const char* to_string(LayerKind k);
+[[nodiscard]] const char* to_string(Precision p);
+
+// Geometry of a 2-D convolution ("valid" padding unless pad > 0).
+struct Conv2dGeom {
+  std::size_t in_ch = 0;
+  std::size_t out_ch = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+
+  [[nodiscard]] std::size_t out_h() const {
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_w() const {
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::Dense;
+  Precision precision = Precision::Binary;
+  std::string name;
+
+  // Dense geometry.
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+
+  // Conv geometry (kind == Conv2d).
+  Conv2dGeom conv;
+
+  // Pool geometry (kind == MaxPool2d): kernel == stride.
+  std::size_t pool = 0;
+
+  // Channel/feature count for BatchNorm / Sign / Flatten bookkeeping.
+  std::size_t features = 0;
+
+  // Number of 8-bit MACs (Int8 layers) or XNOR bit-ops (Binary layers)
+  // one inference performs in this layer. Zero for non-compute layers.
+  [[nodiscard]] std::size_t mac_count() const;
+};
+
+// One crossbar-lowered compute layer.
+struct XnorWorkload {
+  std::string layer_name;
+  std::size_t m = 0;        // weight-vector length in elements
+  std::size_t n = 0;        // number of weight vectors (output channels)
+  std::size_t windows = 1;  // input vectors sharing this weight matrix
+  unsigned input_bits = 1;  // 1 = binary activations, 8 = first/last layers
+  unsigned weight_bits = 1; // 1 = binary weights, 8 = first/last layers
+  bool binary = true;       // true iff a hidden XNOR+Popcount layer
+
+  // Total XNOR (or AND, for multi-bit planes) bit operations.
+  [[nodiscard]] std::size_t bit_ops() const {
+    return m * n * windows * input_bits * weight_bits;
+  }
+};
+
+struct NetworkSpec {
+  std::string name;
+  std::string dataset;
+  std::vector<LayerSpec> layers;
+
+  // Crossbar-facing view: one workload per Dense/Conv2d layer, in order.
+  [[nodiscard]] std::vector<XnorWorkload> crossbar_workloads() const;
+
+  // Totals for reporting (table_networks bench).
+  [[nodiscard]] std::size_t binary_bit_ops() const;
+  [[nodiscard]] std::size_t int8_macs() const;
+  [[nodiscard]] std::size_t binary_param_bits() const;
+  [[nodiscard]] std::size_t int8_params() const;
+};
+
+// Builds the spec of an MLP `dims[0]-dims[1]-...-dims.back()` where the
+// first and last Dense layers are Int8 and all hidden ones Binary
+// (BatchNorm+Sign between Dense layers).
+[[nodiscard]] NetworkSpec make_mlp_spec(const std::string& name,
+                                        const std::vector<std::size_t>& dims);
+
+}  // namespace eb::bnn

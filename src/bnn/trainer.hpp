@@ -1,0 +1,78 @@
+// Straight-through-estimator (STE) trainer for binarized MLPs.
+//
+// Implements the two accuracy-preserving techniques the paper adopts from
+// BinaryConnect / XNOR-Net (section II-B):
+//   1. latent real-valued weights updated by SGD while the forward pass
+//      uses their sign (STE gradient, latent weights clipped to [-1,1]);
+//   2. first and last layers stay real-valued; hidden layers binarize both
+//      weights and activations (BatchNorm + Sign between layers).
+//
+// The trainer is deliberately self-contained (fixed MLP topology family)
+// rather than a general autograd: it exists to produce *real trained
+// weights* for the functional pipeline (reference engine vs crossbar-mapped
+// execution) and for the accuracy experiments in the examples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bnn/dataset.hpp"
+#include "bnn/network.hpp"
+#include "common/rng.hpp"
+
+namespace eb::bnn {
+
+struct TrainerConfig {
+  std::vector<std::size_t> dims;  // e.g. {784, 500, 250, 10}
+  std::size_t epochs = 5;
+  std::size_t batch_size = 32;
+  std::size_t train_samples = 2000;
+  double learning_rate = 0.01;
+  double bn_momentum = 0.9;  // running-stat update factor
+  std::uint64_t seed = 7;
+};
+
+struct TrainResult {
+  double final_train_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+class MlpTrainer {
+ public:
+  explicit MlpTrainer(TrainerConfig cfg);
+
+  // Trains on SyntheticMnist indices [0, cfg.train_samples).
+  TrainResult train(const SyntheticMnist& data);
+
+  // Accuracy of the *internal* model (deterministic inference path, i.e.
+  // binarized hidden layers + running BN stats) over the given index range.
+  [[nodiscard]] double evaluate(const SyntheticMnist& data, std::size_t start,
+                                std::size_t count) const;
+
+  // Exports the trained model as an inference Network (DenseLayer +
+  // BatchNormLayer + SignLayer + BinaryDenseLayer stack). The exported
+  // network's predictions bit-exactly match evaluate()'s.
+  [[nodiscard]] Network export_network(const std::string& name) const;
+
+ private:
+  struct LinearParams {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    bool binary = false;
+    std::vector<double> w;  // [out*in] latent weights
+    std::vector<double> b;  // [out], unused (zero) for binary layers
+  };
+  struct BnParams {
+    std::vector<double> gamma, beta, running_mean, running_var;
+  };
+
+  // Forward one sample through the deterministic inference path.
+  [[nodiscard]] std::vector<double> infer(const std::vector<double>& x) const;
+
+  TrainerConfig cfg_;
+  std::vector<LinearParams> linear_;  // dims.size()-1 layers
+  std::vector<BnParams> bn_;          // one per non-final linear layer
+  Rng rng_;
+};
+
+}  // namespace eb::bnn

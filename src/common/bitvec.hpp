@@ -1,0 +1,122 @@
+// Packed binary vectors.
+//
+// BNNs in this library use the {0,1} encoding (paper Eq. 1 notation: the
+// primed vectors In' and W'). A BitVec packs bits into 64-bit words and
+// provides the XNOR / popcount kernels that both the reference inference
+// engine and the mapping validators are built on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eb {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  // Vector of `n` bits, all cleared.
+  explicit BitVec(std::size_t n);
+
+  // Build from a 0/1 initializer, e.g. BitVec::from_bits({1,0,1,1}).
+  [[nodiscard]] static BitVec from_bits(const std::vector<int>& bits);
+
+  // Uniformly random vector of `n` bits.
+  [[nodiscard]] static BitVec random(std::size_t n, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+
+  // Number of set bits.
+  [[nodiscard]] std::size_t popcount() const;
+
+  // Bitwise complement (respects the logical size; padding stays zero).
+  [[nodiscard]] BitVec complemented() const;
+
+  // Concatenation: *this followed by `tail`. TacitMap drives crossbar rows
+  // with concat(x, ~x).
+  [[nodiscard]] BitVec concat(const BitVec& tail) const;
+
+  // Element-wise XNOR with an equal-length vector.
+  [[nodiscard]] BitVec xnor(const BitVec& other) const;
+
+  // Element-wise AND with an equal-length vector.
+  [[nodiscard]] BitVec and_with(const BitVec& other) const;
+
+  // popcount(this XNOR other) without materializing the intermediate.
+  // This is the BNN inner-product kernel of paper Eq. 1.
+  [[nodiscard]] std::size_t xnor_popcount(const BitVec& other) const;
+
+  // Signed BNN dot product over the +/-1 interpretation (paper Eq. 1):
+  //   dot = 2 * popcount(xnor) - length
+  [[nodiscard]] long long signed_dot(const BitVec& other) const;
+
+  // Sub-vector [begin, begin+len). Used by the crossbar partitioner to
+  // split long vectors into row segments.
+  [[nodiscard]] BitVec slice(std::size_t begin, std::size_t len) const;
+
+  // "0101..." rendering (LSB-first, index order).
+  [[nodiscard]] std::string to_string() const;
+
+  // Expand to a vector of 0/1 ints (slow path for tests / debugging).
+  [[nodiscard]] std::vector<int> to_bits() const;
+
+  // Expand to +1/-1 doubles (binarized-value interpretation).
+  [[nodiscard]] std::vector<double> to_signed() const;
+
+  [[nodiscard]] bool operator==(const BitVec& other) const;
+  [[nodiscard]] bool operator!=(const BitVec& other) const {
+    return !(*this == other);
+  }
+
+  // Raw packed words (read-only; last word is zero-padded).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+ private:
+  void mask_tail();
+  [[nodiscard]] static std::size_t word_count(std::size_t bits) {
+    return (bits + 63) / 64;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+// A list of equal-length BitVecs, e.g. the rows of a binary weight matrix
+// (one BitVec per output neuron) or an im2col window batch.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] static BitMatrix random(std::size_t rows, std::size_t cols,
+                                        Rng& rng);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] const BitVec& row(std::size_t r) const;
+  [[nodiscard]] BitVec& row(std::size_t r);
+
+  void set(std::size_t r, std::size_t c, bool v);
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const;
+
+  // XNOR+popcount of `x` against every row: out[r] = popcount(x XNOR row_r).
+  [[nodiscard]] std::vector<std::size_t> xnor_popcount_all(
+      const BitVec& x) const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<BitVec> rows_;
+};
+
+}  // namespace eb

@@ -1,0 +1,88 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace eb {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    // Skip google-benchmark style flags so binaries can share argv.
+    if (tok.rfind("--", 0) == 0) {
+      continue;
+    }
+    const auto eq = tok.find('=');
+    EB_REQUIRE(eq != std::string::npos && eq > 0,
+               "expected key=value argument, got: " + tok);
+    cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  EB_REQUIRE(end != nullptr && *end == '\0',
+             "config value for '" + key + "' is not an integer");
+  return v;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  EB_REQUIRE(end != nullptr && *end == '\0',
+             "config value for '" + key + "' is not a number");
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& s = it->second;
+  if (s == "1" || s == "true" || s == "yes" || s == "on") {
+    return true;
+  }
+  if (s == "0" || s == "false" || s == "no" || s == "off") {
+    return false;
+  }
+  EB_REQUIRE(false, "config value for '" + key + "' is not a bool");
+  return fallback;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace eb

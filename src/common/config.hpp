@@ -1,0 +1,40 @@
+// Lightweight key/value configuration.
+//
+// Benches and examples accept "key=value" overrides (from argv) so sweeps
+// can be scripted without recompiling. Values are stored as strings and
+// parsed on access with a typed getter + default.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eb {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses "key=value" tokens; unknown formats raise eb::Error.
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  // Sorted list of keys (for help / dump output).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace eb

@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace eb::detail {
+
+void raise(const char* kind, const char* cond, const char* file, int line,
+           const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " -- " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace eb::detail

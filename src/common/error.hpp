@@ -1,0 +1,45 @@
+// Error handling for the EinsteinBarrier library.
+//
+// Library code validates preconditions with EB_REQUIRE (always on) and
+// internal invariants with EB_ASSERT (also always on -- this is a research
+// simulator, correctness beats the last few percent of speed). Violations
+// throw eb::Error carrying file/line context so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eb {
+
+// Base exception for all library-raised errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise(const char* kind, const char* cond, const char* file,
+                        int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace eb
+
+// Precondition check: user-facing argument / state validation.
+#define EB_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::eb::detail::raise("precondition", #cond, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)
+
+// Internal invariant check.
+#define EB_ASSERT(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::eb::detail::raise("invariant", #cond, __FILE__, __LINE__, msg); \
+    }                                                                   \
+  } while (false)
+
+// Unreachable code marker.
+#define EB_UNREACHABLE(msg) \
+  ::eb::detail::raise("unreachable", "false", __FILE__, __LINE__, msg)

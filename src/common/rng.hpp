@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (device variability, noise models, synthetic
+// datasets, weight init) takes an eb::Rng by reference so experiments are
+// reproducible from a single seed. Rng wraps std::mt19937_64 with the small
+// set of distributions the library needs.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace eb {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xEB5EEDULL) : gen_(seed) {}
+
+  // Re-seed in place (e.g. per-test determinism).
+  void seed(std::uint64_t s) { gen_.seed(s); }
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  // Gaussian with the given mean / stddev.
+  [[nodiscard]] double gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  // Log-normal: exp(N(mu, sigma)). Used for device conductance spread.
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(gen_);
+  }
+
+  // Bernoulli coin with probability p of true.
+  [[nodiscard]] bool bernoulli(double p = 0.5) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  // Raw 64 random bits (for packed bit-vector generation).
+  [[nodiscard]] std::uint64_t bits64() { return gen_(); }
+
+  // Access to the underlying engine for std::shuffle et al.
+  [[nodiscard]] std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace eb

@@ -1,0 +1,85 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace eb {
+
+void StatAccumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double StatAccumulator::variance() const {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double StatAccumulator::min() const {
+  EB_REQUIRE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double StatAccumulator::max() const {
+  EB_REQUIRE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double arithmetic_mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : xs) {
+    s += x;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : xs) {
+    EB_REQUIRE(x > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  EB_REQUIRE(bins > 0, "histogram needs at least one bin");
+  EB_REQUIRE(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long long>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<long long>(idx, 0,
+                              static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  EB_REQUIRE(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+}  // namespace eb

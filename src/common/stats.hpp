@@ -1,0 +1,59 @@
+// Streaming statistics and the mean reductions used by the evaluation.
+//
+// Figure 7 / Figure 8 of the paper report per-network ratios plus an
+// "average" -- we print both the arithmetic and the geometric mean and
+// record which one lands in the paper's band (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eb {
+
+// Welford-style streaming accumulator.
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Arithmetic mean of a vector (empty -> 0).
+[[nodiscard]] double arithmetic_mean(const std::vector<double>& xs);
+
+// Geometric mean of a vector of positive values (empty -> 0).
+[[nodiscard]] double geometric_mean(const std::vector<double>& xs);
+
+// Simple fixed-width histogram over [lo, hi); out-of-range values clamp to
+// the edge bins. Used by the noise-model tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace eb

@@ -1,0 +1,36 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench/ binary prints its figure/table as rows of a Table so the
+// output is directly comparable with the paper (and diffable run-to-run).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  // Renders with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  // Comma-separated values (for EXPERIMENTS.md extraction).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eb

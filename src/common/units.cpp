@@ -1,0 +1,11 @@
+#include "common/units.hpp"
+
+#include <cmath>
+
+namespace eb {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+}  // namespace eb

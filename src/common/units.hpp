@@ -1,0 +1,58 @@
+// Unit conventions used throughout the EinsteinBarrier reproduction.
+//
+// All quantities are carried as plain `double` in a fixed canonical unit,
+// chosen so the common products need no conversion factors:
+//
+//   time    : nanoseconds  (ns)
+//   power   : milliwatts   (mW)
+//   energy  : picojoules   (pJ)      -- note 1 mW * 1 ns == 1 pJ
+//   area    : square micrometers (um^2)
+//   freq    : gigahertz    (GHz)     -- 1 GHz == 1 / ns
+//
+// Helper literals / factors convert from other units at the boundary.
+#pragma once
+
+namespace eb {
+
+// -- time ---------------------------------------------------------------
+inline constexpr double kNsPerUs = 1e3;
+inline constexpr double kNsPerMs = 1e6;
+inline constexpr double kNsPerS = 1e9;
+
+[[nodiscard]] constexpr double us_to_ns(double us) { return us * kNsPerUs; }
+[[nodiscard]] constexpr double ms_to_ns(double ms) { return ms * kNsPerMs; }
+[[nodiscard]] constexpr double s_to_ns(double s) { return s * kNsPerS; }
+[[nodiscard]] constexpr double ns_to_us(double ns) { return ns / kNsPerUs; }
+[[nodiscard]] constexpr double ns_to_ms(double ns) { return ns / kNsPerMs; }
+[[nodiscard]] constexpr double ns_to_s(double ns) { return ns / kNsPerS; }
+
+// -- energy -------------------------------------------------------------
+inline constexpr double kPjPerNj = 1e3;
+inline constexpr double kPjPerUj = 1e6;
+inline constexpr double kPjPerFj = 1e-3;
+
+[[nodiscard]] constexpr double nj_to_pj(double nj) { return nj * kPjPerNj; }
+[[nodiscard]] constexpr double uj_to_pj(double uj) { return uj * kPjPerUj; }
+[[nodiscard]] constexpr double fj_to_pj(double fj) { return fj * kPjPerFj; }
+[[nodiscard]] constexpr double pj_to_nj(double pj) { return pj / kPjPerNj; }
+[[nodiscard]] constexpr double pj_to_uj(double pj) { return pj / kPjPerUj; }
+
+// -- power --------------------------------------------------------------
+inline constexpr double kMwPerW = 1e3;
+inline constexpr double kMwPerUw = 1e-3;
+
+[[nodiscard]] constexpr double w_to_mw(double w) { return w * kMwPerW; }
+[[nodiscard]] constexpr double uw_to_mw(double uw) { return uw * kMwPerUw; }
+
+// Energy (pJ) dissipated by `power_mw` held for `time_ns`.
+[[nodiscard]] constexpr double static_energy_pj(double power_mw,
+                                                double time_ns) {
+  return power_mw * time_ns;
+}
+
+// -- optical ------------------------------------------------------------
+// Decibel helpers for optical link budgets (power ratios).
+[[nodiscard]] double db_to_linear(double db);
+[[nodiscard]] double linear_to_db(double ratio);
+
+}  // namespace eb

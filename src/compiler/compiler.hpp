@@ -1,0 +1,84 @@
+// Compiler: trained BNNs -> EinsteinBarrier programs.
+//
+// Lowers the binarized core of a Dense network (the hidden
+// BinaryDense + BatchNorm + Sign chain) onto the machine:
+//
+//  * each layer splits into column tiles (<= crossbar columns weight
+//    vectors) and m-chunks (<= rows/2 bits, so the [w ; ~w] stack fits);
+//    every column tile gets one ECore, every chunk one of its VCores;
+//  * BatchNorm + Sign pairs fold into per-neuron integer thresholds
+//    (SignV tables) -- the standard BNN deployment trick;
+//  * layers communicate through tile shared memory (StoreB / LoadB at
+//    compiler-assigned regions) with Send/Recv tokens enforcing
+//    producer->consumer ordering;
+//  * on optical machines, up to 4 input samples batch into MMM steps
+//    (WDM), demonstrating the paper's K-way parallelism on MLP inference.
+//
+// The higher-precision first/last layers run host-side in this functional
+// pipeline (their crossbar cost is charged by arch::CostModel; the
+// bit-plane ISA path they would use is exercised directly in
+// tests/test_arch). Conv networks are validated at the mapping level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "bnn/network.hpp"
+
+namespace eb::comp {
+
+struct CompiledLayerInfo {
+  std::size_t m = 0;              // input bits
+  std::size_t n = 0;              // output bits
+  std::size_t col_tiles = 0;      // ECores used
+  std::size_t chunks = 0;         // VCores per ECore
+  std::size_t in_region = 0;      // tile-memory address of the input bits
+  std::size_t out_region = 0;     // tile-memory address of the output bits
+};
+
+struct CompiledMlp {
+  arch::Program program;
+  std::size_t batch = 1;          // samples per run (WDM batching)
+  std::size_t input_bits = 0;     // bits per sample
+  std::size_t output_bits = 0;    // bits per sample
+  std::size_t input_region = 0;   // sample s at input_region + s*region_stride
+  std::size_t output_region = 0;
+  std::size_t region_stride = 0;
+  std::vector<CompiledLayerInfo> layers;
+};
+
+class MlpCompiler {
+ public:
+  explicit MlpCompiler(arch::MachineConfig cfg);
+
+  // Compiles the hidden binarized chain of `net`. `batch` > 1 requires an
+  // optical machine and batches samples into MMM steps (max 4).
+  [[nodiscard]] CompiledMlp compile(const bnn::Network& net,
+                                    std::size_t batch = 1) const;
+
+  [[nodiscard]] const arch::MachineConfig& machine_config() const {
+    return cfg_;
+  }
+
+ private:
+  arch::MachineConfig cfg_;
+};
+
+// Host-side harness around a compiled program: computes the first layers
+// up to the first Sign on the host, runs the machine over the binary
+// core, and finishes with the host-side output layer. Returns per-sample
+// class predictions plus the machine run statistics.
+struct MlpRun {
+  std::vector<std::size_t> predictions;
+  // Hidden-layer output bits per sample (for bit-exactness checks).
+  std::vector<BitVec> core_output_bits;
+  arch::RunResult stats;
+};
+
+[[nodiscard]] MlpRun run_mlp_on_machine(arch::Machine& machine,
+                                        const CompiledMlp& compiled,
+                                        const bnn::Network& net,
+                                        const std::vector<bnn::Tensor>& inputs);
+
+}  // namespace eb::comp

@@ -1,0 +1,93 @@
+// Composable read-noise models.
+//
+// The paper's motivation (section II-C, citing Cardoso DATE'23) is that
+// high-frequency readout in photonic CIM is noisy, and binary PCM states
+// tolerate that noise where multi-level states do not. These models feed
+// the crossbar read path and the multilevel-robustness ablation bench.
+//
+// Conventions: a NoiseModel perturbs an analog readout value `x` whose
+// full-scale range is `full_scale` (same unit as x). All draws go through
+// the caller-provided Rng for reproducibility.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eb::dev {
+
+class NoiseModel {
+ public:
+  virtual ~NoiseModel() = default;
+
+  // Returns the perturbed readout value.
+  [[nodiscard]] virtual double apply(double x, double full_scale,
+                                     Rng& rng) const = 0;
+};
+
+// No perturbation (ideal readout).
+class NoNoise final : public NoiseModel {
+ public:
+  [[nodiscard]] double apply(double x, double /*full_scale*/,
+                             Rng& /*rng*/) const override {
+    return x;
+  }
+};
+
+// Additive Gaussian noise with sigma expressed as a fraction of full scale
+// (e.g. 0.01 = 1% of full scale). The generic "read noise" knob.
+class GaussianReadNoise final : public NoiseModel {
+ public:
+  explicit GaussianReadNoise(double sigma_fraction);
+
+  [[nodiscard]] double apply(double x, double full_scale,
+                             Rng& rng) const override;
+
+  [[nodiscard]] double sigma_fraction() const { return sigma_fraction_; }
+
+ private:
+  double sigma_fraction_;
+};
+
+// Photodetector shot noise: variance proportional to the signal level,
+// sigma = k * sqrt(x * full_scale). Dominant at high optical readout rates.
+class ShotNoise final : public NoiseModel {
+ public:
+  explicit ShotNoise(double k);
+
+  [[nodiscard]] double apply(double x, double full_scale,
+                             Rng& rng) const override;
+
+ private:
+  double k_;
+};
+
+// TIA input-referred thermal (Johnson) noise: additive Gaussian with an
+// absolute sigma independent of the signal.
+class TiaThermalNoise final : public NoiseModel {
+ public:
+  explicit TiaThermalNoise(double sigma_abs);
+
+  [[nodiscard]] double apply(double x, double /*full_scale*/,
+                             Rng& rng) const override;
+
+ private:
+  double sigma_abs_;
+};
+
+// Sum of component noise sources applied in sequence.
+class CompositeNoise final : public NoiseModel {
+ public:
+  void add(std::unique_ptr<NoiseModel> m);
+
+  [[nodiscard]] double apply(double x, double full_scale,
+                             Rng& rng) const override;
+
+  [[nodiscard]] std::size_t components() const { return parts_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<NoiseModel>> parts_;
+};
+
+}  // namespace eb::dev

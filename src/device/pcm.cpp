@@ -1,0 +1,94 @@
+#include "device/pcm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace eb::dev {
+
+EpcmParams EpcmParams::ideal() { return EpcmParams{}; }
+
+EpcmParams EpcmParams::realistic() {
+  EpcmParams p;
+  p.sigma_program = 0.05;  // ~5% log-normal programming spread
+  p.drift_nu = 0.05;       // typical GST drift exponent
+  return p;
+}
+
+EpcmDevice::EpcmDevice(const EpcmParams& p) : params_(p) {
+  EB_REQUIRE(params_.levels >= 2, "device needs at least two levels");
+  EB_REQUIRE(params_.g_on_us > params_.g_off_us,
+             "ON conductance must exceed OFF");
+  programmed_g_us_ = params_.g_off_us;
+}
+
+double EpcmDevice::nominal_conductance(std::size_t level) const {
+  EB_REQUIRE(level < params_.levels, "level out of range");
+  const double frac = static_cast<double>(level) /
+                      static_cast<double>(params_.levels - 1);
+  return params_.g_off_us + frac * (params_.g_on_us - params_.g_off_us);
+}
+
+void EpcmDevice::program(std::size_t level, Rng& rng) {
+  const double nominal = nominal_conductance(level);
+  level_ = level;
+  if (params_.sigma_program > 0.0) {
+    programmed_g_us_ = nominal * rng.lognormal(0.0, params_.sigma_program);
+  } else {
+    programmed_g_us_ = nominal;
+  }
+}
+
+double EpcmDevice::conductance(double t_s) const {
+  if (params_.drift_nu <= 0.0 || t_s <= 0.0) {
+    return programmed_g_us_;
+  }
+  // Conductance drift: resistance grows as (t/t0)^nu, so G shrinks.
+  const double factor =
+      std::pow(std::max(t_s, 1e-9) / params_.t0_s, -params_.drift_nu);
+  return programmed_g_us_ * factor;
+}
+
+// ------------------------------------------------------------------------
+
+OpcmParams OpcmParams::ideal() { return OpcmParams{}; }
+
+OpcmParams OpcmParams::realistic() {
+  OpcmParams p;
+  p.sigma_program = 0.01;  // ~1% absolute transmission spread
+  return p;
+}
+
+OpcmDevice::OpcmDevice(const OpcmParams& p) : params_(p) {
+  EB_REQUIRE(params_.levels >= 2, "device needs at least two levels");
+  EB_REQUIRE(params_.t_amorphous > params_.t_crystalline,
+             "amorphous transmission must exceed crystalline");
+  EB_REQUIRE(params_.t_crystalline >= 0.0 && params_.t_amorphous <= 1.0,
+             "transmission must lie in [0,1]");
+  programmed_t_ = params_.t_crystalline;
+}
+
+double OpcmDevice::nominal_transmission(std::size_t level) const {
+  EB_REQUIRE(level < params_.levels, "level out of range");
+  const double frac = static_cast<double>(level) /
+                      static_cast<double>(params_.levels - 1);
+  return params_.t_crystalline +
+         frac * (params_.t_amorphous - params_.t_crystalline);
+}
+
+void OpcmDevice::program(std::size_t level, Rng& rng) {
+  double t = nominal_transmission(level);
+  level_ = level;
+  if (params_.sigma_program > 0.0) {
+    t += rng.gaussian(0.0, params_.sigma_program);
+  }
+  programmed_t_ = std::clamp(t, 0.0, 1.0);
+}
+
+double OpcmDevice::transmission() const {
+  return programmed_t_ * db_to_linear(-params_.insertion_loss_db);
+}
+
+}  // namespace eb::dev

@@ -1,0 +1,98 @@
+// Phase-change-memory device models.
+//
+// Two families, matching paper section II-C:
+//
+//  * EpcmDevice -- electronic PCM: the stored state maps to a conductance
+//    (read as current under a read voltage). Models programming levels,
+//    log-normal programming variability, and resistance drift
+//    G(t) = G0 * (t/t0)^-nu (Ielmini-style), both of which the paper cites
+//    as ePCM design burdens that oPCM avoids.
+//
+//  * OpcmDevice -- optical PCM cell on a waveguide: the stored state maps
+//    to an optical transmission factor in [0,1] (amorphous = transparent,
+//    crystalline = absorbing). Supports multi-level operation for the
+//    robustness ablation (Cardoso DATE'23): more levels => smaller level
+//    separation => more noise-sensitive. The paper's designs use it in
+//    binary mode.
+//
+// Both expose the same level-programming interface so the crossbar array
+// is generic over the device family.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace eb::dev {
+
+struct EpcmParams {
+  double g_on_us = 20.0;      // ON conductance, microsiemens
+  double g_off_us = 0.1;      // OFF conductance, microsiemens
+  double sigma_program = 0.0; // log-normal sigma of programmed conductance
+  double drift_nu = 0.0;      // drift exponent (0 = no drift)
+  double t0_s = 1.0;          // drift reference time, seconds
+  std::size_t levels = 2;     // programmable levels (2 = binary)
+
+  // MNEMOSENE-class characterization defaults (idealized: no variation).
+  [[nodiscard]] static EpcmParams ideal();
+  // With published-magnitude variability and drift enabled.
+  [[nodiscard]] static EpcmParams realistic();
+};
+
+class EpcmDevice {
+ public:
+  explicit EpcmDevice(const EpcmParams& p = EpcmParams::ideal());
+
+  // Program to a level in [0, levels-1]; level 0 = OFF, max = fully ON.
+  // Variability draws a fresh log-normal factor per programming event.
+  void program(std::size_t level, Rng& rng);
+
+  // Nominal (noise-free) conductance for a level, in microsiemens.
+  [[nodiscard]] double nominal_conductance(std::size_t level) const;
+
+  // Conductance at `t_s` seconds after programming (applies drift).
+  [[nodiscard]] double conductance(double t_s = 0.0) const;
+
+  [[nodiscard]] std::size_t level() const { return level_; }
+  [[nodiscard]] const EpcmParams& params() const { return params_; }
+
+ private:
+  EpcmParams params_;
+  std::size_t level_ = 0;
+  double programmed_g_us_ = 0.0;
+};
+
+struct OpcmParams {
+  double t_amorphous = 0.95;   // transmission in the fully amorphous state
+  double t_crystalline = 0.10; // transmission in the fully crystalline state
+  double insertion_loss_db = 0.5;  // fixed waveguide coupling loss
+  double sigma_program = 0.0;      // Gaussian sigma on programmed transmission
+  std::size_t levels = 2;
+
+  [[nodiscard]] static OpcmParams ideal();
+  [[nodiscard]] static OpcmParams realistic();
+};
+
+class OpcmDevice {
+ public:
+  explicit OpcmDevice(const OpcmParams& p = OpcmParams::ideal());
+
+  // Program to a level; level 0 = crystalline (low T), max = amorphous.
+  void program(std::size_t level, Rng& rng);
+
+  // Nominal transmission for a level (before insertion loss).
+  [[nodiscard]] double nominal_transmission(std::size_t level) const;
+
+  // Effective transmission including insertion loss.
+  [[nodiscard]] double transmission() const;
+
+  [[nodiscard]] std::size_t level() const { return level_; }
+  [[nodiscard]] const OpcmParams& params() const { return params_; }
+
+ private:
+  OpcmParams params_;
+  std::size_t level_ = 0;
+  double programmed_t_ = 0.0;
+};
+
+}  // namespace eb::dev

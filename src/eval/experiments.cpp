@@ -1,0 +1,147 @@
+#include "eval/experiments.hpp"
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace eb::eval {
+
+namespace {
+
+template <typename F>
+std::vector<double> collect(const std::vector<Fig7Row>& rows, F f) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) {
+    out.push_back(f(r));
+  }
+  return out;
+}
+
+template <typename F>
+std::vector<double> collect8(const std::vector<Fig8Row>& rows, F f) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) {
+    out.push_back(f(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> Fig7Result::tacit_speedups() const {
+  return collect(rows, [](const Fig7Row& r) { return r.tacit_speedup(); });
+}
+
+std::vector<double> Fig7Result::einstein_speedups() const {
+  return collect(rows, [](const Fig7Row& r) { return r.einstein_speedup(); });
+}
+
+std::vector<double> Fig7Result::gpu_speedups() const {
+  return collect(rows, [](const Fig7Row& r) { return r.gpu_speedup(); });
+}
+
+std::vector<double> Fig7Result::einstein_over_tacit() const {
+  return collect(rows,
+                 [](const Fig7Row& r) { return r.einstein_over_tacit(); });
+}
+
+std::vector<double> Fig8Result::tacit_normalized() const {
+  return collect8(rows, [](const Fig8Row& r) { return r.tacit_normalized(); });
+}
+
+std::vector<double> Fig8Result::einstein_normalized() const {
+  return collect8(rows,
+                  [](const Fig8Row& r) { return r.einstein_normalized(); });
+}
+
+std::vector<double> Fig8Result::tacit_over_einstein() const {
+  return collect8(rows,
+                  [](const Fig8Row& r) { return r.tacit_over_einstein(); });
+}
+
+Fig7Result run_fig7(const arch::TechParams& params,
+                    const std::vector<bnn::NetworkSpec>& nets) {
+  const arch::CostModel model(params);
+  Fig7Result result;
+  for (const auto& net : nets) {
+    Fig7Row row;
+    row.network = net.name;
+    row.baseline_ns =
+        model.evaluate(arch::Design::BaselineEpcm, net).latency_ns;
+    row.tacit_ns = model.evaluate(arch::Design::TacitEpcm, net).latency_ns;
+    row.einstein_ns =
+        model.evaluate(arch::Design::EinsteinBarrier, net).latency_ns;
+    row.gpu_ns = model.evaluate(arch::Design::BaselineGpu, net).latency_ns;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+Fig8Result run_fig8(const arch::TechParams& params,
+                    const std::vector<bnn::NetworkSpec>& nets) {
+  const arch::CostModel model(params);
+  Fig8Result result;
+  for (const auto& net : nets) {
+    Fig8Row row;
+    row.network = net.name;
+    row.baseline_pj =
+        model.evaluate(arch::Design::BaselineEpcm, net).energy_pj;
+    row.tacit_pj = model.evaluate(arch::Design::TacitEpcm, net).energy_pj;
+    row.einstein_pj =
+        model.evaluate(arch::Design::EinsteinBarrier, net).energy_pj;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+Table fig7_table(const Fig7Result& r) {
+  Table t({"network", "Baseline-ePCM (us)", "TacitMap-ePCM (us)",
+           "EinsteinBarrier (us)", "Baseline-GPU (us)", "TacitMap speedup",
+           "EinsteinBarrier speedup", "GPU speedup", "EB / TacitMap"});
+  for (const auto& row : r.rows) {
+    t.add_row({row.network, Table::num(ns_to_us(row.baseline_ns), 2),
+               Table::num(ns_to_us(row.tacit_ns), 3),
+               Table::num(ns_to_us(row.einstein_ns), 3),
+               Table::num(ns_to_us(row.gpu_ns), 2),
+               Table::num(row.tacit_speedup(), 1),
+               Table::num(row.einstein_speedup(), 1),
+               Table::num(row.gpu_speedup(), 2),
+               Table::num(row.einstein_over_tacit(), 1)});
+  }
+  return t;
+}
+
+Table fig8_table(const Fig8Result& r) {
+  Table t({"network", "Baseline-ePCM (nJ)", "TacitMap-ePCM (nJ)",
+           "EinsteinBarrier (nJ)", "TacitMap normalized",
+           "EinsteinBarrier normalized", "TacitMap / EB"});
+  for (const auto& row : r.rows) {
+    t.add_row({row.network, Table::num(pj_to_nj(row.baseline_pj), 1),
+               Table::num(pj_to_nj(row.tacit_pj), 1),
+               Table::num(pj_to_nj(row.einstein_pj), 1),
+               Table::num(row.tacit_normalized(), 2),
+               Table::num(row.einstein_normalized(), 2),
+               Table::num(row.tacit_over_einstein(), 2)});
+  }
+  return t;
+}
+
+Table layer_breakdown_table(const arch::CostModel& model, arch::Design design,
+                            const bnn::NetworkSpec& net) {
+  Table t({"layer", "latency (us)", "energy (nJ)", "passes", "batches",
+           "replicas"});
+  const auto cost = model.evaluate(design, net);
+  for (const auto& l : cost.layers) {
+    t.add_row({l.layer, Table::num(ns_to_us(l.latency_ns), 3),
+               Table::num(pj_to_nj(l.energy_pj), 2),
+               std::to_string(l.crossbar_passes),
+               std::to_string(l.window_batches),
+               std::to_string(l.replicas)});
+  }
+  t.add_row({"TOTAL", Table::num(ns_to_us(cost.latency_ns), 3),
+             Table::num(pj_to_nj(cost.energy_pj), 2), "-", "-", "-"});
+  return t;
+}
+
+}  // namespace eb::eval

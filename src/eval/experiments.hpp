@@ -1,0 +1,90 @@
+// Experiment drivers regenerating the paper's evaluation (section VI).
+//
+// Fig. 7: latency improvement of TacitMap-ePCM / EinsteinBarrier /
+//         Baseline-GPU over Baseline-ePCM, per network + averages.
+// Fig. 8: energy consumption of TacitMap-ePCM / EinsteinBarrier
+//         normalized to Baseline-ePCM, per network + averages.
+//
+// The drivers return structured results (benches render them as tables,
+// tests assert on the bands).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/cost_model.hpp"
+#include "arch/tech_params.hpp"
+#include "bnn/spec.hpp"
+#include "common/table.hpp"
+
+namespace eb::eval {
+
+struct Fig7Row {
+  std::string network;
+  double baseline_ns = 0.0;
+  double tacit_ns = 0.0;
+  double einstein_ns = 0.0;
+  double gpu_ns = 0.0;
+
+  [[nodiscard]] double tacit_speedup() const { return baseline_ns / tacit_ns; }
+  [[nodiscard]] double einstein_speedup() const {
+    return baseline_ns / einstein_ns;
+  }
+  [[nodiscard]] double gpu_speedup() const { return baseline_ns / gpu_ns; }
+  [[nodiscard]] double einstein_over_tacit() const {
+    return tacit_ns / einstein_ns;
+  }
+};
+
+struct Fig7Result {
+  std::vector<Fig7Row> rows;
+
+  [[nodiscard]] std::vector<double> tacit_speedups() const;
+  [[nodiscard]] std::vector<double> einstein_speedups() const;
+  [[nodiscard]] std::vector<double> gpu_speedups() const;
+  [[nodiscard]] std::vector<double> einstein_over_tacit() const;
+};
+
+struct Fig8Row {
+  std::string network;
+  double baseline_pj = 0.0;
+  double tacit_pj = 0.0;
+  double einstein_pj = 0.0;
+
+  // Normalized energy (paper Fig. 8 convention: > 1 means more energy
+  // than Baseline-ePCM).
+  [[nodiscard]] double tacit_normalized() const {
+    return tacit_pj / baseline_pj;
+  }
+  [[nodiscard]] double einstein_normalized() const {
+    return einstein_pj / baseline_pj;
+  }
+  [[nodiscard]] double tacit_over_einstein() const {
+    return tacit_pj / einstein_pj;
+  }
+};
+
+struct Fig8Result {
+  std::vector<Fig8Row> rows;
+
+  [[nodiscard]] std::vector<double> tacit_normalized() const;
+  [[nodiscard]] std::vector<double> einstein_normalized() const;
+  [[nodiscard]] std::vector<double> tacit_over_einstein() const;
+};
+
+[[nodiscard]] Fig7Result run_fig7(const arch::TechParams& params,
+                                  const std::vector<bnn::NetworkSpec>& nets);
+
+[[nodiscard]] Fig8Result run_fig8(const arch::TechParams& params,
+                                  const std::vector<bnn::NetworkSpec>& nets);
+
+// Rendering helpers shared by benches.
+[[nodiscard]] Table fig7_table(const Fig7Result& r);
+[[nodiscard]] Table fig8_table(const Fig8Result& r);
+
+// Per-layer breakdown of one network under one design (debug/ablation).
+[[nodiscard]] Table layer_breakdown_table(const arch::CostModel& model,
+                                          arch::Design design,
+                                          const bnn::NetworkSpec& net);
+
+}  // namespace eb::eval

@@ -1,0 +1,74 @@
+// CustBinaryMap -- the SotA baseline mapping (Hirtzlin et al. 2020; paper
+// Fig. 2-(a) / Fig. 3-(a)).
+//
+// Layout: weight vector W_j occupies *row* j of a 2T2R array, interleaved
+// bitwise with its complement: [w1 ~w1 w2 ~w2 ... wm ~wm]. The input is
+// applied on the bit-line pairs as (x, ~x); activating row j makes the
+// precharge sense amplifiers emit XNOR(x, W_j) one bit per column pair.
+// The popcount is then computed in digital logic: a 5-bit counter per
+// column chunk plus a tree-based global popcount across connected
+// crossbars.
+//
+// Consequences the paper builds on:
+//  * one row activation per weight vector => n sequential steps per input
+//    (TacitMap needs 1),
+//  * extra digital circuitry (counters + tree) on every readout,
+//  * a customized 2T2R cell + modified SA microarchitecture.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "device/noise.hpp"
+#include "device/pcm.hpp"
+#include "mapping/partitioner.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace eb::map {
+
+struct CustBinaryConfig {
+  std::size_t rows = 512;   // word lines per crossbar
+  std::size_t pairs = 256;  // 2T2R column pairs per crossbar (512 devices)
+  dev::EpcmParams device = dev::EpcmParams::ideal();
+  double v_read = 0.2;
+  std::size_t counter_bits = 5;  // local popcount counter width (paper)
+  std::uint64_t seed = 107;
+};
+
+class CustBinaryMap {
+ public:
+  CustBinaryMap(const BitMatrix& weights, CustBinaryConfig cfg);
+
+  // XNOR+Popcounts of one input vector against all n weight vectors via
+  // sequential row activation + digital popcount. Exact for ideal devices.
+  [[nodiscard]] std::vector<std::size_t> execute(
+      const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const;
+
+  // Row-activation steps execute() needs for one input vector (row groups
+  // on distinct crossbars run in parallel): max rows used in a crossbar.
+  [[nodiscard]] std::size_t steps_per_input() const {
+    return part_.steps_per_input();
+  }
+
+  [[nodiscard]] const CustPartition& partition() const { return part_; }
+  [[nodiscard]] const CustBinaryConfig& config() const { return cfg_; }
+
+ private:
+  // Digital reduction: 5-bit local counters over chunks, then a tree sum.
+  // Functionally a popcount; chunked to mirror the paper's circuit.
+  [[nodiscard]] std::size_t digital_popcount(const BitVec& bits) const;
+
+  CustBinaryConfig cfg_;
+  CustPartition part_;
+  // crossbars_[group * width_tiles + tile]
+  std::vector<std::unique_ptr<xbar::DifferentialCrossbar>> crossbars_;
+};
+
+// Interleaves a weight vector with its complement: [w1 ~w1 w2 ~w2 ...].
+// Exposed for layout tests.
+[[nodiscard]] BitVec cust_interleave(const BitVec& w);
+
+}  // namespace eb::map

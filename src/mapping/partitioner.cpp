@@ -1,0 +1,54 @@
+#include "mapping/partitioner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace eb::map {
+
+std::vector<Range> split_ranges(std::size_t total, std::size_t chunk) {
+  EB_REQUIRE(total >= 1, "cannot split an empty range");
+  EB_REQUIRE(chunk >= 1, "chunk must be positive");
+  std::vector<Range> out;
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    out.push_back(Range{begin, std::min(chunk, total - begin)});
+  }
+  return out;
+}
+
+TacitPartition TacitPartition::build(std::size_t m, std::size_t n,
+                                     xbar::CrossbarDims dims) {
+  EB_REQUIRE(m >= 1 && n >= 1, "task dims must be positive");
+  EB_REQUIRE(dims.rows >= 2, "TacitMap needs at least two rows (w and ~w)");
+  TacitPartition p;
+  p.m = m;
+  p.n = n;
+  p.dims = dims;
+  p.row_segments = split_ranges(2 * m, dims.rows);
+  p.col_tiles = split_ranges(n, dims.cols);
+  return p;
+}
+
+CustPartition CustPartition::build(std::size_t m, std::size_t n,
+                                   std::size_t rows, std::size_t pairs) {
+  EB_REQUIRE(m >= 1 && n >= 1, "task dims must be positive");
+  EB_REQUIRE(rows >= 1 && pairs >= 1, "crossbar dims must be positive");
+  CustPartition p;
+  p.m = m;
+  p.n = n;
+  p.rows = rows;
+  p.pairs = pairs;
+  p.row_groups = split_ranges(n, rows);
+  p.width_tiles = split_ranges(m, pairs);
+  return p;
+}
+
+std::size_t CustPartition::steps_per_input() const {
+  std::size_t longest = 0;
+  for (const auto& g : row_groups) {
+    longest = std::max(longest, g.length);
+  }
+  return longest;
+}
+
+}  // namespace eb::map

@@ -1,0 +1,161 @@
+#include "mapping/tacitmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace eb::map {
+
+BitVec tacit_column_stack(const BitVec& w) {
+  return w.concat(w.complemented());
+}
+
+BitVec tacit_row_drive(const BitVec& x) {
+  return x.concat(x.complemented());
+}
+
+// ------------------------------------------------------------ electrical --
+
+TacitMapElectrical::TacitMapElectrical(const BitMatrix& weights,
+                                       TacitElectricalConfig cfg)
+    : cfg_(cfg),
+      part_(TacitPartition::build(weights.cols(), weights.rows(), cfg.dims)) {
+  const std::size_t n_tiles = part_.col_tiles.size();
+  crossbars_.reserve(part_.crossbars());
+  for (std::size_t s = 0; s < part_.row_segments.size(); ++s) {
+    for (std::size_t t = 0; t < n_tiles; ++t) {
+      auto xb = std::make_unique<xbar::ElectricalCrossbar>(
+          cfg_.dims, cfg_.device,
+          cfg_.seed + s * n_tiles + t);
+      const Range seg = part_.row_segments[s];
+      const Range tile = part_.col_tiles[t];
+      for (std::size_t j = 0; j < tile.length; ++j) {
+        const BitVec stack =
+            tacit_column_stack(weights.row(tile.begin + j));
+        xb->program_column(j, stack.slice(seg.begin, seg.length));
+      }
+      crossbars_.push_back(std::move(xb));
+    }
+  }
+}
+
+std::vector<std::size_t> TacitMapElectrical::execute(
+    const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const {
+  EB_REQUIRE(x.size() == part_.m, "input length must match task m");
+  const BitVec drive = tacit_row_drive(x);
+  const std::size_t n_tiles = part_.col_tiles.size();
+  std::vector<std::size_t> out(part_.n, 0);
+
+  const double i_on = crossbars_.front()->on_current(cfg_.v_read);
+  const double i_off = crossbars_.front()->off_current(cfg_.v_read);
+  const xbar::Adc adc(cfg_.adc_bits,
+                      static_cast<double>(cfg_.dims.rows) * i_on);
+
+  for (std::size_t s = 0; s < part_.row_segments.size(); ++s) {
+    const Range seg = part_.row_segments[s];
+    const BitVec seg_drive = drive.slice(seg.begin, seg.length);
+    const std::size_t active = seg_drive.popcount();
+    for (std::size_t t = 0; t < n_tiles; ++t) {
+      const Range tile = part_.col_tiles[t];
+      const auto& xb = *crossbars_[s * n_tiles + t];
+      const auto currents =
+          xb.vmm_currents_bits(seg_drive, cfg_.v_read, noise, rng);
+      for (std::size_t j = 0; j < tile.length; ++j) {
+        // ADC conversion then digital calibration: the controller knows
+        // how many rows it activated, so it can subtract the OFF-current
+        // pedestal and divide by the ON/OFF contrast.
+        const double analog = adc.dequantize(adc.quantize(currents[j]));
+        const double n_on =
+            (analog - static_cast<double>(active) * i_off) / (i_on - i_off);
+        const double clamped =
+            std::clamp(n_on, 0.0, static_cast<double>(active));
+        out[tile.begin + j] +=
+            static_cast<std::size_t>(std::llround(clamped));
+      }
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- optical --
+
+TacitMapOptical::TacitMapOptical(const BitMatrix& weights,
+                                 TacitOpticalConfig cfg)
+    : cfg_(cfg),
+      part_(TacitPartition::build(weights.cols(), weights.rows(), cfg.dims)) {
+  EB_REQUIRE(cfg_.wdm_capacity >= 1, "WDM capacity must be >= 1");
+  const std::size_t n_tiles = part_.col_tiles.size();
+  crossbars_.reserve(part_.crossbars());
+  for (std::size_t s = 0; s < part_.row_segments.size(); ++s) {
+    for (std::size_t t = 0; t < n_tiles; ++t) {
+      auto xb = std::make_unique<xbar::OpticalCrossbar>(
+          cfg_.dims, cfg_.device, cfg_.seed + s * n_tiles + t);
+      const Range seg = part_.row_segments[s];
+      const Range tile = part_.col_tiles[t];
+      for (std::size_t j = 0; j < tile.length; ++j) {
+        const BitVec stack =
+            tacit_column_stack(weights.row(tile.begin + j));
+        xb->program_column(j, stack.slice(seg.begin, seg.length));
+      }
+      crossbars_.push_back(std::move(xb));
+    }
+  }
+}
+
+std::vector<std::vector<std::size_t>> TacitMapOptical::execute_wdm(
+    const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+    Rng& rng) const {
+  EB_REQUIRE(!inputs.empty(), "need at least one input vector");
+  EB_REQUIRE(inputs.size() <= cfg_.wdm_capacity,
+             "input batch exceeds WDM capacity");
+  for (const auto& x : inputs) {
+    EB_REQUIRE(x.size() == part_.m, "input length must match task m");
+  }
+
+  const std::size_t n_tiles = part_.col_tiles.size();
+  std::vector<std::vector<std::size_t>> out(
+      inputs.size(), std::vector<std::size_t>(part_.n, 0));
+
+  const phot::Transmitter tx(cfg_.tx, cfg_.wdm_capacity, cfg_.dims.rows);
+  const double p_ch = tx.channel_power_mw();
+  const double p_on = crossbars_.front()->on_power(p_ch);
+  const double p_off = crossbars_.front()->off_power(p_ch);
+
+  for (std::size_t s = 0; s < part_.row_segments.size(); ++s) {
+    const Range seg = part_.row_segments[s];
+    // Per-channel drives for this row segment.
+    std::vector<BitVec> seg_drives;
+    seg_drives.reserve(inputs.size());
+    std::size_t max_active = 1;
+    for (const auto& x : inputs) {
+      BitVec d = tacit_row_drive(x).slice(seg.begin, seg.length);
+      max_active = std::max(max_active, d.popcount());
+      seg_drives.push_back(std::move(d));
+    }
+    for (std::size_t t = 0; t < n_tiles; ++t) {
+      const Range tile = part_.col_tiles[t];
+      const auto& xb = *crossbars_[s * n_tiles + t];
+      const auto powers = xb.mmm_powers(seg_drives, p_ch, noise, rng);
+      for (std::size_t k = 0; k < seg_drives.size(); ++k) {
+        const std::size_t active = seg_drives[k].popcount();
+        if (active == 0) {
+          continue;  // segment contributes nothing for this input
+        }
+        const phot::Receiver rx(cfg_.rx, active, p_on, p_off);
+        for (std::size_t j = 0; j < tile.length; ++j) {
+          out[k][tile.begin + j] +=
+              rx.decode_popcount(powers[k][j], noise, rng);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> TacitMapOptical::execute(
+    const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const {
+  return execute_wdm({x}, noise, rng).front();
+}
+
+}  // namespace eb::map

@@ -1,0 +1,113 @@
+// TacitMap -- the paper's proposed data mapping (section III).
+//
+// Layout (Fig. 2-(b) / Fig. 3-(b)): weight vector W_j of length m occupies
+// *column* j as the 2m-bit stack [W_j ; ~W_j] on 1T1R cells. The input
+// drive is the concatenation [X ; ~X]. Since
+//
+//   popcount(X XNOR W) = X.W + ~X.~W          (0/1 dot products)
+//
+// one analog VMM step accumulates the full XNOR+Popcount of X against all
+// n weight columns at once, read out by the per-column ADCs -- no PCSA, no
+// digital popcount circuitry, and n results per step instead of 1.
+//
+// Two functional executors are provided:
+//  * TacitMapElectrical -- ePCM crossbars (TacitMap-ePCM configuration)
+//  * TacitMapOptical    -- oPCM crossbars + transmitter/receiver, with
+//    WDM MMM execution of up to K input vectors per step (EinsteinBarrier
+//    VCore behaviour)
+//
+// Both split oversize tasks with TacitPartition and accumulate partial
+// popcounts across row segments digitally (the ECore output-register adder
+// in the real design).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "device/noise.hpp"
+#include "device/pcm.hpp"
+#include "mapping/partitioner.hpp"
+#include "mapping/task.hpp"
+#include "photonics/receiver.hpp"
+#include "photonics/transmitter.hpp"
+#include "xbar/crossbar.hpp"
+#include "xbar/periph.hpp"
+
+namespace eb::map {
+
+struct TacitElectricalConfig {
+  xbar::CrossbarDims dims{512, 512};
+  dev::EpcmParams device = dev::EpcmParams::ideal();
+  double v_read = 0.2;      // volts
+  unsigned adc_bits = 10;   // >= log2(active rows + 1) for exact popcounts
+  std::uint64_t seed = 101;
+};
+
+class TacitMapElectrical {
+ public:
+  // Programs the task's weights into as many crossbars as the partition
+  // requires (row segments x column tiles).
+  TacitMapElectrical(const BitMatrix& weights, TacitElectricalConfig cfg);
+
+  // XNOR+Popcounts of one input vector against all n weight vectors:
+  // out[j] = popcount(x XNOR w_j). Exact for ideal devices / zero noise.
+  [[nodiscard]] std::vector<std::size_t> execute(
+      const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const;
+
+  [[nodiscard]] const TacitPartition& partition() const { return part_; }
+  [[nodiscard]] const TacitElectricalConfig& config() const { return cfg_; }
+
+  // Crossbar VMM passes one execute() performs (row segments run on
+  // distinct crossbars in parallel; this counts the sequential passes: 1).
+  [[nodiscard]] static constexpr std::size_t steps_per_input() { return 1; }
+
+ private:
+  TacitElectricalConfig cfg_;
+  TacitPartition part_;
+  // crossbars_[segment * col_tiles + tile]
+  std::vector<std::unique_ptr<xbar::ElectricalCrossbar>> crossbars_;
+};
+
+struct TacitOpticalConfig {
+  xbar::CrossbarDims dims{512, 512};
+  dev::OpcmParams device = dev::OpcmParams::ideal();
+  std::size_t wdm_capacity = 16;
+  phot::TransmitterParams tx = phot::TransmitterParams::defaults();
+  phot::ReceiverParams rx = phot::ReceiverParams::defaults();
+  std::uint64_t seed = 103;
+};
+
+class TacitMapOptical {
+ public:
+  TacitMapOptical(const BitMatrix& weights, TacitOpticalConfig cfg);
+
+  // WDM MMM: up to `wdm_capacity` input vectors in one crossbar pass.
+  // out[i][j] = popcount(inputs[i] XNOR w_j).
+  [[nodiscard]] std::vector<std::vector<std::size_t>> execute_wdm(
+      const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+      Rng& rng) const;
+
+  // Single-vector convenience.
+  [[nodiscard]] std::vector<std::size_t> execute(
+      const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const;
+
+  [[nodiscard]] const TacitPartition& partition() const { return part_; }
+  [[nodiscard]] const TacitOpticalConfig& config() const { return cfg_; }
+
+ private:
+  TacitOpticalConfig cfg_;
+  TacitPartition part_;
+  std::vector<std::unique_ptr<xbar::OpticalCrossbar>> crossbars_;
+};
+
+// Builds the [w ; ~w] column stack for a weight vector (layout primitive,
+// exposed for tests and the compiler's program generator).
+[[nodiscard]] BitVec tacit_column_stack(const BitVec& w);
+
+// Builds the [x ; ~x] row drive for an input vector.
+[[nodiscard]] BitVec tacit_row_drive(const BitVec& x);
+
+}  // namespace eb::map

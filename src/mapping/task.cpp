@@ -1,0 +1,31 @@
+#include "mapping/task.hpp"
+
+#include "common/error.hpp"
+
+namespace eb::map {
+
+std::vector<std::vector<std::size_t>> XnorPopcountTask::reference() const {
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(inputs.size());
+  for (const auto& x : inputs) {
+    EB_REQUIRE(x.size() == m(), "input length must match weight length");
+    out.push_back(weights.xnor_popcount_all(x));
+  }
+  return out;
+}
+
+XnorPopcountTask XnorPopcountTask::random(std::size_t m, std::size_t n,
+                                          std::size_t windows, Rng& rng,
+                                          std::string name) {
+  EB_REQUIRE(m >= 1 && n >= 1 && windows >= 1, "task dims must be positive");
+  XnorPopcountTask t;
+  t.name = std::move(name);
+  t.weights = BitMatrix::random(n, m, rng);
+  t.inputs.reserve(windows);
+  for (std::size_t i = 0; i < windows; ++i) {
+    t.inputs.push_back(BitVec::random(m, rng));
+  }
+  return t;
+}
+
+}  // namespace eb::map

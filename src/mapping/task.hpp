@@ -1,0 +1,37 @@
+// The workload unit both mappings consume.
+//
+// One XnorPopcountTask is "n binary weight vectors of length m, hit by a
+// set of input vectors" -- exactly what one binarized layer contributes
+// (dense layer: one input vector; conv layer: one input vector per im2col
+// window). The reference() method computes the gold XNOR+Popcount results
+// that every mapped execution must reproduce bit-exactly on ideal devices.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace eb::map {
+
+struct XnorPopcountTask {
+  std::string name;
+  BitMatrix weights;           // n rows, each of m bits
+  std::vector<BitVec> inputs;  // each of m bits
+
+  [[nodiscard]] std::size_t m() const { return weights.cols(); }
+  [[nodiscard]] std::size_t n() const { return weights.rows(); }
+  [[nodiscard]] std::size_t windows() const { return inputs.size(); }
+
+  // Gold results: out[i][j] = popcount(inputs[i] XNOR weights[j]).
+  [[nodiscard]] std::vector<std::vector<std::size_t>> reference() const;
+
+  // Random task for property tests / benches.
+  [[nodiscard]] static XnorPopcountTask random(std::size_t m, std::size_t n,
+                                               std::size_t windows, Rng& rng,
+                                               std::string name = "task");
+};
+
+}  // namespace eb::map

@@ -1,0 +1,97 @@
+#include "mapping/validator.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace eb::map {
+
+namespace {
+
+void accumulate(ValidationReport& rep,
+                const std::vector<std::size_t>& got,
+                const std::vector<std::size_t>& want) {
+  EB_ASSERT(got.size() == want.size(), "result width mismatch");
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    ++rep.total_outputs;
+    const long long err = static_cast<long long>(got[j]) -
+                          static_cast<long long>(want[j]);
+    if (err != 0) {
+      ++rep.mismatches;
+    }
+    rep.max_abs_error = std::max(rep.max_abs_error, std::llabs(err));
+    rep.mean_abs_error += static_cast<double>(std::llabs(err));
+  }
+}
+
+void finalize(ValidationReport& rep) {
+  if (rep.total_outputs > 0) {
+    rep.mean_abs_error /= static_cast<double>(rep.total_outputs);
+  }
+}
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  std::ostringstream os;
+  os << mismatches << "/" << total_outputs << " mismatched outputs"
+     << " (rate " << mismatch_rate() << ", max |err| " << max_abs_error
+     << ", mean |err| " << mean_abs_error << ")";
+  return os.str();
+}
+
+ValidationReport validate_tacit_electrical(const XnorPopcountTask& task,
+                                           const TacitElectricalConfig& cfg,
+                                           const dev::NoiseModel& noise,
+                                           Rng& rng) {
+  const TacitMapElectrical mapped(task.weights, cfg);
+  const auto gold = task.reference();
+  ValidationReport rep;
+  for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+    accumulate(rep, mapped.execute(task.inputs[i], noise, rng), gold[i]);
+  }
+  finalize(rep);
+  return rep;
+}
+
+ValidationReport validate_tacit_optical(const XnorPopcountTask& task,
+                                        const TacitOpticalConfig& cfg,
+                                        const dev::NoiseModel& noise,
+                                        Rng& rng) {
+  const TacitMapOptical mapped(task.weights, cfg);
+  const auto gold = task.reference();
+  ValidationReport rep;
+  // Execute in WDM batches of the configured capacity, as the hardware
+  // would.
+  std::size_t i = 0;
+  while (i < task.inputs.size()) {
+    const std::size_t batch =
+        std::min(cfg.wdm_capacity, task.inputs.size() - i);
+    const std::vector<BitVec> inputs(task.inputs.begin() + i,
+                                     task.inputs.begin() + i + batch);
+    const auto got = mapped.execute_wdm(inputs, noise, rng);
+    for (std::size_t k = 0; k < batch; ++k) {
+      accumulate(rep, got[k], gold[i + k]);
+    }
+    i += batch;
+  }
+  finalize(rep);
+  return rep;
+}
+
+ValidationReport validate_cust_binary(const XnorPopcountTask& task,
+                                      const CustBinaryConfig& cfg,
+                                      const dev::NoiseModel& noise,
+                                      Rng& rng) {
+  const CustBinaryMap mapped(task.weights, cfg);
+  const auto gold = task.reference();
+  ValidationReport rep;
+  for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+    accumulate(rep, mapped.execute(task.inputs[i], noise, rng), gold[i]);
+  }
+  finalize(rep);
+  return rep;
+}
+
+}  // namespace eb::map

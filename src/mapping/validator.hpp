@@ -1,0 +1,48 @@
+// Mapping validation: mapped execution vs the packed-kernel gold model.
+//
+// With ideal devices and zero noise every mapping must reproduce the
+// reference XNOR+Popcounts bit-exactly; with noise injected, the validator
+// reports an error-rate summary instead (used by the robustness ablation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hpp"
+#include "device/noise.hpp"
+#include "mapping/custbinarymap.hpp"
+#include "mapping/tacitmap.hpp"
+#include "mapping/task.hpp"
+
+namespace eb::map {
+
+struct ValidationReport {
+  std::size_t total_outputs = 0;
+  std::size_t mismatches = 0;
+  long long max_abs_error = 0;
+  double mean_abs_error = 0.0;
+
+  [[nodiscard]] bool exact() const { return mismatches == 0; }
+  [[nodiscard]] double mismatch_rate() const {
+    return total_outputs == 0
+               ? 0.0
+               : static_cast<double>(mismatches) /
+                     static_cast<double>(total_outputs);
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+// Runs every task input through the mapping and compares with reference().
+[[nodiscard]] ValidationReport validate_tacit_electrical(
+    const XnorPopcountTask& task, const TacitElectricalConfig& cfg,
+    const dev::NoiseModel& noise, Rng& rng);
+
+[[nodiscard]] ValidationReport validate_tacit_optical(
+    const XnorPopcountTask& task, const TacitOpticalConfig& cfg,
+    const dev::NoiseModel& noise, Rng& rng);
+
+[[nodiscard]] ValidationReport validate_cust_binary(
+    const XnorPopcountTask& task, const CustBinaryConfig& cfg,
+    const dev::NoiseModel& noise, Rng& rng);
+
+}  // namespace eb::map

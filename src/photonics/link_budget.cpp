@@ -1,0 +1,57 @@
+#include "photonics/link_budget.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace eb::phot {
+
+LinkBudget::LinkBudget(TransmitterParams tx, LinkBudgetParams params)
+    : tx_(tx), params_(params) {}
+
+LinkBudgetReport LinkBudget::evaluate(std::size_t k, std::size_t rows,
+                                      double t_on, double t_off) const {
+  EB_REQUIRE(k >= 1 && rows >= 1, "K and rows must be >= 1");
+  EB_REQUIRE(t_on > t_off && t_off >= 0.0 && t_on <= 1.0,
+             "transmissions must satisfy 0 <= t_off < t_on <= 1");
+
+  LinkBudgetReport rep;
+  const double optical_mw = tx_.laser_power_mw * tx_.laser_efficiency;
+  double p = optical_mw / static_cast<double>(k);  // per-channel split
+
+  rep.stages.push_back({"laser (per channel)", 0.0});
+  auto lose = [&](const std::string& name, double loss_db) {
+    p *= db_to_linear(-loss_db);
+    rep.stages.push_back({name, loss_db});
+  };
+  lose("frequency comb", tx_.comb_loss_db);
+  lose("dmux", tx_.mux_loss_db / 2.0);
+  lose("voa", tx_.voa_loss_db);
+  lose("mux", tx_.mux_loss_db / 2.0);
+  lose("waveguide routing", params_.waveguide_loss_db_per_stage);
+
+  rep.launch_power_mw = p;
+  rep.received_on_mw = p * t_on;
+  // Worst case: the decision between popcounts that differ by one cell,
+  // i.e. a signal of one (t_on - t_off) step.
+  rep.worst_case_signal_mw = p * (t_on - t_off);
+  rep.sensitivity_mw = params_.receiver_noise_floor_mw *
+                       db_to_linear(params_.required_snr_db);
+  rep.margin_db =
+      linear_to_db(rep.worst_case_signal_mw / rep.sensitivity_mw);
+  rep.feasible = rep.margin_db >= 0.0;
+  (void)rows;  // geometry reserved for future row-dependent crosstalk terms
+  return rep;
+}
+
+std::size_t LinkBudget::max_feasible_k(std::size_t k_max, std::size_t rows,
+                                       double t_on, double t_off) const {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    if (evaluate(k, rows, t_on, t_off).feasible) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace eb::phot

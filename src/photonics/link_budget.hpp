@@ -1,0 +1,60 @@
+// Optical link budget for an oPCM VCore.
+//
+// Walks the power from laser to photodiode through every lossy element and
+// checks that the worst-case column signal still clears the receiver
+// sensitivity with the requested SNR. Used by the design-space example to
+// bound feasible (K, rows) combinations -- the paper leaves this
+// exploration as future work (section VI-C), so this module implements it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "photonics/transmitter.hpp"
+
+namespace eb::phot {
+
+struct LinkStage {
+  std::string name;
+  double loss_db = 0.0;
+};
+
+struct LinkBudgetReport {
+  double launch_power_mw = 0.0;       // per channel, entering the chain
+  double received_on_mw = 0.0;        // single ON-cell column contribution
+  double worst_case_signal_mw = 0.0;  // one-LSB signal (single cell delta)
+  double sensitivity_mw = 0.0;        // receiver noise floor * SNR margin
+  double margin_db = 0.0;             // signal over sensitivity
+  bool feasible = false;
+  std::vector<LinkStage> stages;
+};
+
+struct LinkBudgetParams {
+  double receiver_noise_floor_mw = 1e-5;  // TIA input-referred
+  double required_snr_db = 10.0;
+  double waveguide_loss_db_per_stage = 0.2;
+
+  [[nodiscard]] static LinkBudgetParams defaults() { return {}; }
+};
+
+class LinkBudget {
+ public:
+  LinkBudget(TransmitterParams tx, LinkBudgetParams params);
+
+  // Evaluates the budget for a K-channel transmitter feeding `rows` rows,
+  // with oPCM on/off transmissions t_on/t_off.
+  [[nodiscard]] LinkBudgetReport evaluate(std::size_t k, std::size_t rows,
+                                          double t_on, double t_off) const;
+
+  // Largest WDM capacity (1..k_max) that stays feasible for the geometry.
+  [[nodiscard]] std::size_t max_feasible_k(std::size_t k_max,
+                                           std::size_t rows, double t_on,
+                                           double t_off) const;
+
+ private:
+  TransmitterParams tx_;
+  LinkBudgetParams params_;
+};
+
+}  // namespace eb::phot

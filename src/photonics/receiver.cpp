@@ -1,0 +1,62 @@
+#include "photonics/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "photonics/transmitter.hpp"
+
+namespace eb::phot {
+
+Receiver::Receiver(ReceiverParams params, std::size_t rows_spanned,
+                   double p_on, double p_off)
+    : params_(params),
+      rows_(rows_spanned),
+      p_on_(p_on),
+      p_off_(p_off),
+      adc_(params.adc_bits,
+           params.tia_gain * static_cast<double>(rows_spanned) *
+               std::max(p_on, 1e-12)) {
+  EB_REQUIRE(rows_ >= 1, "receiver must span at least one row");
+  EB_REQUIRE(p_on_ > p_off_, "ON power must exceed OFF power");
+  EB_REQUIRE(p_off_ >= 0.0, "OFF power must be non-negative");
+}
+
+std::size_t Receiver::decode_popcount(double power_mw,
+                                      const dev::NoiseModel& noise,
+                                      Rng& rng) const {
+  const xbar::Tia tia(params_.tia_gain, params_.tia_power_mw);
+  const double full_scale =
+      params_.tia_gain * static_cast<double>(rows_) * p_on_;
+  const double v = tia.convert(power_mw, noise, full_scale, rng);
+  const double analog = adc_.dequantize(adc_.quantize(v));
+  // Calibration: v = gain * (n_on * p_on + n_off * p_off) where
+  // n_on + n_off = active rows is unknown per column; but for TacitMap the
+  // total active-row count is constant (= rows_), so
+  //   n_on = (v/gain - rows*p_off) / (p_on - p_off).
+  const double n_on = (analog / params_.tia_gain -
+                       static_cast<double>(rows_) * p_off_) /
+                      (p_on_ - p_off_);
+  const double clamped =
+      std::clamp(n_on, 0.0, static_cast<double>(rows_));
+  return static_cast<std::size_t>(std::llround(clamped));
+}
+
+std::vector<std::vector<std::size_t>> Receiver::decode_frame(
+    const std::vector<std::vector<double>>& powers,
+    const dev::NoiseModel& noise, Rng& rng) const {
+  std::vector<std::vector<std::size_t>> out(powers.size());
+  for (std::size_t k = 0; k < powers.size(); ++k) {
+    out[k].reserve(powers[k].size());
+    for (double p : powers[k]) {
+      out[k].push_back(decode_popcount(p, noise, rng));
+    }
+  }
+  return out;
+}
+
+double Receiver::power_mw(std::size_t n_cols) const {
+  return crossbar_tia_power_mw(n_cols, params_.tia_power_mw);
+}
+
+}  // namespace eb::phot

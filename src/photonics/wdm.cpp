@@ -1,0 +1,47 @@
+#include "photonics/wdm.hpp"
+
+#include "common/error.hpp"
+
+namespace eb::phot {
+
+namespace {
+constexpr double kCenterThz = 193.4;       // ITU C-band anchor
+constexpr double kSpeedOfLightNmThz = 299792.458;  // c in nm*THz
+}  // namespace
+
+WavelengthGrid::WavelengthGrid(std::size_t channels, double spacing_ghz)
+    : channels_(channels), spacing_ghz_(spacing_ghz) {
+  EB_REQUIRE(channels >= 1, "grid needs at least one channel");
+  EB_REQUIRE(spacing_ghz > 0.0, "channel spacing must be positive");
+}
+
+double WavelengthGrid::frequency_thz(std::size_t ch) const {
+  EB_REQUIRE(ch < channels_, "channel out of range");
+  const double offset =
+      (static_cast<double>(ch) -
+       static_cast<double>(channels_ - 1) / 2.0) *
+      spacing_ghz_ / 1000.0;
+  return kCenterThz + offset;
+}
+
+double WavelengthGrid::wavelength_nm(std::size_t ch) const {
+  return kSpeedOfLightNmThz / frequency_thz(ch);
+}
+
+WdmFrame::WdmFrame(std::size_t row_span) : row_span_(row_span) {
+  EB_REQUIRE(row_span >= 1, "row span must be positive");
+}
+
+std::size_t WdmFrame::add_channel(BitVec bits) {
+  EB_REQUIRE(bits.size() == row_span_,
+             "channel drive must match the frame's row span");
+  inputs_.push_back(std::move(bits));
+  return inputs_.size() - 1;
+}
+
+const BitVec& WdmFrame::channel(std::size_t k) const {
+  EB_REQUIRE(k < inputs_.size(), "channel out of range");
+  return inputs_[k];
+}
+
+}  // namespace eb::phot

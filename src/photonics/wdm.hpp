@@ -1,0 +1,57 @@
+// Wavelength-division multiplexing primitives.
+//
+// The paper's EinsteinBarrier batches up to K = 16 input vectors into one
+// crossbar pass by carrying each vector on its own wavelength channel
+// (section IV-A2). WavelengthGrid describes the channel plan; WdmFrame is
+// the per-channel binary drive pattern handed to an OpticalCrossbar.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace eb::phot {
+
+// Paper: "Current technologies can support up to a capacity of K = 16".
+inline constexpr std::size_t kMaxWdmCapacityReported = 16;
+
+class WavelengthGrid {
+ public:
+  // `channels` DWDM channels spaced `spacing_ghz` apart around a
+  // 193.4 THz (1550 nm) center.
+  explicit WavelengthGrid(std::size_t channels, double spacing_ghz = 100.0);
+
+  [[nodiscard]] std::size_t channels() const { return channels_; }
+  [[nodiscard]] double spacing_ghz() const { return spacing_ghz_; }
+
+  // Channel center frequency in THz.
+  [[nodiscard]] double frequency_thz(std::size_t ch) const;
+  // Channel wavelength in nm (c / f).
+  [[nodiscard]] double wavelength_nm(std::size_t ch) const;
+
+ private:
+  std::size_t channels_;
+  double spacing_ghz_;
+};
+
+// One WDM time step: a binary row-drive per active wavelength channel.
+// All vectors must have equal length (the crossbar row span).
+class WdmFrame {
+ public:
+  explicit WdmFrame(std::size_t row_span);
+
+  // Adds a channel carrying `bits`; returns its channel index.
+  std::size_t add_channel(BitVec bits);
+
+  [[nodiscard]] std::size_t channels() const { return inputs_.size(); }
+  [[nodiscard]] std::size_t row_span() const { return row_span_; }
+  [[nodiscard]] const BitVec& channel(std::size_t k) const;
+  [[nodiscard]] const std::vector<BitVec>& all() const { return inputs_; }
+
+ private:
+  std::size_t row_span_;
+  std::vector<BitVec> inputs_;
+};
+
+}  // namespace eb::phot

@@ -1,0 +1,221 @@
+#include "xbar/crossbar.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "xbar/periph.hpp"
+
+namespace eb::xbar {
+
+// ------------------------------------------------------- ElectricalXbar --
+
+ElectricalCrossbar::ElectricalCrossbar(CrossbarDims dims,
+                                       dev::EpcmParams dev_params,
+                                       std::uint64_t seed)
+    : dims_(dims),
+      cells_(dims.cells(), dev::EpcmDevice(dev_params)),
+      rng_(seed) {
+  EB_REQUIRE(dims.rows > 0 && dims.cols > 0, "crossbar must be non-empty");
+}
+
+const dev::EpcmDevice& ElectricalCrossbar::cell(std::size_t r,
+                                                std::size_t c) const {
+  EB_REQUIRE(r < dims_.rows && c < dims_.cols, "cell index out of range");
+  return cells_[r * dims_.cols + c];
+}
+
+dev::EpcmDevice& ElectricalCrossbar::cell(std::size_t r, std::size_t c) {
+  EB_REQUIRE(r < dims_.rows && c < dims_.cols, "cell index out of range");
+  return cells_[r * dims_.cols + c];
+}
+
+void ElectricalCrossbar::program(std::size_t row, std::size_t col,
+                                 std::size_t level) {
+  cell(row, col).program(level, rng_);
+}
+
+void ElectricalCrossbar::program_column(std::size_t col, const BitVec& bits) {
+  EB_REQUIRE(bits.size() <= dims_.rows,
+             "bit vector longer than crossbar column");
+  for (std::size_t r = 0; r < bits.size(); ++r) {
+    program(r, col, bits.get(r) ? 1 : 0);
+  }
+  // Rows beyond the vector stay untouched (caller owns layout policy).
+}
+
+std::size_t ElectricalCrossbar::level_at(std::size_t row,
+                                         std::size_t col) const {
+  return cell(row, col).level();
+}
+
+std::vector<double> ElectricalCrossbar::vmm_currents(
+    const std::vector<double>& v_rows, const dev::NoiseModel& noise, Rng& rng,
+    double t_s) const {
+  EB_REQUIRE(v_rows.size() <= dims_.rows, "too many row voltages");
+  std::vector<double> out(dims_.cols, 0.0);
+  for (std::size_t r = 0; r < v_rows.size(); ++r) {
+    const double v = v_rows[r];
+    if (v == 0.0) {
+      continue;
+    }
+    const dev::EpcmDevice* row_cells = &cells_[r * dims_.cols];
+    for (std::size_t c = 0; c < dims_.cols; ++c) {
+      out[c] += v * row_cells[c].conductance(t_s);
+    }
+  }
+  const double full_scale =
+      static_cast<double>(dims_.rows) * on_current(1.0);
+  for (auto& i : out) {
+    i = noise.apply(i, full_scale, rng);
+  }
+  return out;
+}
+
+std::vector<double> ElectricalCrossbar::vmm_currents_bits(
+    const BitVec& active, double v_read, const dev::NoiseModel& noise,
+    Rng& rng, double t_s) const {
+  EB_REQUIRE(active.size() <= dims_.rows, "too many active rows");
+  std::vector<double> v(active.size(), 0.0);
+  for (std::size_t r = 0; r < active.size(); ++r) {
+    v[r] = active.get(r) ? v_read : 0.0;
+  }
+  return vmm_currents(v, noise, rng, t_s);
+}
+
+double ElectricalCrossbar::on_current(double v_read) const {
+  return v_read * cells_.front().params().g_on_us;
+}
+
+double ElectricalCrossbar::off_current(double v_read) const {
+  return v_read * cells_.front().params().g_off_us;
+}
+
+// --------------------------------------------------------- OpticalXbar --
+
+OpticalCrossbar::OpticalCrossbar(CrossbarDims dims, dev::OpcmParams dev_params,
+                                 std::uint64_t seed)
+    : dims_(dims),
+      cells_(dims.cells(), dev::OpcmDevice(dev_params)),
+      rng_(seed) {
+  EB_REQUIRE(dims.rows > 0 && dims.cols > 0, "crossbar must be non-empty");
+}
+
+const dev::OpcmDevice& OpticalCrossbar::cell(std::size_t r,
+                                             std::size_t c) const {
+  EB_REQUIRE(r < dims_.rows && c < dims_.cols, "cell index out of range");
+  return cells_[r * dims_.cols + c];
+}
+
+dev::OpcmDevice& OpticalCrossbar::cell(std::size_t r, std::size_t c) {
+  EB_REQUIRE(r < dims_.rows && c < dims_.cols, "cell index out of range");
+  return cells_[r * dims_.cols + c];
+}
+
+void OpticalCrossbar::program(std::size_t row, std::size_t col,
+                              std::size_t level) {
+  cell(row, col).program(level, rng_);
+}
+
+void OpticalCrossbar::program_column(std::size_t col, const BitVec& bits) {
+  EB_REQUIRE(bits.size() <= dims_.rows,
+             "bit vector longer than crossbar column");
+  for (std::size_t r = 0; r < bits.size(); ++r) {
+    program(r, col, bits.get(r) ? (cells_.front().params().levels - 1) : 0);
+  }
+}
+
+std::size_t OpticalCrossbar::level_at(std::size_t row, std::size_t col) const {
+  return cell(row, col).level();
+}
+
+std::vector<std::vector<double>> OpticalCrossbar::mmm_powers(
+    const std::vector<BitVec>& wavelength_inputs, double p_in_mw,
+    const dev::NoiseModel& noise, Rng& rng) const {
+  std::vector<std::vector<double>> out(wavelength_inputs.size());
+  const double full_scale =
+      static_cast<double>(dims_.rows) * on_power(p_in_mw);
+  for (std::size_t k = 0; k < wavelength_inputs.size(); ++k) {
+    const BitVec& input = wavelength_inputs[k];
+    EB_REQUIRE(input.size() <= dims_.rows, "too many active rows");
+    auto& cols = out[k];
+    cols.assign(dims_.cols, 0.0);
+    for (std::size_t r = 0; r < input.size(); ++r) {
+      if (!input.get(r)) {
+        continue;
+      }
+      const dev::OpcmDevice* row_cells = &cells_[r * dims_.cols];
+      for (std::size_t c = 0; c < dims_.cols; ++c) {
+        cols[c] += p_in_mw * row_cells[c].transmission();
+      }
+    }
+    for (auto& p : cols) {
+      p = noise.apply(p, full_scale, rng);
+    }
+  }
+  return out;
+}
+
+std::vector<double> OpticalCrossbar::vmm_powers(const BitVec& input,
+                                                double p_in_mw,
+                                                const dev::NoiseModel& noise,
+                                                Rng& rng) const {
+  return mmm_powers({input}, p_in_mw, noise, rng).front();
+}
+
+double OpticalCrossbar::on_power(double p_in_mw) const {
+  const auto& p = cells_.front().params();
+  return p_in_mw * p.t_amorphous * db_to_linear(-p.insertion_loss_db);
+}
+
+double OpticalCrossbar::off_power(double p_in_mw) const {
+  const auto& p = cells_.front().params();
+  return p_in_mw * p.t_crystalline * db_to_linear(-p.insertion_loss_db);
+}
+
+// ----------------------------------------------------- DifferentialXbar --
+
+DifferentialCrossbar::DifferentialCrossbar(std::size_t rows, std::size_t pairs,
+                                           dev::EpcmParams dev_params,
+                                           std::uint64_t seed)
+    : rows_(rows),
+      pairs_(pairs),
+      devices_(rows * pairs * 2, dev::EpcmDevice(dev_params)),
+      rng_(seed) {
+  EB_REQUIRE(rows > 0 && pairs > 0, "crossbar must be non-empty");
+}
+
+void DifferentialCrossbar::program_pair(std::size_t row, std::size_t pair,
+                                        bool w) {
+  EB_REQUIRE(row < rows_ && pair < pairs_, "pair index out of range");
+  auto& plus = devices_[(row * pairs_ + pair) * 2];
+  auto& minus = devices_[(row * pairs_ + pair) * 2 + 1];
+  plus.program(w ? 1 : 0, rng_);
+  minus.program(w ? 0 : 1, rng_);
+}
+
+BitVec DifferentialCrossbar::read_row_xnor(std::size_t row, const BitVec& x,
+                                           double v_read,
+                                           const dev::NoiseModel& noise,
+                                           Rng& rng) const {
+  EB_REQUIRE(row < rows_, "row out of range");
+  EB_REQUIRE(x.size() <= pairs_, "input wider than pair count");
+  const auto& params = devices_.front().params();
+  const double i_on = v_read * params.g_on_us;
+  const double i_off = v_read * params.g_off_us;
+  const double i_ref = 0.5 * (i_on + i_off);
+  const PrechargeSenseAmp pcsa;
+
+  BitVec out(x.size());
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    const auto& dev_w = devices_[(row * pairs_ + p) * 2];
+    const auto& dev_wb = devices_[(row * pairs_ + p) * 2 + 1];
+    // Complementary bit-line drive: x selects the w branch, ~x the ~w
+    // branch; the summed pair current is high iff XNOR(x, w) = 1.
+    const double i = (x.get(p) ? v_read : 0.0) * dev_w.conductance() +
+                     (x.get(p) ? 0.0 : v_read) * dev_wb.conductance();
+    const double i_noisy = noise.apply(i, i_on, rng);
+    out.set(p, pcsa.sense(i_noisy, i_ref, i_on, rng));
+  }
+  return out;
+}
+
+}  // namespace eb::xbar

@@ -1,0 +1,149 @@
+// Functional crossbar array models.
+//
+//  * ElectricalCrossbar -- 1T1R memristive array (ePCM/ReRAM class).
+//    Cells hold EpcmDevice conductances; an analog VMM accumulates
+//    I_col = sum_rows V_row * G(row,col) per Kirchhoff/Ohm (paper Fig. 1).
+//
+//  * OpticalCrossbar -- oPCM array on a photonic mesh. Cells hold
+//    OpcmDevice transmissions; each wavelength channel propagates
+//    independently, so K wavelength inputs produce K independent column
+//    sums in one pass -- the physical basis of the paper's WDM MMM
+//    (Fig. 5-(b)).
+//
+// These are *functional* models: they compute values (with optional device
+// variability and read noise). Latency/energy live in arch::TechParams and
+// the mapping/compiler cost models, keeping physics and accounting
+// separable and testable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "device/noise.hpp"
+#include "device/pcm.hpp"
+
+namespace eb::xbar {
+
+struct CrossbarDims {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  [[nodiscard]] std::size_t cells() const { return rows * cols; }
+};
+
+class ElectricalCrossbar {
+ public:
+  ElectricalCrossbar(CrossbarDims dims, dev::EpcmParams dev_params,
+                     std::uint64_t seed = 11);
+
+  [[nodiscard]] const CrossbarDims& dims() const { return dims_; }
+
+  // Program one cell to a device level (0 = OFF).
+  void program(std::size_t row, std::size_t col, std::size_t level);
+
+  // Program a whole column from a bit vector (bit -> ON level).
+  void program_column(std::size_t col, const BitVec& bits);
+
+  [[nodiscard]] std::size_t level_at(std::size_t row, std::size_t col) const;
+
+  // Analog VMM: `v_rows` volts on each row; returns per-column currents in
+  // microamps (uS * V). `t_s` = seconds since programming (drift).
+  [[nodiscard]] std::vector<double> vmm_currents(
+      const std::vector<double>& v_rows, const dev::NoiseModel& noise,
+      Rng& rng, double t_s = 0.0) const;
+
+  // Binary-input VMM: active rows driven at v_read volts, others at 0.
+  // `active` may be shorter than rows(); missing rows are inactive.
+  [[nodiscard]] std::vector<double> vmm_currents_bits(
+      const BitVec& active, double v_read, const dev::NoiseModel& noise,
+      Rng& rng, double t_s = 0.0) const;
+
+  // Current a single fully-ON cell contributes at v_read (for full-scale
+  // and calibration computations).
+  [[nodiscard]] double on_current(double v_read) const;
+  [[nodiscard]] double off_current(double v_read) const;
+
+ private:
+  [[nodiscard]] const dev::EpcmDevice& cell(std::size_t r,
+                                            std::size_t c) const;
+  [[nodiscard]] dev::EpcmDevice& cell(std::size_t r, std::size_t c);
+
+  CrossbarDims dims_;
+  std::vector<dev::EpcmDevice> cells_;
+  Rng rng_;  // programming-variability draws
+};
+
+class OpticalCrossbar {
+ public:
+  OpticalCrossbar(CrossbarDims dims, dev::OpcmParams dev_params,
+                  std::uint64_t seed = 13);
+
+  [[nodiscard]] const CrossbarDims& dims() const { return dims_; }
+
+  void program(std::size_t row, std::size_t col, std::size_t level);
+  void program_column(std::size_t col, const BitVec& bits);
+
+  [[nodiscard]] std::size_t level_at(std::size_t row, std::size_t col) const;
+
+  // WDM matrix-matrix multiply: `wavelength_inputs[k]` is the binary row
+  // drive for wavelength k (active row carries p_in_mw of optical power on
+  // that channel). Returns out[k][col] = received power per channel and
+  // column. Channels are physically independent (linear medium).
+  [[nodiscard]] std::vector<std::vector<double>> mmm_powers(
+      const std::vector<BitVec>& wavelength_inputs, double p_in_mw,
+      const dev::NoiseModel& noise, Rng& rng) const;
+
+  // Single-wavelength convenience (a VMM).
+  [[nodiscard]] std::vector<double> vmm_powers(const BitVec& input,
+                                               double p_in_mw,
+                                               const dev::NoiseModel& noise,
+                                               Rng& rng) const;
+
+  // Received power from a single amorphous (transparent) cell at p_in.
+  [[nodiscard]] double on_power(double p_in_mw) const;
+  [[nodiscard]] double off_power(double p_in_mw) const;
+
+ private:
+  [[nodiscard]] const dev::OpcmDevice& cell(std::size_t r,
+                                            std::size_t c) const;
+  [[nodiscard]] dev::OpcmDevice& cell(std::size_t r, std::size_t c);
+
+  CrossbarDims dims_;
+  std::vector<dev::OpcmDevice> cells_;
+  Rng rng_;
+};
+
+// A 2T2R differential array as used by CustBinaryMap (paper Fig. 2-(a)).
+// Each logical cell stores a (w, ~w) device pair; a read drives one row
+// with the interleaved input (x, ~x) pattern on the bit-line pairs and the
+// PCSA emits one XNOR bit per pair.
+class DifferentialCrossbar {
+ public:
+  // `pairs` logical columns (2*pairs physical devices per row).
+  DifferentialCrossbar(std::size_t rows, std::size_t pairs,
+                       dev::EpcmParams dev_params, std::uint64_t seed = 17);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t pairs() const { return pairs_; }
+
+  // Store weight bit `w` at (row, pair): programs the pair (w, ~w).
+  void program_pair(std::size_t row, std::size_t pair, bool w);
+
+  // Activate `row` with input bits x (one per pair, interleaved with the
+  // complement on the paired bit line); returns the PCSA output bits,
+  // which equal XNOR(x, w) per pair for ideal devices.
+  [[nodiscard]] BitVec read_row_xnor(std::size_t row, const BitVec& x,
+                                     double v_read,
+                                     const dev::NoiseModel& noise,
+                                     Rng& rng) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t pairs_;
+  std::vector<dev::EpcmDevice> devices_;  // [row][pair][branch]
+  Rng rng_;
+};
+
+}  // namespace eb::xbar

@@ -1,0 +1,67 @@
+#include "xbar/periph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace eb::xbar {
+
+Adc::Adc(unsigned bits, double full_scale)
+    : bits_(bits), full_scale_(full_scale) {
+  EB_REQUIRE(bits >= 1 && bits <= 24, "ADC resolution out of range");
+  EB_REQUIRE(full_scale > 0.0, "ADC full scale must be positive");
+  max_code_ = (std::size_t{1} << bits) - 1;
+  lsb_ = full_scale_ / static_cast<double>(max_code_);
+}
+
+std::size_t Adc::quantize(double x) const {
+  const double code = std::round(x / lsb_);
+  if (code <= 0.0) {
+    return 0;
+  }
+  if (code >= static_cast<double>(max_code_)) {
+    return max_code_;
+  }
+  return static_cast<std::size_t>(code);
+}
+
+double Adc::dequantize(std::size_t code) const {
+  EB_REQUIRE(code <= max_code_, "ADC code out of range");
+  return static_cast<double>(code) * lsb_;
+}
+
+unsigned Adc::bits_for_levels(std::size_t levels) {
+  EB_REQUIRE(levels >= 2, "need at least two levels");
+  unsigned bits = 1;
+  while ((std::size_t{1} << bits) < levels) {
+    ++bits;
+  }
+  return bits;
+}
+
+PrechargeSenseAmp::PrechargeSenseAmp(double offset_sigma_fraction)
+    : offset_sigma_fraction_(offset_sigma_fraction) {
+  EB_REQUIRE(offset_sigma_fraction >= 0.0, "offset sigma must be >= 0");
+}
+
+bool PrechargeSenseAmp::sense(double i_plus, double i_minus,
+                              double full_scale, Rng& rng) const {
+  double diff = i_plus - i_minus;
+  if (offset_sigma_fraction_ > 0.0) {
+    diff += rng.gaussian(0.0, offset_sigma_fraction_ * full_scale);
+  }
+  return diff > 0.0;
+}
+
+Tia::Tia(double gain, double power_mw) : gain_(gain), power_mw_(power_mw) {
+  EB_REQUIRE(gain > 0.0, "TIA gain must be positive");
+  EB_REQUIRE(power_mw >= 0.0, "TIA power must be non-negative");
+}
+
+double Tia::convert(double input, const dev::NoiseModel& noise,
+                    double full_scale, Rng& rng) const {
+  return gain_ * noise.apply(input, full_scale, rng);
+}
+
+}  // namespace eb::xbar

@@ -1,0 +1,78 @@
+// Crossbar read-out peripherals.
+//
+//  * Adc  -- uniform quantizer. TacitMap reads whole-column popcounts
+//            through ADCs (paper Fig. 2-(b)); the resolution needed to
+//            recover an exact popcount over R active rows is
+//            ceil(log2(R+1)) bits.
+//  * PrechargeSenseAmp -- the modified differential SA CustBinaryMap uses
+//            on 2T2R cell pairs (paper Fig. 2-(a)): senses which branch of
+//            a complementary pair conducts and emits one XNOR bit.
+//  * Tia  -- transimpedance amplifier converting photodiode current to
+//            voltage ahead of the ADC in the oPCM receiver; paper Eq. 2
+//            charges 2 mW per column for these.
+#pragma once
+
+#include <cstddef>
+
+#include "device/noise.hpp"
+#include "common/rng.hpp"
+
+namespace eb::xbar {
+
+class Adc {
+ public:
+  // `bits` of resolution over [0, full_scale].
+  Adc(unsigned bits, double full_scale);
+
+  // Quantize an analog value to a code in [0, 2^bits - 1] (clamping).
+  [[nodiscard]] std::size_t quantize(double x) const;
+
+  // Analog value a code represents (code * LSB).
+  [[nodiscard]] double dequantize(std::size_t code) const;
+
+  [[nodiscard]] unsigned bits() const { return bits_; }
+  [[nodiscard]] double full_scale() const { return full_scale_; }
+  [[nodiscard]] double lsb() const { return lsb_; }
+
+  // Minimum resolution that distinguishes `levels` uniformly spaced values
+  // over full scale (e.g. levels = rows+1 for an exact popcount).
+  [[nodiscard]] static unsigned bits_for_levels(std::size_t levels);
+
+ private:
+  unsigned bits_;
+  double full_scale_;
+  double lsb_;
+  std::size_t max_code_;
+};
+
+class PrechargeSenseAmp {
+ public:
+  // Input-referred offset sigma as a fraction of the differential full
+  // scale (0 = ideal comparator).
+  explicit PrechargeSenseAmp(double offset_sigma_fraction = 0.0);
+
+  // True iff the plus branch conducts more than the minus branch.
+  [[nodiscard]] bool sense(double i_plus, double i_minus, double full_scale,
+                           Rng& rng) const;
+
+ private:
+  double offset_sigma_fraction_;
+};
+
+class Tia {
+ public:
+  // gain in volts per unit input; power per paper Eq. 2 (2 mW each).
+  explicit Tia(double gain = 1.0, double power_mw = 2.0);
+
+  [[nodiscard]] double convert(double input, const dev::NoiseModel& noise,
+                               double full_scale, Rng& rng) const;
+
+  [[nodiscard]] double power_mw() const { return power_mw_; }
+  [[nodiscard]] double gain() const { return gain_; }
+
+ private:
+  double gain_;
+  double power_mw_;
+};
+
+}  // namespace eb::xbar

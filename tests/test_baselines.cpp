@@ -1,0 +1,115 @@
+// Tests for eb::base -- Baseline-ePCM engine and the GPU roofline model.
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.hpp"
+#include "baselines/baseline_epcm.hpp"
+#include "baselines/gpu_model.hpp"
+#include "bnn/dataset.hpp"
+#include "bnn/model_zoo.hpp"
+#include "bnn/trainer.hpp"
+
+namespace eb::base {
+namespace {
+
+const bnn::Network& trained_net() {
+  static const bnn::Network net = [] {
+    bnn::TrainerConfig cfg;
+    cfg.dims = {784, 96, 64, 10};
+    cfg.epochs = 2;
+    cfg.train_samples = 300;
+    bnn::MlpTrainer trainer(cfg);
+    bnn::SyntheticMnist data(42);
+    trainer.train(data);
+    return trainer.export_network("baseline-mlp");
+  }();
+  return net;
+}
+
+TEST(BaselineEpcm, PredictionsMatchReferenceNetwork) {
+  // Paper section V-C: the mapping does not change accuracy -- the
+  // baseline design computes the same XNOR+Popcounts, just slowly.
+  const bnn::Network& net = trained_net();
+  const BaselineEpcmEngine engine(net, map::CustBinaryConfig{},
+                                  arch::TechParams::paper_defaults());
+  bnn::SyntheticMnist data(42);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const bnn::Sample s = data.sample(9000 + i);
+    const BaselineRun run = engine.run(s.image);
+    EXPECT_EQ(run.predictions[0], net.predict(s.image)) << "sample " << i;
+  }
+}
+
+TEST(BaselineEpcm, RowActivationsEqualHiddenOutputCount) {
+  const bnn::Network& net = trained_net();
+  const BaselineEpcmEngine engine(net, map::CustBinaryConfig{},
+                                  arch::TechParams::paper_defaults());
+  bnn::SyntheticMnist data(42);
+  const BaselineRun run = engine.run(data.sample(100).image);
+  // One hidden layer 96 -> 64: CustBinaryMap activates one row per weight
+  // vector (the n-step cost of paper Fig. 3-(a)).
+  EXPECT_EQ(run.row_activations, 64u);
+}
+
+TEST(BaselineEpcm, ModeledCostIsPositiveAndBaselineSlow) {
+  const bnn::Network& net = trained_net();
+  const BaselineEpcmEngine engine(net, map::CustBinaryConfig{},
+                                  arch::TechParams::paper_defaults());
+  bnn::SyntheticMnist data(42);
+  const BaselineRun run = engine.run(data.sample(0).image);
+  EXPECT_GT(run.modeled_latency_ns, 0.0);
+  EXPECT_GT(run.modeled_energy_pj, 0.0);
+  const arch::CostModel model(arch::TechParams::paper_defaults());
+  EXPECT_DOUBLE_EQ(
+      run.modeled_latency_ns,
+      model.evaluate(arch::Design::BaselineEpcm, net.spec()).latency_ns);
+}
+
+TEST(GpuModel, AgreesWithCostModelAggregate) {
+  const GpuModel gpu(arch::TechParams::paper_defaults());
+  for (const auto& net : bnn::mlbench_specs()) {
+    const GpuNetworkCost detailed = gpu.evaluate(net);
+    EXPECT_NEAR(detailed.total_ns, gpu.total_latency_ns(net),
+                1e-6 * detailed.total_ns)
+        << net.name;
+  }
+}
+
+TEST(GpuModel, SmallConvHitsEfficiencyFloor) {
+  const GpuModel gpu(arch::TechParams::paper_defaults());
+  const auto cnn1 = gpu.evaluate(bnn::cnn1_spec());
+  bool any_floor = false;
+  for (const auto& l : cnn1.layers) {
+    any_floor = any_floor || l.floor_applied;
+  }
+  EXPECT_TRUE(any_floor) << "CNN-1's small conv should be floor-limited";
+}
+
+TEST(GpuModel, LargeMlpIsMemoryBound) {
+  const GpuModel gpu(arch::TechParams::paper_defaults());
+  const auto mlp = gpu.evaluate(bnn::mlp_l_spec());
+  // The big first layer streams ~1.2 MB of int8 weights: memory term
+  // dominates compute at batch 1.
+  const auto& first = mlp.layers.front();
+  EXPECT_GT(first.memory_ns, first.compute_ns);
+}
+
+TEST(GpuModel, PaperCrossoverDirections) {
+  // Fig. 7 point 4: Baseline-ePCM beats the GPU on the first CNN but
+  // loses by an order of magnitude on MLP-L.
+  const arch::CostModel model(arch::TechParams::paper_defaults());
+  const auto cnn1 = bnn::cnn1_spec();
+  const auto mlp_l = bnn::mlp_l_spec();
+  const double cnn1_base =
+      model.evaluate(arch::Design::BaselineEpcm, cnn1).latency_ns;
+  const double cnn1_gpu =
+      model.evaluate(arch::Design::BaselineGpu, cnn1).latency_ns;
+  const double mlp_base =
+      model.evaluate(arch::Design::BaselineEpcm, mlp_l).latency_ns;
+  const double mlp_gpu =
+      model.evaluate(arch::Design::BaselineGpu, mlp_l).latency_ns;
+  EXPECT_GT(cnn1_gpu, cnn1_base);        // GPU slower on the small CNN
+  EXPECT_GT(mlp_base / mlp_gpu, 10.0);   // GPU ~an order faster on MLP-L
+}
+
+}  // namespace
+}  // namespace eb::base

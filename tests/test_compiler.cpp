@@ -1,0 +1,171 @@
+// Tests for eb::comp -- compiling trained BNNs onto the machine and
+// running them bit-exactly against the reference network.
+#include <gtest/gtest.h>
+
+#include "arch/machine.hpp"
+#include "bnn/binarize.hpp"
+#include "bnn/dataset.hpp"
+#include "bnn/model_zoo.hpp"
+#include "bnn/trainer.hpp"
+#include "compiler/compiler.hpp"
+#include "common/error.hpp"
+
+namespace eb::comp {
+namespace {
+
+arch::MachineConfig mlp_machine(bool optical) {
+  arch::MachineConfig cfg;
+  cfg.nodes = 1;
+  cfg.tiles_per_node = 1;
+  cfg.ecores_per_tile = 8;
+  cfg.vcores_per_ecore = 8;
+  cfg.optical = optical;
+  return cfg;
+}
+
+// A small trained network shared by the tests (trained once, cheaply).
+const bnn::Network& trained_net() {
+  static const bnn::Network net = [] {
+    bnn::TrainerConfig cfg;
+    cfg.dims = {784, 96, 64, 48, 10};  // two binarized hidden layers
+    cfg.epochs = 2;
+    cfg.train_samples = 400;
+    cfg.batch_size = 32;
+    bnn::MlpTrainer trainer(cfg);
+    bnn::SyntheticMnist data(42);
+    trainer.train(data);
+    return trainer.export_network("trained-mlp");
+  }();
+  return net;
+}
+
+// Reference hidden-core bits: binarized input to the final Dense layer.
+BitVec reference_core_bits(const bnn::Network& net, const bnn::Tensor& x) {
+  std::vector<bnn::Tensor> inputs;
+  static_cast<void>(net.forward_trace(x, inputs));
+  // The final Dense layer's input is the +/-1 activation vector.
+  return bnn::binarize(inputs.back());
+}
+
+TEST(Compiler, ProgramStructureMatchesLayerGeometry) {
+  const MlpCompiler compiler(mlp_machine(false));
+  const CompiledMlp compiled = compiler.compile(trained_net());
+  ASSERT_EQ(compiled.layers.size(), 2u);  // two hidden binary layers
+  EXPECT_EQ(compiled.input_bits, 96u);
+  EXPECT_EQ(compiled.output_bits, 48u);
+  EXPECT_EQ(compiled.layers[0].m, 96u);
+  EXPECT_EQ(compiled.layers[0].n, 64u);
+  EXPECT_EQ(compiled.layers[0].col_tiles, 1u);
+  EXPECT_EQ(compiled.layers[0].chunks, 1u);  // 96 bits < 256-bit chunk
+  EXPECT_GT(compiled.program.instruction_count(), 0u);
+  EXPECT_FALSE(compiled.program.images.empty());
+}
+
+TEST(Compiler, MachinePredictionsMatchReferenceExactly) {
+  const bnn::Network& net = trained_net();
+  const MlpCompiler compiler(mlp_machine(false));
+  const CompiledMlp compiled = compiler.compile(net);
+  arch::Machine machine(mlp_machine(false));
+  bnn::SyntheticMnist data(42);
+
+  for (std::size_t i = 0; i < 20; ++i) {
+    const bnn::Sample s = data.sample(5000 + i);
+    const MlpRun run =
+        run_mlp_on_machine(machine, compiled, net, {s.image});
+    ASSERT_EQ(run.predictions.size(), 1u);
+    EXPECT_EQ(run.predictions[0], net.predict(s.image)) << "sample " << i;
+    // The binarized core is bit-exact, not just argmax-equal.
+    EXPECT_EQ(run.core_output_bits[0], reference_core_bits(net, s.image))
+        << "sample " << i;
+  }
+}
+
+TEST(Compiler, OpticalMachineMatchesElectricalResults) {
+  const bnn::Network& net = trained_net();
+  const MlpCompiler elec_compiler(mlp_machine(false));
+  const MlpCompiler opt_compiler(mlp_machine(true));
+  const CompiledMlp elec = elec_compiler.compile(net);
+  const CompiledMlp opt = opt_compiler.compile(net);
+  arch::Machine elec_machine(mlp_machine(false));
+  arch::Machine opt_machine(mlp_machine(true));
+  bnn::SyntheticMnist data(42);
+
+  double elec_lat = 0.0;
+  double opt_lat = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const bnn::Sample s = data.sample(6000 + i);
+    const MlpRun re =
+        run_mlp_on_machine(elec_machine, elec, net, {s.image});
+    const MlpRun ro = run_mlp_on_machine(opt_machine, opt, net, {s.image});
+    EXPECT_EQ(re.predictions[0], ro.predictions[0]);
+    EXPECT_EQ(re.core_output_bits[0], ro.core_output_bits[0]);
+    elec_lat += re.stats.latency_ns;
+    opt_lat += ro.stats.latency_ns;
+  }
+  // The oPCM read chain is faster per pass (paper section VI-A).
+  EXPECT_LT(opt_lat, elec_lat);
+}
+
+TEST(Compiler, WdmBatchMatchesSequentialRuns) {
+  const bnn::Network& net = trained_net();
+  const MlpCompiler compiler(mlp_machine(true));
+  const CompiledMlp batched = compiler.compile(net, 4);
+  const CompiledMlp single = compiler.compile(net, 1);
+  arch::Machine machine(mlp_machine(true));
+  bnn::SyntheticMnist data(42);
+
+  std::vector<bnn::Tensor> inputs;
+  std::vector<std::size_t> want;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const bnn::Sample s = data.sample(7000 + i);
+    inputs.push_back(s.image);
+    const MlpRun one = run_mlp_on_machine(machine, single, net, {s.image});
+    want.push_back(one.predictions[0]);
+  }
+
+  const MlpRun batch_run = run_mlp_on_machine(machine, batched, net, inputs);
+  ASSERT_EQ(batch_run.predictions.size(), 4u);
+  EXPECT_EQ(batch_run.predictions, want);
+  EXPECT_GT(batch_run.stats.mmm_ops, 0u);  // WDM actually used
+
+  // Throughput: the batched run is cheaper than 4 sequential runs because
+  // the crossbar passes are shared across wavelengths.
+  const MlpRun one = run_mlp_on_machine(machine, single, net, {inputs[0]});
+  EXPECT_LT(batch_run.stats.latency_ns, 4.0 * one.stats.latency_ns);
+}
+
+TEST(Compiler, WdmBatchRequiresOpticalMachine) {
+  const MlpCompiler compiler(mlp_machine(false));
+  EXPECT_THROW(static_cast<void>(compiler.compile(trained_net(), 2)), Error);
+}
+
+TEST(Compiler, RejectsNonMlpNetworks) {
+  Rng rng(1);
+  const bnn::Network cnn = bnn::build_cnn1(rng);
+  const MlpCompiler compiler(mlp_machine(true));
+  EXPECT_THROW(static_cast<void>(compiler.compile(cnn)), Error);
+}
+
+TEST(Compiler, RejectsWhenResourcesTooSmall) {
+  arch::MachineConfig tiny = mlp_machine(true);
+  tiny.vcores_per_ecore = 1;
+  tiny.tech.dims = {64, 64};  // chunks of 32 bits -> 96-bit layer needs 3
+  const MlpCompiler compiler(tiny);
+  EXPECT_THROW(static_cast<void>(compiler.compile(trained_net())), Error);
+}
+
+TEST(Compiler, EnergyBreakdownNamesPhotonicComponents) {
+  const bnn::Network& net = trained_net();
+  const MlpCompiler compiler(mlp_machine(true));
+  const CompiledMlp compiled = compiler.compile(net);
+  arch::Machine machine(mlp_machine(true));
+  bnn::SyntheticMnist data(42);
+  const bnn::Sample s = data.sample(8000);
+  const MlpRun run = run_mlp_on_machine(machine, compiled, net, {s.image});
+  EXPECT_GT(run.stats.energy.component_pj("receiver_adc"), 0.0);
+  EXPECT_GT(run.stats.energy.component_pj("voa_modulators"), 0.0);
+  EXPECT_GT(run.stats.energy.component_pj("laser_static"), 0.0);
+}
+
+}  // namespace
+}  // namespace eb::comp

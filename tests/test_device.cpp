@@ -1,0 +1,178 @@
+// Unit tests for eb::dev -- PCM device models and noise sources.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "device/noise.hpp"
+#include "device/pcm.hpp"
+
+namespace eb::dev {
+namespace {
+
+// ------------------------------------------------------------------ ePCM --
+
+TEST(EpcmDevice, BinaryLevelsMapToOnOff) {
+  Rng rng(1);
+  EpcmDevice d(EpcmParams::ideal());
+  d.program(0, rng);
+  EXPECT_DOUBLE_EQ(d.conductance(), d.params().g_off_us);
+  d.program(1, rng);
+  EXPECT_DOUBLE_EQ(d.conductance(), d.params().g_on_us);
+}
+
+TEST(EpcmDevice, MultiLevelSpacingIsUniform) {
+  EpcmParams p = EpcmParams::ideal();
+  p.levels = 5;
+  EpcmDevice d(p);
+  const double step = d.nominal_conductance(1) - d.nominal_conductance(0);
+  for (std::size_t l = 1; l < 5; ++l) {
+    EXPECT_NEAR(d.nominal_conductance(l) - d.nominal_conductance(l - 1), step,
+                1e-12);
+  }
+  EXPECT_THROW(d.nominal_conductance(5), Error);
+}
+
+TEST(EpcmDevice, ProgrammingVariabilityHasExpectedSpread) {
+  EpcmParams p = EpcmParams::ideal();
+  p.sigma_program = 0.1;
+  Rng rng(2);
+  StatAccumulator acc;
+  for (int i = 0; i < 5000; ++i) {
+    EpcmDevice d(p);
+    d.program(1, rng);
+    acc.add(std::log(d.conductance() / p.g_on_us));
+  }
+  EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+  EXPECT_NEAR(acc.stddev(), 0.1, 0.01);
+}
+
+TEST(EpcmDevice, DriftReducesConductanceMonotonically) {
+  EpcmParams p = EpcmParams::ideal();
+  p.drift_nu = 0.05;
+  Rng rng(3);
+  EpcmDevice d(p);
+  d.program(1, rng);
+  const double g0 = d.conductance(0.0);
+  const double g1 = d.conductance(10.0);
+  const double g2 = d.conductance(1000.0);
+  EXPECT_GT(g0, g1);
+  EXPECT_GT(g1, g2);
+}
+
+TEST(EpcmDevice, NoDriftWhenDisabled) {
+  Rng rng(4);
+  EpcmDevice d(EpcmParams::ideal());
+  d.program(1, rng);
+  EXPECT_DOUBLE_EQ(d.conductance(0.0), d.conductance(1e6));
+}
+
+// ------------------------------------------------------------------ oPCM --
+
+TEST(OpcmDevice, BinaryLevelsMapToTransmissions) {
+  Rng rng(5);
+  OpcmDevice d(OpcmParams::ideal());
+  d.program(0, rng);
+  EXPECT_NEAR(d.transmission(),
+              d.params().t_crystalline *
+                  std::pow(10.0, -d.params().insertion_loss_db / 10.0),
+              1e-12);
+  d.program(1, rng);
+  EXPECT_NEAR(d.transmission(),
+              d.params().t_amorphous *
+                  std::pow(10.0, -d.params().insertion_loss_db / 10.0),
+              1e-12);
+}
+
+TEST(OpcmDevice, MultiLevelSeparationShrinksWithLevels) {
+  // The Cardoso DATE'23 motivation: more levels -> smaller separation.
+  auto separation = [](std::size_t levels) {
+    OpcmParams p = OpcmParams::ideal();
+    p.levels = levels;
+    OpcmDevice d(p);
+    return d.nominal_transmission(1) - d.nominal_transmission(0);
+  };
+  EXPECT_GT(separation(2), separation(4));
+  EXPECT_GT(separation(4), separation(8));
+  EXPECT_GT(separation(8), separation(16));
+}
+
+TEST(OpcmDevice, TransmissionStaysInUnitInterval) {
+  OpcmParams p = OpcmParams::ideal();
+  p.sigma_program = 0.5;  // absurdly noisy programming
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    OpcmDevice d(p);
+    d.program(1, rng);
+    EXPECT_GE(d.transmission(), 0.0);
+    EXPECT_LE(d.transmission(), 1.0);
+  }
+}
+
+TEST(OpcmDevice, RejectsDegenerateParams) {
+  OpcmParams p = OpcmParams::ideal();
+  p.t_crystalline = 0.9;
+  p.t_amorphous = 0.5;
+  EXPECT_THROW(OpcmDevice{p}, Error);
+}
+
+// ----------------------------------------------------------------- noise --
+
+TEST(Noise, NoNoiseIsIdentity) {
+  Rng rng(7);
+  NoNoise n;
+  EXPECT_DOUBLE_EQ(n.apply(3.25, 100.0, rng), 3.25);
+}
+
+TEST(Noise, GaussianStatisticsMatchSigma) {
+  Rng rng(8);
+  GaussianReadNoise n(0.02);
+  StatAccumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    acc.add(n.apply(5.0, 10.0, rng));
+  }
+  EXPECT_NEAR(acc.mean(), 5.0, 0.01);
+  EXPECT_NEAR(acc.stddev(), 0.02 * 10.0, 0.01);
+}
+
+TEST(Noise, ShotNoiseScalesWithSignal) {
+  Rng rng(9);
+  ShotNoise n(0.05);
+  StatAccumulator weak, strong;
+  for (int i = 0; i < 20000; ++i) {
+    weak.add(n.apply(1.0, 100.0, rng));
+    strong.add(n.apply(50.0, 100.0, rng));
+  }
+  // sigma = k*sqrt(x*fs): sqrt(50)/sqrt(1) ~ 7.07x larger.
+  EXPECT_NEAR(strong.stddev() / weak.stddev(), std::sqrt(50.0), 0.7);
+}
+
+TEST(Noise, ShotNoiseLeavesZeroSignalAlone) {
+  Rng rng(10);
+  ShotNoise n(0.05);
+  EXPECT_DOUBLE_EQ(n.apply(0.0, 100.0, rng), 0.0);
+}
+
+TEST(Noise, CompositeAppliesAllParts) {
+  Rng rng(11);
+  CompositeNoise c;
+  c.add(std::make_unique<GaussianReadNoise>(0.01));
+  c.add(std::make_unique<TiaThermalNoise>(0.1));
+  EXPECT_EQ(c.components(), 2u);
+  StatAccumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    acc.add(c.apply(0.0, 10.0, rng));
+  }
+  // Variances add: sqrt(0.1^2 + 0.1^2).
+  EXPECT_NEAR(acc.stddev(), std::sqrt(0.01 + 0.01), 0.01);
+}
+
+TEST(Noise, RejectsNegativeSigmas) {
+  EXPECT_THROW(GaussianReadNoise{-0.1}, Error);
+  EXPECT_THROW(ShotNoise{-1.0}, Error);
+  EXPECT_THROW(TiaThermalNoise{-0.5}, Error);
+}
+
+}  // namespace
+}  // namespace eb::dev

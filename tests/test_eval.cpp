@@ -1,0 +1,159 @@
+// Tests for eb::eval -- the Figure 7 / Figure 8 reproductions stay inside
+// the paper's bands (loose tolerances: the shape must hold, not the exact
+// numbers; see EXPERIMENTS.md for the recorded values).
+#include <gtest/gtest.h>
+
+#include "bnn/model_zoo.hpp"
+#include "common/stats.hpp"
+#include "eval/experiments.hpp"
+
+namespace eb::eval {
+namespace {
+
+const Fig7Result& fig7() {
+  static const Fig7Result r =
+      run_fig7(arch::TechParams::paper_defaults(), bnn::mlbench_specs());
+  return r;
+}
+
+const Fig8Result& fig8() {
+  static const Fig8Result r =
+      run_fig8(arch::TechParams::paper_defaults(), bnn::mlbench_specs());
+  return r;
+}
+
+TEST(Fig7, SixNetworksEvaluated) { EXPECT_EQ(fig7().rows.size(), 6u); }
+
+TEST(Fig7, TacitMapBand) {
+  // Paper: avg ~78x, max ~154x. Accept the right order of magnitude and
+  // the hard per-crossbar ceiling.
+  const auto speedups = fig7().tacit_speedups();
+  const double avg = arithmetic_mean(speedups);
+  EXPECT_GT(avg, 40.0);
+  EXPECT_LT(avg, 160.0);
+  for (double s : speedups) {
+    EXPECT_GT(s, 1.0);     // TacitMap always wins
+    EXPECT_LT(s, 160.0);   // bounded by min(n,R)*t_step/t_vmm = ~154x
+  }
+}
+
+TEST(Fig7, EinsteinBarrierBand) {
+  // Paper: avg ~1205x, range ~22x..~3113x.
+  const auto speedups = fig7().einstein_speedups();
+  const double avg = arithmetic_mean(speedups);
+  EXPECT_GT(avg, 400.0);
+  EXPECT_LT(avg, 3000.0);
+  double max = 0.0;
+  for (double s : speedups) {
+    EXPECT_GT(s, 20.0);
+    max = std::max(max, s);
+  }
+  EXPECT_GT(max, 1000.0);  // the conv-heavy network dominates
+}
+
+TEST(Fig7, EinsteinOverTacitBelowWdmCapacity) {
+  // Paper section VI-A: the technology gain stays below K = 16 and is
+  // network-dependent.
+  const auto ratios = fig7().einstein_over_tacit();
+  const double avg = arithmetic_mean(ratios);
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 16.0);
+  for (double r : ratios) {
+    EXPECT_GT(r, 1.0);
+  }
+}
+
+TEST(Fig7, GpuCrossoverMatchesPaper) {
+  // GPU speedup < 1 on the CNNs (Baseline-ePCM faster), > 10 on MLP-L.
+  for (const auto& row : fig7().rows) {
+    if (row.network == "CNN-1" || row.network == "CNN-2") {
+      EXPECT_LT(row.gpu_speedup(), 1.0) << row.network;
+    }
+    if (row.network == "MLP-L") {
+      EXPECT_GT(row.gpu_speedup(), 10.0);
+    }
+  }
+}
+
+TEST(Fig7, LargerMlpsGainMore) {
+  // Within the MLP family the paper's trend: larger networks expose more
+  // parallel XNOR+Popcount work.
+  const auto& rows = fig7().rows;
+  double s_small = 0.0;
+  double s_large = 0.0;
+  for (const auto& row : rows) {
+    if (row.network == "MLP-S") {
+      s_small = row.einstein_speedup();
+    }
+    if (row.network == "MLP-L") {
+      s_large = row.einstein_speedup();
+    }
+  }
+  EXPECT_GT(s_large, s_small);
+}
+
+TEST(Fig8, TacitMapCostsEnergyBand) {
+  // Paper: ~5.35x more energy than Baseline-ePCM (ADCs vs sense amps).
+  const double avg = arithmetic_mean(fig8().tacit_normalized());
+  EXPECT_GT(avg, 3.0);
+  EXPECT_LT(avg, 8.0);
+  for (const auto& row : fig8().rows) {
+    EXPECT_GT(row.tacit_normalized(), 1.0) << row.network;
+  }
+}
+
+TEST(Fig8, EinsteinBarrierSavesEnergyBand) {
+  // Paper: ~1.56x better than Baseline-ePCM (normalized ~0.64) and
+  // ~11.94x better than TacitMap-ePCM.
+  const double avg = arithmetic_mean(fig8().einstein_normalized());
+  EXPECT_GT(avg, 0.3);
+  EXPECT_LT(avg, 1.1);
+  const double vs_tacit = arithmetic_mean(fig8().tacit_over_einstein());
+  EXPECT_GT(vs_tacit, 4.0);
+  EXPECT_LT(vs_tacit, 20.0);
+}
+
+TEST(Fig8, EnergyTablesRender) {
+  const Table t7 = fig7_table(fig7());
+  const Table t8 = fig8_table(fig8());
+  EXPECT_EQ(t7.rows(), 6u);
+  EXPECT_EQ(t8.rows(), 6u);
+  EXPECT_NE(t7.render().find("VGG-D"), std::string::npos);
+  EXPECT_NE(t8.to_csv().find("MLP-L"), std::string::npos);
+}
+
+TEST(LayerBreakdown, CoversEveryComputeLayer) {
+  const arch::CostModel model(arch::TechParams::paper_defaults());
+  const auto net = bnn::mlp_s_spec();
+  const Table t = layer_breakdown_table(model, arch::Design::TacitEpcm, net);
+  EXPECT_EQ(t.rows(), net.crossbar_workloads().size() + 1);  // + TOTAL
+}
+
+TEST(Ablation, SpeedupGrowsWithWdmCapacity) {
+  // Section VI-C design-space direction: more WDM capacity helps the
+  // conv-heavy networks.
+  arch::TechParams p = arch::TechParams::paper_defaults();
+  std::vector<double> avg_speedup;
+  for (const std::size_t k : {1u, 4u, 16u}) {
+    p.wdm_capacity = k;
+    const auto r = run_fig7(p, {bnn::vgg_d_spec()});
+    avg_speedup.push_back(r.rows[0].einstein_speedup());
+  }
+  EXPECT_LT(avg_speedup[0], avg_speedup[1]);
+  EXPECT_LT(avg_speedup[1], avg_speedup[2]);
+}
+
+TEST(Ablation, AdcSharingThrottlesTacitMap) {
+  // Footnote 1: the concept figures assume column-parallel readout; the
+  // evaluation shares ADCs. Fewer ADCs -> slower TacitMap.
+  arch::TechParams few = arch::TechParams::paper_defaults();
+  few.adcs_per_xbar = 8;
+  arch::TechParams many = arch::TechParams::paper_defaults();
+  many.adcs_per_xbar = 512;
+  const auto slow = run_fig7(few, {bnn::mlp_l_spec()});
+  const auto fast = run_fig7(many, {bnn::mlp_l_spec()});
+  EXPECT_LT(slow.rows[0].tacit_speedup(), fast.rows[0].tacit_speedup());
+}
+
+}  // namespace
+}  // namespace eb::eval

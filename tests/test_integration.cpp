@@ -1,0 +1,141 @@
+// Cross-module integration: one trained BNN executed by every engine in
+// the repository must produce identical predictions (paper section V-C:
+// the mappings accelerate, they do not change the arithmetic), and the
+// modeled costs must keep the paper's ordering.
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.hpp"
+#include "arch/machine.hpp"
+#include "baselines/baseline_epcm.hpp"
+#include "bnn/binarize.hpp"
+#include "bnn/dataset.hpp"
+#include "bnn/model_zoo.hpp"
+#include "bnn/trainer.hpp"
+#include "compiler/compiler.hpp"
+#include "eval/experiments.hpp"
+
+namespace eb {
+namespace {
+
+struct Pipeline {
+  bnn::Network net;
+  comp::CompiledMlp eb_prog;
+  comp::CompiledMlp tm_prog;
+  arch::MachineConfig eb_cfg;
+  arch::MachineConfig tm_cfg;
+};
+
+const Pipeline& pipeline() {
+  static const Pipeline p = [] {
+    bnn::TrainerConfig cfg;
+    cfg.dims = {784, 96, 64, 10};
+    cfg.epochs = 2;
+    cfg.train_samples = 400;
+    bnn::MlpTrainer trainer(cfg);
+    bnn::SyntheticMnist data(42);
+    trainer.train(data);
+
+    Pipeline built{trainer.export_network("integration-mlp"),
+                   {}, {}, {}, {}};
+    built.eb_cfg = arch::MachineConfig{};
+    built.tm_cfg = arch::MachineConfig{};
+    built.tm_cfg.optical = false;
+    built.eb_prog = comp::MlpCompiler(built.eb_cfg).compile(built.net);
+    built.tm_prog = comp::MlpCompiler(built.tm_cfg).compile(built.net);
+    return built;
+  }();
+  return p;
+}
+
+TEST(Integration, AllEnginesAgreeSampleBySample) {
+  const auto& p = pipeline();
+  arch::Machine eb_machine(p.eb_cfg);
+  arch::Machine tm_machine(p.tm_cfg);
+  const base::BaselineEpcmEngine baseline(p.net, map::CustBinaryConfig{},
+                                          arch::TechParams::paper_defaults());
+  bnn::SyntheticMnist data(42);
+
+  for (std::size_t i = 0; i < 25; ++i) {
+    const bnn::Sample s = data.sample(30000 + i);
+    const std::size_t ref = p.net.predict(s.image);
+    const auto eb_run =
+        comp::run_mlp_on_machine(eb_machine, p.eb_prog, p.net, {s.image});
+    const auto tm_run =
+        comp::run_mlp_on_machine(tm_machine, p.tm_prog, p.net, {s.image});
+    const auto base_run = baseline.run(s.image);
+    EXPECT_EQ(eb_run.predictions[0], ref) << "EinsteinBarrier, sample " << i;
+    EXPECT_EQ(tm_run.predictions[0], ref) << "TacitMap-ePCM, sample " << i;
+    EXPECT_EQ(base_run.predictions[0], ref) << "Baseline-ePCM, sample " << i;
+    // Hidden-core bits agree bit-exactly across all three hardware paths.
+    EXPECT_EQ(eb_run.core_output_bits[0], tm_run.core_output_bits[0]);
+    EXPECT_EQ(eb_run.core_output_bits[0], base_run.core_output_bits[0]);
+  }
+}
+
+TEST(Integration, MachineLatencyOrderingMatchesCostModel) {
+  const auto& p = pipeline();
+  arch::Machine eb_machine(p.eb_cfg);
+  arch::Machine tm_machine(p.tm_cfg);
+  bnn::SyntheticMnist data(42);
+  const bnn::Sample s = data.sample(777);
+  const auto eb_run =
+      comp::run_mlp_on_machine(eb_machine, p.eb_prog, p.net, {s.image});
+  const auto tm_run =
+      comp::run_mlp_on_machine(tm_machine, p.tm_prog, p.net, {s.image});
+  // Instruction-level simulation agrees with the analytic ordering: the
+  // oPCM pass is faster than the ePCM pass.
+  EXPECT_LT(eb_run.stats.latency_ns, tm_run.stats.latency_ns);
+
+  // And the machine's electrical pass time is bounded below by the
+  // analytic VMM time of its widest layer.
+  const auto& tech = p.tm_cfg.tech;
+  const double t_vmm_min = tech.t_dac_settle_ns + tech.t_adc_ns;
+  EXPECT_GE(tm_run.stats.latency_ns, t_vmm_min);
+}
+
+TEST(Integration, CostModelOrderingOnTrainedNetwork) {
+  const auto& p = pipeline();
+  const arch::CostModel model(arch::TechParams::paper_defaults());
+  const auto spec = p.net.spec();
+  const double base =
+      model.evaluate(arch::Design::BaselineEpcm, spec).latency_ns;
+  const double tacit =
+      model.evaluate(arch::Design::TacitEpcm, spec).latency_ns;
+  const double eb =
+      model.evaluate(arch::Design::EinsteinBarrier, spec).latency_ns;
+  EXPECT_GT(base / tacit, 10.0);  // TacitMap wins big on any real net
+  EXPECT_GT(tacit / eb, 1.0);     // oPCM adds on top
+}
+
+TEST(Integration, EnergyLedgerComponentsConsistentWithDesign) {
+  const auto& p = pipeline();
+  arch::Machine eb_machine(p.eb_cfg);
+  arch::Machine tm_machine(p.tm_cfg);
+  bnn::SyntheticMnist data(42);
+  const bnn::Sample s = data.sample(888);
+  const auto eb_run =
+      comp::run_mlp_on_machine(eb_machine, p.eb_prog, p.net, {s.image});
+  const auto tm_run =
+      comp::run_mlp_on_machine(tm_machine, p.tm_prog, p.net, {s.image});
+  // Optical machine: photonic components, no electrical ADC bank.
+  EXPECT_GT(eb_run.stats.energy.component_pj("receiver_adc"), 0.0);
+  EXPECT_DOUBLE_EQ(eb_run.stats.energy.component_pj("adc"), 0.0);
+  // Electrical machine: the reverse.
+  EXPECT_GT(tm_run.stats.energy.component_pj("adc"), 0.0);
+  EXPECT_DOUBLE_EQ(tm_run.stats.energy.component_pj("receiver_adc"), 0.0);
+  EXPECT_DOUBLE_EQ(tm_run.stats.energy.component_pj("laser_static"), 0.0);
+}
+
+TEST(Integration, Fig7AndFig8AreDeterministic) {
+  const auto nets = bnn::mlbench_specs();
+  const auto a = eval::run_fig7(arch::TechParams::paper_defaults(), nets);
+  const auto b = eval::run_fig7(arch::TechParams::paper_defaults(), nets);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rows[i].baseline_ns, b.rows[i].baseline_ns);
+    EXPECT_DOUBLE_EQ(a.rows[i].einstein_ns, b.rows[i].einstein_ns);
+  }
+}
+
+}  // namespace
+}  // namespace eb

@@ -1,0 +1,229 @@
+// Unit tests for eb::xbar -- crossbar arrays and peripherals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitvec.hpp"
+#include "common/error.hpp"
+#include "device/noise.hpp"
+#include "xbar/crossbar.hpp"
+#include "xbar/periph.hpp"
+
+namespace eb::xbar {
+namespace {
+
+const dev::NoNoise kNoNoise;
+
+// ------------------------------------------------------------------- ADC --
+
+TEST(Adc, QuantizeDequantizeRoundTripOnGrid) {
+  Adc adc(8, 255.0);  // LSB = 1.0
+  EXPECT_DOUBLE_EQ(adc.lsb(), 1.0);
+  for (std::size_t code : {0u, 1u, 100u, 255u}) {
+    EXPECT_EQ(adc.quantize(adc.dequantize(code)), code);
+  }
+}
+
+TEST(Adc, ClampsOutOfRange) {
+  Adc adc(4, 15.0);
+  EXPECT_EQ(adc.quantize(-3.0), 0u);
+  EXPECT_EQ(adc.quantize(1000.0), 15u);
+}
+
+TEST(Adc, RoundsToNearestCode) {
+  Adc adc(4, 15.0);  // LSB = 1
+  EXPECT_EQ(adc.quantize(3.4), 3u);
+  EXPECT_EQ(adc.quantize(3.6), 4u);
+}
+
+TEST(Adc, BitsForLevels) {
+  EXPECT_EQ(Adc::bits_for_levels(2), 1u);
+  EXPECT_EQ(Adc::bits_for_levels(3), 2u);
+  EXPECT_EQ(Adc::bits_for_levels(256), 8u);
+  EXPECT_EQ(Adc::bits_for_levels(257), 9u);
+  EXPECT_EQ(Adc::bits_for_levels(513), 10u);  // 512-row popcount
+}
+
+TEST(Adc, RejectsBadConfig) {
+  EXPECT_THROW(Adc(0, 1.0), Error);
+  EXPECT_THROW(Adc(8, -1.0), Error);
+}
+
+// ------------------------------------------------------------------ PCSA --
+
+TEST(Pcsa, IdealComparatorDecidesBySign) {
+  Rng rng(1);
+  PrechargeSenseAmp sa;
+  EXPECT_TRUE(sa.sense(2.0, 1.0, 10.0, rng));
+  EXPECT_FALSE(sa.sense(1.0, 2.0, 10.0, rng));
+}
+
+// ------------------------------------------------------- electrical xbar --
+
+TEST(ElectricalCrossbar, IdealVmmEqualsMatrixProduct) {
+  CrossbarDims dims{8, 6};
+  ElectricalCrossbar xb(dims, dev::EpcmParams::ideal());
+  Rng rng(2);
+  // Random binary pattern.
+  const BitMatrix cols = BitMatrix::random(6, 8, rng);  // [col][row]
+  for (std::size_t c = 0; c < 6; ++c) {
+    xb.program_column(c, cols.row(c));
+  }
+  const BitVec active = BitVec::random(8, rng);
+  const auto currents =
+      xb.vmm_currents_bits(active, 0.2, kNoNoise, rng);
+  const double i_on = xb.on_current(0.2);
+  const double i_off = xb.off_current(0.2);
+  for (std::size_t c = 0; c < 6; ++c) {
+    double want = 0.0;
+    for (std::size_t r = 0; r < 8; ++r) {
+      if (active.get(r)) {
+        want += cols.get(c, r) ? i_on : i_off;
+      }
+    }
+    EXPECT_NEAR(currents[c], want, 1e-9) << "col " << c;
+  }
+}
+
+TEST(ElectricalCrossbar, InactiveRowsContributeNothing) {
+  CrossbarDims dims{4, 2};
+  ElectricalCrossbar xb(dims, dev::EpcmParams::ideal());
+  Rng rng(3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    xb.program(r, 0, 1);
+  }
+  const auto currents =
+      xb.vmm_currents_bits(BitVec(4), 0.2, kNoNoise, rng);
+  EXPECT_DOUBLE_EQ(currents[0], 0.0);
+}
+
+TEST(ElectricalCrossbar, BoundsChecked) {
+  CrossbarDims dims{4, 4};
+  ElectricalCrossbar xb(dims, dev::EpcmParams::ideal());
+  EXPECT_THROW(xb.program(4, 0, 1), Error);
+  EXPECT_THROW(xb.program(0, 4, 1), Error);
+  Rng rng(4);
+  EXPECT_THROW(static_cast<void>(xb.vmm_currents_bits(BitVec(5), 0.2,
+                                                      kNoNoise, rng)),
+               Error);
+}
+
+TEST(ElectricalCrossbar, ProgrammingVariabilityPerturbsVmm) {
+  CrossbarDims dims{32, 1};
+  dev::EpcmParams p = dev::EpcmParams::ideal();
+  p.sigma_program = 0.1;
+  ElectricalCrossbar xb(dims, p, 99);
+  Rng rng(5);
+  BitVec ones(32);
+  for (std::size_t r = 0; r < 32; ++r) {
+    xb.program(r, 0, 1);
+    ones.set(r, true);
+  }
+  const auto currents = xb.vmm_currents_bits(ones, 0.2, kNoNoise, rng);
+  const double nominal = 32.0 * xb.on_current(0.2);
+  EXPECT_NE(currents[0], nominal);           // variability did something
+  EXPECT_NEAR(currents[0], nominal, 0.3 * nominal);  // but stayed plausible
+}
+
+// ---------------------------------------------------------- optical xbar --
+
+TEST(OpticalCrossbar, WavelengthChannelsAreIndependent) {
+  CrossbarDims dims{16, 4};
+  OpticalCrossbar xb(dims, dev::OpcmParams::ideal());
+  Rng rng(6);
+  const BitMatrix cols = BitMatrix::random(4, 16, rng);
+  for (std::size_t c = 0; c < 4; ++c) {
+    xb.program_column(c, cols.row(c));
+  }
+  const BitVec in_a = BitVec::random(16, rng);
+  const BitVec in_b = BitVec::random(16, rng);
+  // MMM with both channels == two separate VMMs.
+  const auto mmm = xb.mmm_powers({in_a, in_b}, 1.0, kNoNoise, rng);
+  const auto vmm_a = xb.vmm_powers(in_a, 1.0, kNoNoise, rng);
+  const auto vmm_b = xb.vmm_powers(in_b, 1.0, kNoNoise, rng);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(mmm[0][c], vmm_a[c]);
+    EXPECT_DOUBLE_EQ(mmm[1][c], vmm_b[c]);
+  }
+}
+
+TEST(OpticalCrossbar, PowerSumMatchesTransmissions) {
+  CrossbarDims dims{8, 1};
+  OpticalCrossbar xb(dims, dev::OpcmParams::ideal());
+  Rng rng(7);
+  BitVec w(8);
+  for (std::size_t r = 0; r < 8; r += 2) {
+    w.set(r, true);  // alternate ON cells
+  }
+  xb.program_column(0, w);
+  BitVec all(8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    all.set(r, true);
+  }
+  const auto p = xb.vmm_powers(all, 2.0, kNoNoise, rng);
+  EXPECT_NEAR(p[0], 4.0 * xb.on_power(2.0) + 4.0 * xb.off_power(2.0), 1e-12);
+}
+
+// ------------------------------------------------------------------- TIA --
+
+TEST(Tia, GainAndDefaultPowerMatchEqTwo) {
+  Tia tia;
+  EXPECT_DOUBLE_EQ(tia.power_mw(), 2.0);  // paper Eq. 2: 2 mW per TIA
+  Rng rng(8);
+  EXPECT_DOUBLE_EQ(tia.convert(1.5, kNoNoise, 10.0, rng), 1.5);
+  Tia tia5(5.0);
+  EXPECT_DOUBLE_EQ(tia5.convert(1.5, kNoNoise, 10.0, rng), 7.5);
+}
+
+// ------------------------------------------------- differential (2T2R) --
+
+TEST(DifferentialCrossbar, PcsaReadsXnorExactly) {
+  Rng rng(9);
+  DifferentialCrossbar xb(4, 16, dev::EpcmParams::ideal());
+  const BitMatrix ws = BitMatrix::random(4, 16, rng);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t p = 0; p < 16; ++p) {
+      xb.program_pair(r, p, ws.get(r, p));
+    }
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitVec x = BitVec::random(16, rng);
+    for (std::size_t r = 0; r < 4; ++r) {
+      const BitVec got = xb.read_row_xnor(r, x, 0.2, kNoNoise, rng);
+      EXPECT_EQ(got, x.xnor(ws.row(r))) << "row " << r;
+    }
+  }
+}
+
+TEST(DifferentialCrossbar, InputWiderThanPairsThrows) {
+  DifferentialCrossbar xb(2, 8, dev::EpcmParams::ideal());
+  Rng rng(10);
+  EXPECT_THROW(
+      static_cast<void>(xb.read_row_xnor(0, BitVec(16), 0.2, kNoNoise, rng)),
+      Error);
+  // Narrower inputs are fine (partial width tiles) and return their width.
+  const BitVec got = xb.read_row_xnor(0, BitVec(4), 0.2, kNoNoise, rng);
+  EXPECT_EQ(got.size(), 4u);
+}
+
+// Parameterized: PCSA XNOR correctness across device contrast ratios.
+class PcsaContrast : public ::testing::TestWithParam<double> {};
+
+TEST_P(PcsaContrast, XnorSurvivesLowContrast) {
+  dev::EpcmParams p = dev::EpcmParams::ideal();
+  p.g_off_us = p.g_on_us / GetParam();  // contrast ratio from the sweep
+  Rng rng(11);
+  DifferentialCrossbar xb(1, 32, p);
+  const BitVec w = BitVec::random(32, rng);
+  for (std::size_t i = 0; i < 32; ++i) {
+    xb.program_pair(0, i, w.get(i));
+  }
+  const BitVec x = BitVec::random(32, rng);
+  EXPECT_EQ(xb.read_row_xnor(0, x, 0.2, kNoNoise, rng), x.xnor(w));
+}
+
+INSTANTIATE_TEST_SUITE_P(ContrastRatios, PcsaContrast,
+                         ::testing::Values(2.0, 5.0, 10.0, 100.0, 1000.0));
+
+}  // namespace
+}  // namespace eb::xbar
