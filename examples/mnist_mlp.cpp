@@ -10,6 +10,7 @@
 #include "arch/cost_model.hpp"
 #include "arch/machine.hpp"
 #include "baselines/baseline_epcm.hpp"
+#include "bnn/batch_runner.hpp"
 #include "bnn/dataset.hpp"
 #include "bnn/trainer.hpp"
 #include "common/config.hpp"
@@ -58,9 +59,12 @@ int main(int argc, char** argv) {
   std::size_t tm_correct = 0;
   std::size_t base_correct = 0;
   std::size_t disagreements = 0;
+  std::vector<std::size_t> ref_preds(eval_count);
+  const auto eval_samples = data.batch(100000, eval_count);
   for (std::size_t i = 0; i < eval_count; ++i) {
-    const bnn::Sample s = data.sample(100000 + i);
+    const bnn::Sample& s = eval_samples[i];
     const std::size_t ref = net.predict(s.image);
+    ref_preds[i] = ref;
     const auto eb_run =
         comp::run_mlp_on_machine(eb_machine, eb_prog, net, {s.image});
     const auto tm_run =
@@ -92,6 +96,42 @@ int main(int argc, char** argv) {
   std::printf("prediction disagreements vs reference: %zu (paper V-C: the"
               " mappings do not change accuracy)\n",
               disagreements);
+
+  // ---- batched engine throughput on the same evaluation ------------------
+  {
+    const long long batch_arg = cfg.get_int("batch", 64);
+    const long long threads_arg = cfg.get_int("threads", 0);
+    if (batch_arg < 1 || threads_arg < 0) {
+      std::fprintf(stderr, "batch must be >= 1 and threads >= 0\n");
+      return 1;
+    }
+    bnn::BatchRunnerConfig bcfg;
+    bcfg.batch_size = static_cast<std::size_t>(batch_arg);
+    bcfg.threads = static_cast<std::size_t>(threads_arg);
+    const bnn::BatchRunner runner(net, bcfg);
+    std::vector<bnn::Tensor> inputs;
+    inputs.reserve(eval_samples.size());
+    for (const auto& s : eval_samples) {
+      inputs.push_back(s.image);
+    }
+    const auto batched_preds = runner.predict_all(inputs);
+    std::size_t batched_correct = 0;
+    std::size_t batched_mismatch = 0;
+    for (std::size_t i = 0; i < eval_samples.size(); ++i) {
+      batched_correct += (batched_preds[i] == eval_samples[i].label);
+      batched_mismatch += (batched_preds[i] != ref_preds[i]);
+    }
+    const auto& stats = runner.last_stats();
+    std::printf(
+        "\n== packed batched engine (batch %zu) ==\n"
+        "accuracy %.1f %% (%zu prediction mismatches vs reference), "
+        "%zu samples in %.2f ms -> %.0f samples/s\n",
+        bcfg.batch_size,
+        100.0 * static_cast<double>(batched_correct) /
+            static_cast<double>(eval_count),
+        batched_mismatch, stats.samples, ns_to_ms(stats.wall_ns),
+        stats.samples_per_s());
+  }
 
   // ---- modeled performance for this network ------------------------------
   const arch::CostModel model(arch::TechParams::paper_defaults());

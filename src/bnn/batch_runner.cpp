@@ -1,0 +1,68 @@
+#include "bnn/batch_runner.hpp"
+
+#include <chrono>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace eb::bnn {
+
+BatchRunner::BatchRunner(const Network& net, BatchRunnerConfig cfg)
+    : net_(&net), cfg_(cfg), pool_(cfg.threads) {
+  EB_REQUIRE(cfg_.batch_size >= 1, "batch size must be >= 1");
+}
+
+std::vector<Tensor> BatchRunner::forward_all(
+    const std::vector<Tensor>& inputs) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Tensor> outputs;
+  outputs.reserve(inputs.size());
+  stats_ = {};
+  const std::span<const Tensor> all(inputs);
+  std::size_t i = 0;
+  while (i < inputs.size()) {
+    const std::size_t count = std::min(cfg_.batch_size, inputs.size() - i);
+    auto batch = net_->forward_batch(all.subspan(i, count), pool_);
+    for (auto& t : batch) {
+      outputs.push_back(std::move(t));
+    }
+    ++stats_.batches;
+    i += count;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  stats_.samples = inputs.size();
+  stats_.wall_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  return outputs;
+}
+
+std::vector<std::size_t> BatchRunner::predict_all(
+    const std::vector<Tensor>& inputs) const {
+  const auto outputs = forward_all(inputs);
+  std::vector<std::size_t> preds(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    preds[i] = argmax(outputs[i]);
+  }
+  return preds;
+}
+
+double BatchRunner::accuracy(const std::vector<Sample>& samples) const {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<Tensor> inputs;
+  inputs.reserve(samples.size());
+  for (const auto& s : samples) {
+    inputs.push_back(s.image);
+  }
+  const auto preds = predict_all(inputs);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (preds[i] == samples[i].label) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+}  // namespace eb::bnn

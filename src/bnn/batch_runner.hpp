@@ -1,0 +1,77 @@
+// Batched bit-parallel inference engine.
+//
+// The reference path (Network::forward) pushes one Tensor at a time
+// through every layer -- the right tool for tracing and mapping
+// validation, but a per-sample schedule. BatchRunner drives a whole batch
+// per layer step instead: binary layers pack the batch's activations into
+// a PackedMatrix and run one fused XNOR+Popcount GEMM against the layer's
+// packed weights; every other layer kind fans the batch out across a
+// thread pool. Outputs are bit-identical to the per-sample path (the
+// binary kernels are exact integer popcounts and the float layers run the
+// very same per-sample code).
+//
+// This is the engine the accuracy sweeps and the throughput benches use;
+// later scaling work (serving APIs, sharding) builds on the same
+// Layer::forward_batch hooks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bnn/dataset.hpp"
+#include "bnn/network.hpp"
+#include "bnn/tensor.hpp"
+#include "common/thread_pool.hpp"
+
+namespace eb::bnn {
+
+struct BatchRunnerConfig {
+  // Samples per GEMM batch. 64 keeps a 1024-wide layer's activation slab
+  // inside L2 while amortizing the weight stream across the batch.
+  std::size_t batch_size = 64;
+  // Total concurrency (1 = inline/deterministic single-thread,
+  // 0 = hardware concurrency).
+  std::size_t threads = 1;
+};
+
+struct BatchStats {
+  std::size_t samples = 0;
+  std::size_t batches = 0;
+  double wall_ns = 0.0;
+
+  [[nodiscard]] double samples_per_s() const {
+    return wall_ns > 0.0 ? samples / (wall_ns * 1e-9) : 0.0;
+  }
+};
+
+// One BatchRunner serves one caller at a time: the run methods share the
+// internal pool and the last_stats() slot, so concurrent calls on the
+// same instance race. A future serving layer should hold one runner per
+// worker (they can all reference the same Network, which stays const).
+class BatchRunner {
+ public:
+  explicit BatchRunner(const Network& net, BatchRunnerConfig cfg = {});
+
+  // Forward every input; out[i] is bit-identical to net.forward(inputs[i]).
+  [[nodiscard]] std::vector<Tensor> forward_all(
+      const std::vector<Tensor>& inputs) const;
+
+  // argmax readout per input.
+  [[nodiscard]] std::vector<std::size_t> predict_all(
+      const std::vector<Tensor>& inputs) const;
+
+  // Classification accuracy over labeled samples.
+  [[nodiscard]] double accuracy(const std::vector<Sample>& samples) const;
+
+  [[nodiscard]] const BatchRunnerConfig& config() const { return cfg_; }
+  // Wall-clock and batch counters of the most recent run.
+  [[nodiscard]] const BatchStats& last_stats() const { return stats_; }
+
+ private:
+  const Network* net_;
+  BatchRunnerConfig cfg_;
+  mutable ThreadPool pool_;
+  mutable BatchStats stats_;
+};
+
+}  // namespace eb::bnn

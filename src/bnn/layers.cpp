@@ -8,6 +8,17 @@
 
 namespace eb::bnn {
 
+std::vector<Tensor> Layer::forward_batch(std::span<const Tensor> xs,
+                                         ThreadPool& pool) const {
+  std::vector<Tensor> out(xs.size());
+  pool.parallel_for(0, xs.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = forward(xs[i]);
+    }
+  });
+  return out;
+}
+
 // ---------------------------------------------------------------- Dense --
 
 DenseLayer::DenseLayer(std::string name, Tensor weights, Tensor bias,
@@ -58,7 +69,9 @@ LayerSpec DenseLayer::spec() const {
 // ---------------------------------------------------------- BinaryDense --
 
 BinaryDenseLayer::BinaryDenseLayer(std::string name, BitMatrix weights)
-    : name_(std::move(name)), weights_(std::move(weights)) {}
+    : name_(std::move(name)),
+      weights_(std::move(weights)),
+      packed_(PackedMatrix::from_bit_matrix(weights_)) {}
 
 BinaryDenseLayer BinaryDenseLayer::random(std::string name, std::size_t in,
                                           std::size_t out, Rng& rng) {
@@ -75,12 +88,39 @@ Tensor BinaryDenseLayer::forward(const Tensor& x) const {
   return out;
 }
 
+std::vector<Tensor> BinaryDenseLayer::forward_batch(
+    std::span<const Tensor> xs, ThreadPool& pool) const {
+  const std::size_t in = weights_.cols();
+  const std::size_t out_n = weights_.rows();
+  PackedMatrix x(xs.size(), in);
+  pool.parallel_for(0, xs.size(), 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      EB_REQUIRE(xs[i].size() == in,
+                 "binary dense input size mismatch in " + name_);
+      x.set_row_signs(i, xs[i].data(), in);
+    }
+  });
+  std::vector<Tensor> out(xs.size(), Tensor({out_n}));
+  xnor_signed_gemm_visit(
+      x, packed_,
+      [&out](std::size_t i, const std::int32_t* vals, std::size_t n) {
+        double* dst = out[i].data();
+        for (std::size_t o = 0; o < n; ++o) {
+          dst[o] = static_cast<double>(vals[o]);
+        }
+      },
+      &pool);
+  return out;
+}
+
 std::vector<long long> BinaryDenseLayer::forward_bits(const BitVec& x) const {
   EB_REQUIRE(x.size() == weights_.cols(),
              "binary dense input size mismatch in " + name_);
-  std::vector<long long> y(weights_.rows());
-  for (std::size_t r = 0; r < weights_.rows(); ++r) {
-    y[r] = weights_.row(r).signed_dot(x);
+  const auto pc = xnor_popcount_rows(packed_, x);
+  const auto m = static_cast<long long>(weights_.cols());
+  std::vector<long long> y(pc.size());
+  for (std::size_t r = 0; r < pc.size(); ++r) {
+    y[r] = 2LL * static_cast<long long>(pc[r]) - m;
   }
   return y;
 }
@@ -182,6 +222,7 @@ BinaryConv2dLayer::BinaryConv2dLayer(std::string name, Conv2dGeom geom,
   for (const auto& k : kernels_) {
     EB_REQUIRE(k.size() == m, "kernel length mismatch");
   }
+  packed_ = PackedMatrix::from_rows(kernels_);
 }
 
 BinaryConv2dLayer BinaryConv2dLayer::random(std::string name, Conv2dGeom geom,
@@ -220,23 +261,73 @@ BitVec BinaryConv2dLayer::im2col_window(const Tensor& x, const Conv2dGeom& geom,
   return bits;
 }
 
+namespace {
+
+// Packs every im2col window of one sample into consecutive rows of `dst`
+// starting at `row0` (row order: oh-major, ow-minor).
+void pack_im2col_rows(PackedMatrix& dst, std::size_t row0, const Tensor& x,
+                      const Conv2dGeom& geom) {
+  const std::size_t oh = geom.out_h();
+  const std::size_t ow = geom.out_w();
+  for (std::size_t i = 0; i < oh; ++i) {
+    for (std::size_t j = 0; j < ow; ++j) {
+      dst.set_row(row0 + i * ow + j,
+                  BinaryConv2dLayer::im2col_window(x, geom, i, j));
+    }
+  }
+}
+
+// Scatters one im2col window's GEMM row (out_ch signed products, window
+// index `win` within the sample) into the [out_ch, oh, ow] tensor.
+void scatter_conv_row(Tensor& y, std::size_t win, const std::int32_t* vals,
+                      const Conv2dGeom& geom) {
+  const std::size_t hw = geom.out_h() * geom.out_w();
+  double* dst = y.data() + win;  // y[oc][i][j] with i*ow+j == win
+  for (std::size_t oc = 0; oc < geom.out_ch; ++oc) {
+    dst[oc * hw] = static_cast<double>(vals[oc]);
+  }
+}
+
+}  // namespace
+
 Tensor BinaryConv2dLayer::forward(const Tensor& x) const {
   EB_REQUIRE(x.rank() == 3 && x.dim(0) == geom_.in_ch &&
                  x.dim(1) == geom_.in_h && x.dim(2) == geom_.in_w,
              "binary conv input shape mismatch in " + name_);
-  const std::size_t oh = geom_.out_h();
-  const std::size_t ow = geom_.out_w();
-  Tensor y({geom_.out_ch, oh, ow});
-  for (std::size_t i = 0; i < oh; ++i) {
-    for (std::size_t j = 0; j < ow; ++j) {
-      const BitVec window = im2col_window(x, geom_, i, j);
-      for (std::size_t oc = 0; oc < geom_.out_ch; ++oc) {
-        y.at({oc, i, j}) =
-            static_cast<double>(kernels_[oc].signed_dot(window));
-      }
-    }
-  }
+  const std::size_t windows = geom_.out_h() * geom_.out_w();
+  PackedMatrix xw(windows, packed_.cols());
+  pack_im2col_rows(xw, 0, x, geom_);
+  Tensor y({geom_.out_ch, geom_.out_h(), geom_.out_w()});
+  xnor_signed_gemm_visit(
+      xw, packed_,
+      [&y, this](std::size_t win, const std::int32_t* vals, std::size_t) {
+        scatter_conv_row(y, win, vals, geom_);
+      });
   return y;
+}
+
+std::vector<Tensor> BinaryConv2dLayer::forward_batch(
+    std::span<const Tensor> xs, ThreadPool& pool) const {
+  const std::size_t windows = geom_.out_h() * geom_.out_w();
+  PackedMatrix xw(xs.size() * windows, packed_.cols());
+  pool.parallel_for(0, xs.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      EB_REQUIRE(xs[s].rank() == 3 && xs[s].dim(0) == geom_.in_ch &&
+                     xs[s].dim(1) == geom_.in_h && xs[s].dim(2) == geom_.in_w,
+                 "binary conv input shape mismatch in " + name_);
+      pack_im2col_rows(xw, s * windows, xs[s], geom_);
+    }
+  });
+  std::vector<Tensor> out(
+      xs.size(), Tensor({geom_.out_ch, geom_.out_h(), geom_.out_w()}));
+  xnor_signed_gemm_visit(
+      xw, packed_,
+      [&out, windows, this](std::size_t row, const std::int32_t* vals,
+                            std::size_t) {
+        scatter_conv_row(out[row / windows], row % windows, vals, geom_);
+      },
+      &pool);
+  return out;
 }
 
 LayerSpec BinaryConv2dLayer::spec() const {

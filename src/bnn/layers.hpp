@@ -13,13 +13,16 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "bnn/packed.hpp"
 #include "bnn/spec.hpp"
 #include "bnn/tensor.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace eb::bnn {
 
@@ -28,6 +31,13 @@ class Layer {
   virtual ~Layer() = default;
 
   [[nodiscard]] virtual Tensor forward(const Tensor& x) const = 0;
+
+  // Batched forward: out[i] must be bit-identical to forward(xs[i]). The
+  // default fans the samples out across the pool; binary layers override
+  // with fused packed XNOR+Popcount GEMMs over the whole batch.
+  [[nodiscard]] virtual std::vector<Tensor> forward_batch(
+      std::span<const Tensor> xs, ThreadPool& pool) const;
+
   [[nodiscard]] virtual LayerSpec spec() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -69,6 +79,9 @@ class BinaryDenseLayer final : public Layer {
                                                Rng& rng);
 
   [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  // One fused GEMM over the whole batch of binarized activations.
+  [[nodiscard]] std::vector<Tensor> forward_batch(
+      std::span<const Tensor> xs, ThreadPool& pool) const override;
   // Packed fast path: y[j] = 2*popcount(x XNOR w_j) - m.
   [[nodiscard]] std::vector<long long> forward_bits(const BitVec& x) const;
 
@@ -80,6 +93,7 @@ class BinaryDenseLayer final : public Layer {
  private:
   std::string name_;
   BitMatrix weights_;
+  PackedMatrix packed_;  // contiguous copy of weights_, built once
 };
 
 // Higher-precision conv layer (first layer of the CNNs).
@@ -117,6 +131,9 @@ class BinaryConv2dLayer final : public Layer {
                                                 Conv2dGeom geom, Rng& rng);
 
   [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  // Batched im2col + one fused GEMM across all windows of all samples.
+  [[nodiscard]] std::vector<Tensor> forward_batch(
+      std::span<const Tensor> xs, ThreadPool& pool) const override;
   [[nodiscard]] LayerSpec spec() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
@@ -133,6 +150,7 @@ class BinaryConv2dLayer final : public Layer {
   std::string name_;
   Conv2dGeom geom_;
   std::vector<BitVec> kernels_;
+  PackedMatrix packed_;  // contiguous copy of kernels_, built once
 };
 
 // Inference-time batch normalization (per-channel affine).

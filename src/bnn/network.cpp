@@ -24,6 +24,35 @@ Tensor Network::forward_trace(const Tensor& input,
   return x;
 }
 
+std::vector<Tensor> Network::forward_batch(std::span<const Tensor> inputs,
+                                           ThreadPool& pool) const {
+  if (layers_.empty()) {
+    return {inputs.begin(), inputs.end()};
+  }
+  // First layer reads `inputs` directly; no up-front batch copy.
+  std::vector<Tensor> xs = layers_.front()->forward_batch(inputs, pool);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    xs = layers_[i]->forward_batch(xs, pool);
+  }
+  return xs;
+}
+
+std::vector<Tensor> Network::forward_batch(
+    std::span<const Tensor> inputs) const {
+  ThreadPool inline_pool(1);
+  return forward_batch(inputs, inline_pool);
+}
+
+std::vector<std::size_t> Network::predict_batch(
+    std::span<const Tensor> inputs, ThreadPool& pool) const {
+  const auto outputs = forward_batch(inputs, pool);
+  std::vector<std::size_t> preds(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    preds[i] = argmax(outputs[i]);
+  }
+  return preds;
+}
+
 std::size_t Network::predict(const Tensor& input) const {
   return argmax(forward(input));
 }

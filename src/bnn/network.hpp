@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,20 @@ class Network {
   }
 
   [[nodiscard]] Tensor forward(const Tensor& input) const;
+
+  // Batched forward through every layer's forward_batch hook: out[i] is
+  // bit-identical to forward(inputs[i]). Binary layers run one fused
+  // packed XNOR+Popcount GEMM per batch; the pool shards everything else.
+  // The span overload lets callers (e.g. BatchRunner) hand in slices of a
+  // larger sample set without copying tensors.
+  [[nodiscard]] std::vector<Tensor> forward_batch(std::span<const Tensor> inputs,
+                                                  ThreadPool& pool) const;
+  // Convenience: inline single-threaded batch.
+  [[nodiscard]] std::vector<Tensor> forward_batch(
+      std::span<const Tensor> inputs) const;
+
+  [[nodiscard]] std::vector<std::size_t> predict_batch(
+      std::span<const Tensor> inputs, ThreadPool& pool) const;
 
   // Forward that also records the input tensor seen by each layer (index-
   // aligned with layers()). Mapping-equivalence tests use this to replay a

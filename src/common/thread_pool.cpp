@@ -1,0 +1,122 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace eb {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // Catches negative counts wrapped through size_t at the call boundary.
+  EB_REQUIRE(threads <= 65536, "implausible thread count");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stop_ set and queue drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  EB_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  if (workers_.empty() || n <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  // Shared state for this invocation: an atomic work cursor plus a
+  // completion latch. Helpers (worker threads and the caller) loop the
+  // cursor until the range drains.
+  struct Shared {
+    std::atomic<std::size_t> cursor;
+    std::atomic<std::size_t> active;
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->cursor.store(begin, std::memory_order_relaxed);
+
+  auto run_chunks = [shared, end, grain, &body] {
+    for (;;) {
+      const std::size_t s =
+          shared->cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (s >= end) {
+        break;
+      }
+      try {
+        body(s, std::min(s + grain, end));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(shared->mu);
+        if (!shared->error) {
+          shared->error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  shared->active.store(helpers, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      tasks_.emplace([shared, run_chunks] {
+        run_chunks();
+        if (shared->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          const std::lock_guard<std::mutex> done_lock(shared->mu);
+          shared->done.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  run_chunks();  // the calling thread pulls chunks too
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->done.wait(lock, [&shared] {
+    return shared->active.load(std::memory_order_acquire) == 0;
+  });
+  if (shared->error) {
+    std::rethrow_exception(shared->error);
+  }
+}
+
+}  // namespace eb

@@ -1,0 +1,57 @@
+// Small fixed-size thread pool for data-parallel loops.
+//
+// The batched inference engine (bnn/batch_runner) and the packed GEMM
+// kernels (bnn/packed) shard their outer loops over this pool. Design
+// points:
+//
+//  * `threads` is the total concurrency including the calling thread, so
+//    ThreadPool(1) spawns nothing and parallel_for runs inline -- the
+//    deterministic single-threaded mode tests compare against.
+//  * parallel_for hands out contiguous [begin, end) chunks through an
+//    atomic cursor, so uneven per-item cost (e.g. conv vs dense layers)
+//    load-balances without a scheduler.
+//  * The first exception thrown by any chunk is rethrown on the calling
+//    thread after all workers drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eb {
+
+class ThreadPool {
+ public:
+  // `threads` = total concurrency (callers + workers); 0 picks the
+  // hardware concurrency. ThreadPool(1) is fully inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total concurrency (worker threads + the calling thread).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  // Runs body(chunk_begin, chunk_end) over a partition of [begin, end)
+  // into chunks of at most `grain` items. Blocks until every chunk has
+  // run; rethrows the first chunk exception.
+  void parallel_for(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace eb

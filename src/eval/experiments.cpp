@@ -1,5 +1,11 @@
 #include "eval/experiments.hpp"
 
+#include <chrono>
+
+#include "bnn/batch_runner.hpp"
+#include "bnn/dataset.hpp"
+#include "bnn/trainer.hpp"
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 
@@ -141,6 +147,79 @@ Table layer_breakdown_table(const arch::CostModel& model, arch::Design design,
   }
   t.add_row({"TOTAL", Table::num(ns_to_us(cost.latency_ns), 3),
              Table::num(pj_to_nj(cost.energy_pj), 2), "-", "-", "-"});
+  return t;
+}
+
+AccuracySweepResult run_accuracy_sweep(const AccuracySweepConfig& cfg) {
+  EB_REQUIRE(cfg.eval_samples >= 1, "accuracy sweep needs eval samples");
+  bnn::TrainerConfig tcfg;
+  tcfg.dims = cfg.dims;
+  tcfg.epochs = cfg.epochs;
+  tcfg.train_samples = cfg.train_samples;
+  bnn::MlpTrainer trainer(tcfg);
+  const bnn::SyntheticMnist data(cfg.seed);
+  trainer.train(data);
+  const bnn::Network net = trainer.export_network("accuracy-sweep");
+
+  const auto samples = data.batch(cfg.eval_start, cfg.eval_samples);
+  AccuracySweepResult r;
+  r.samples = samples.size();
+
+  // Scalar per-sample reference path.
+  std::vector<std::size_t> scalar_preds(samples.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t scalar_correct = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    scalar_preds[i] = net.predict(samples[i].image);
+    if (scalar_preds[i] == samples[i].label) {
+      ++scalar_correct;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.scalar_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  r.scalar_accuracy =
+      static_cast<double>(scalar_correct) / static_cast<double>(r.samples);
+
+  // Packed batched engine.
+  bnn::BatchRunnerConfig bcfg;
+  bcfg.batch_size = cfg.batch_size;
+  bcfg.threads = cfg.threads;
+  const bnn::BatchRunner runner(net, bcfg);
+  std::vector<bnn::Tensor> inputs;
+  inputs.reserve(samples.size());
+  for (const auto& s : samples) {
+    inputs.push_back(s.image);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto batched_preds = runner.predict_all(inputs);
+  const auto t3 = std::chrono::steady_clock::now();
+  r.batched_ns = std::chrono::duration<double, std::nano>(t3 - t2).count();
+
+  std::size_t batched_correct = 0;
+  r.predictions_identical = true;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (batched_preds[i] == samples[i].label) {
+      ++batched_correct;
+    }
+    if (batched_preds[i] != scalar_preds[i]) {
+      r.predictions_identical = false;
+    }
+  }
+  r.batched_accuracy =
+      static_cast<double>(batched_correct) / static_cast<double>(r.samples);
+  return r;
+}
+
+Table accuracy_sweep_table(const AccuracySweepResult& r) {
+  Table t({"engine", "accuracy", "wall (ms)", "samples/s"});
+  const double scalar_s = r.scalar_ns * 1e-9;
+  const double batched_s = r.batched_ns * 1e-9;
+  t.add_row({"scalar per-sample", Table::num(r.scalar_accuracy, 4),
+             Table::num(ns_to_ms(r.scalar_ns), 2),
+             Table::num(scalar_s > 0.0 ? r.samples / scalar_s : 0.0, 0)});
+  t.add_row({"packed batched", Table::num(r.batched_accuracy, 4),
+             Table::num(ns_to_ms(r.batched_ns), 2),
+             Table::num(batched_s > 0.0 ? r.samples / batched_s : 0.0, 0)});
   return t;
 }
 

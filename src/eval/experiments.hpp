@@ -87,4 +87,43 @@ struct Fig8Result {
                                           arch::Design design,
                                           const bnn::NetworkSpec& net);
 
+// ---- Accuracy sweep (functional path) ----------------------------------
+//
+// Paper section V-C: the mappings accelerate, they do not change the
+// arithmetic -- so reference accuracy is the quantity every engine must
+// reproduce. This driver trains a binarized MLP on the synthetic MNIST
+// stand-in and evaluates the held-out split twice: through the per-sample
+// scalar path (Network::forward) and through the packed batched engine
+// (bnn::BatchRunner). The two must agree prediction-by-prediction; the
+// timing columns quantify what the batched engine buys.
+
+struct AccuracySweepConfig {
+  std::vector<std::size_t> dims{784, 96, 64, 10};
+  std::size_t epochs = 2;
+  std::size_t train_samples = 400;
+  std::size_t eval_start = 10000;
+  std::size_t eval_samples = 256;
+  std::size_t batch_size = 64;
+  std::size_t threads = 1;  // 0 = hardware concurrency
+  std::uint64_t seed = 42;
+};
+
+struct AccuracySweepResult {
+  std::size_t samples = 0;
+  double scalar_accuracy = 0.0;
+  double batched_accuracy = 0.0;
+  double scalar_ns = 0.0;
+  double batched_ns = 0.0;
+  bool predictions_identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return batched_ns > 0.0 ? scalar_ns / batched_ns : 0.0;
+  }
+};
+
+[[nodiscard]] AccuracySweepResult run_accuracy_sweep(
+    const AccuracySweepConfig& cfg);
+
+[[nodiscard]] Table accuracy_sweep_table(const AccuracySweepResult& r);
+
 }  // namespace eb::eval

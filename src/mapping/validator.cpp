@@ -31,6 +31,23 @@ void finalize(ValidationReport& rep) {
   }
 }
 
+// Shared driver for the per-input mappings: gold results come from the
+// packed batched engine (task.reference() runs one fused XNOR+Popcount
+// GEMM over all windows), the mapped execution stays per-input because
+// that is the schedule the modeled hardware runs.
+template <typename Mapped>
+ValidationReport validate_per_input(const XnorPopcountTask& task,
+                                    const Mapped& mapped,
+                                    const dev::NoiseModel& noise, Rng& rng) {
+  const auto gold = task.reference();
+  ValidationReport rep;
+  for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+    accumulate(rep, mapped.execute(task.inputs[i], noise, rng), gold[i]);
+  }
+  finalize(rep);
+  return rep;
+}
+
 }  // namespace
 
 std::string ValidationReport::summary() const {
@@ -46,13 +63,7 @@ ValidationReport validate_tacit_electrical(const XnorPopcountTask& task,
                                            const dev::NoiseModel& noise,
                                            Rng& rng) {
   const TacitMapElectrical mapped(task.weights, cfg);
-  const auto gold = task.reference();
-  ValidationReport rep;
-  for (std::size_t i = 0; i < task.inputs.size(); ++i) {
-    accumulate(rep, mapped.execute(task.inputs[i], noise, rng), gold[i]);
-  }
-  finalize(rep);
-  return rep;
+  return validate_per_input(task, mapped, noise, rng);
 }
 
 ValidationReport validate_tacit_optical(const XnorPopcountTask& task,
@@ -85,13 +96,7 @@ ValidationReport validate_cust_binary(const XnorPopcountTask& task,
                                       const dev::NoiseModel& noise,
                                       Rng& rng) {
   const CustBinaryMap mapped(task.weights, cfg);
-  const auto gold = task.reference();
-  ValidationReport rep;
-  for (std::size_t i = 0; i < task.inputs.size(); ++i) {
-    accumulate(rep, mapped.execute(task.inputs[i], noise, rng), gold[i]);
-  }
-  finalize(rep);
-  return rep;
+  return validate_per_input(task, mapped, noise, rng);
 }
 
 }  // namespace eb::map

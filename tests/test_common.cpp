@@ -55,7 +55,7 @@ TEST(BitVec, ConstructionAndAccess) {
 
 TEST(BitVec, OutOfRangeThrows) {
   BitVec v(8);
-  EXPECT_THROW(v.get(8), Error);
+  EXPECT_THROW(static_cast<void>(v.get(8)), Error);
   EXPECT_THROW(v.set(100, true), Error);
   EXPECT_THROW(v.slice(4, 5), Error);
 }
@@ -188,14 +188,14 @@ TEST(Stats, AccumulatorMoments) {
 TEST(Stats, EmptyAccumulatorGuards) {
   StatAccumulator acc;
   EXPECT_EQ(acc.mean(), 0.0);
-  EXPECT_THROW(acc.min(), Error);
+  EXPECT_THROW(static_cast<void>(acc.min()), Error);
 }
 
 TEST(Stats, Means) {
   const std::vector<double> xs = {1.0, 10.0, 100.0};
   EXPECT_NEAR(arithmetic_mean(xs), 37.0, 1e-12);
   EXPECT_NEAR(geometric_mean(xs), 10.0, 1e-9);
-  EXPECT_THROW(geometric_mean({1.0, -2.0}), Error);
+  EXPECT_THROW(static_cast<void>(geometric_mean({1.0, -2.0})), Error);
 }
 
 TEST(Stats, HistogramBinning) {

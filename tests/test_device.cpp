@@ -31,7 +31,7 @@ TEST(EpcmDevice, MultiLevelSpacingIsUniform) {
     EXPECT_NEAR(d.nominal_conductance(l) - d.nominal_conductance(l - 1), step,
                 1e-12);
   }
-  EXPECT_THROW(d.nominal_conductance(5), Error);
+  EXPECT_THROW(static_cast<void>(d.nominal_conductance(5)), Error);
 }
 
 TEST(EpcmDevice, ProgrammingVariabilityHasExpectedSpread) {

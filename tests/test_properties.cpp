@@ -7,6 +7,7 @@
 
 #include "arch/cost_model.hpp"
 #include "bnn/model_zoo.hpp"
+#include "bnn/packed.hpp"
 #include "bnn/trainer.hpp"
 #include "common/bitvec.hpp"
 #include "device/noise.hpp"
@@ -17,6 +18,102 @@
 
 namespace eb {
 namespace {
+
+// --------------------------------------- bit-kernel randomized properties --
+//
+// The packed kernels (BitVec word loops and the PackedMatrix SIMD sweeps)
+// must agree with a naive bit-by-bit reference on *randomized* lengths,
+// with non-multiple-of-64 tails deliberately over-represented: every past
+// kernel bug class (unmasked padding, blocked-row remainders, vector
+// tails) lives at those boundaries.
+
+std::size_t random_awkward_length(Rng& rng) {
+  // Half the draws hug a word boundary, the rest are uniform.
+  if (rng.bernoulli(0.5)) {
+    const std::size_t base =
+        64 * static_cast<std::size_t>(rng.uniform_int(1, 20));
+    const auto jitter = rng.uniform_int(-2, 2);
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(base) + jitter);
+  }
+  return static_cast<std::size_t>(rng.uniform_int(1, 1300));
+}
+
+TEST(BitKernelProperties, XnorPopcountMatchesNaiveOnRandomLengths) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t len = random_awkward_length(rng);
+    const BitVec a = BitVec::random(len, rng);
+    const BitVec b = BitVec::random(len, rng);
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      naive += (a.get(i) == b.get(i)) ? 1 : 0;
+    }
+    EXPECT_EQ(a.xnor_popcount(b), naive) << "len=" << len;
+    EXPECT_EQ(a.xnor(b).popcount(), naive) << "len=" << len;
+  }
+}
+
+TEST(BitKernelProperties, ComplementMatchesNaiveAndPreservesPadding) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t len = random_awkward_length(rng);
+    const BitVec v = BitVec::random(len, rng);
+    const BitVec c = v.complemented();
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(c.get(i), !v.get(i)) << "len=" << len << " bit " << i;
+    }
+    EXPECT_EQ(v.popcount() + c.popcount(), len) << "padding leaked";
+    EXPECT_EQ(c.complemented(), v);
+  }
+}
+
+TEST(BitKernelProperties, PopcountMatchesNaiveCount) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t len = random_awkward_length(rng);
+    const BitVec v = BitVec::random(len, rng);
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      naive += v.get(i) ? 1 : 0;
+    }
+    EXPECT_EQ(v.popcount(), naive) << "len=" << len;
+  }
+}
+
+TEST(BitKernelProperties, PackedSweepMatchesNaiveOnRandomShapes) {
+  Rng rng(2027);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t cols = random_awkward_length(rng);
+    const std::size_t wn = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    const BitMatrix w = BitMatrix::random(wn, cols, rng);
+    const BitVec x = BitVec::random(cols, rng);
+    const auto got =
+        bnn::xnor_popcount_rows(bnn::PackedMatrix::from_bit_matrix(w), x);
+    ASSERT_EQ(got.size(), wn);
+    for (std::size_t j = 0; j < wn; ++j) {
+      std::size_t naive = 0;
+      for (std::size_t i = 0; i < cols; ++i) {
+        naive += (x.get(i) == w.get(j, i)) ? 1 : 0;
+      }
+      EXPECT_EQ(got[j], naive) << "cols=" << cols << " row " << j;
+    }
+  }
+}
+
+TEST(BitKernelProperties, PackedWordKernelHandlesTailWords) {
+  Rng rng(2028);
+  for (const std::size_t len : {1u, 2u, 63u, 64u, 65u, 191u, 192u, 193u,
+                                255u, 256u, 257u, 511u, 513u}) {
+    const BitVec a = BitVec::random(len, rng);
+    const BitVec b = BitVec::random(len, rng);
+    const std::size_t words = (len + 63) / 64;
+    const std::size_t pad = words * 64 - len;
+    EXPECT_EQ(bnn::xnor_popcount_words(a.words().data(), b.words().data(),
+                                       words, pad),
+              a.xnor_popcount(b))
+        << "len=" << len;
+  }
+}
 
 // ------------------------------------------------ partition completeness --
 
