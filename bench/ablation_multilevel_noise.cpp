@@ -7,8 +7,14 @@
 // through a noisy receiver chain, and measure the level-decode error rate
 // as a function of L and the noise sigma. Binary (L = 2) should stay
 // error-free far past the point where 8- or 16-level cells fail.
+// Execution: the read trials for each (sigma, L) cell are split into
+// Monte-Carlo repetitions fanned out across the thread pool
+// (eval::run_noise_monte_carlo); every repetition draws from its own
+// forked RngStream, so the error rates are bit-identical for any
+// EB_THREADS setting.
 #include <cstdio>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/config.hpp"
@@ -16,18 +22,24 @@
 #include "common/table.hpp"
 #include "device/noise.hpp"
 #include "device/pcm.hpp"
+#include "eval/experiments.hpp"
 
 int main(int argc, char** argv) {
   using namespace eb;
   const Config cfg = Config::from_args(argc, argv);
   const int trials = static_cast<int>(cfg.get_int("trials", 20000));
-  Rng rng(17);
+  const auto reps = static_cast<std::size_t>(cfg.get_int("reps", 8));
+  // Round up so at least `trials` reads run in total.
+  const int trials_per_rep = std::max(
+      1, (trials + static_cast<int>(reps) - 1) /
+             std::max(1, static_cast<int>(reps)));
 
   const std::vector<double> sigmas = {0.01, 0.02, 0.05, 0.10, 0.20};
   const std::vector<std::size_t> levels = {2, 4, 8, 16};
 
   Table t({"read noise sigma (frac of range)", "L=2 error", "L=4 error",
            "L=8 error", "L=16 error"});
+  ThreadPool pool(0);  // shared across every (sigma, L) cell's MC sweep
   for (const double sigma : sigmas) {
     std::vector<std::string> row = {Table::num(sigma, 2)};
     for (const std::size_t l : levels) {
@@ -36,33 +48,46 @@ int main(int argc, char** argv) {
       const dev::GaussianReadNoise noise(sigma);
       const double range = params.t_amorphous - params.t_crystalline;
 
-      std::size_t errors = 0;
-      for (int i = 0; i < trials; ++i) {
-        const auto level =
-            static_cast<std::size_t>(rng.uniform_int(0, static_cast<long long>(l) - 1));
-        dev::OpcmDevice device(params);
-        device.program(level, rng);
-        // Noisy transmission readout, then nearest-level decode.
-        const double read =
-            noise.apply(device.nominal_transmission(level), range, rng);
-        const double frac = (read - params.t_crystalline) / range;
-        const long long decoded = std::llround(
-            frac * static_cast<double>(l - 1));
-        const auto clamped = static_cast<std::size_t>(
-            std::max<long long>(0, std::min<long long>(decoded,
-                                                       static_cast<long long>(l) - 1)));
-        if (clamped != level) {
-          ++errors;
+      // One repetition = trials_per_rep independent program/read/decode
+      // cycles; the metric is the repetition's error fraction.
+      const auto metric = [&](std::size_t, RngStream& rng) {
+        std::size_t errors = 0;
+        for (int i = 0; i < trials_per_rep; ++i) {
+          const auto level = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<long long>(l) - 1));
+          dev::OpcmDevice device(params);
+          device.program(level, rng);
+          // Noisy transmission readout, then nearest-level decode.
+          const double read =
+              noise.apply(device.nominal_transmission(level), range, rng);
+          const double frac = (read - params.t_crystalline) / range;
+          const long long decoded =
+              std::llround(frac * static_cast<double>(l - 1));
+          const auto clamped = static_cast<std::size_t>(std::max<long long>(
+              0, std::min<long long>(decoded,
+                                     static_cast<long long>(l) - 1)));
+          if (clamped != level) {
+            ++errors;
+          }
         }
-      }
-      row.push_back(Table::num(
-          static_cast<double>(errors) / static_cast<double>(trials), 4));
+        return static_cast<double>(errors) /
+               static_cast<double>(trials_per_rep);
+      };
+
+      eval::NoiseMcConfig mc;
+      mc.repetitions = reps;
+      mc.pool = &pool;
+      mc.seed = 17 + l;
+      const auto r = eval::run_noise_monte_carlo(metric, mc);
+      row.push_back(Table::num(r.stats.mean(), 4));
     }
     t.add_row(std::move(row));
   }
 
   std::puts("== Ablation: multi-level PCM robustness under read noise ==");
-  std::printf("(%d reads per cell configuration)\n", trials);
+  std::printf("(%zu x %d reads per cell configuration, repetitions across"
+              " the pool)\n",
+              reps, trials_per_rep);
   std::fputs(t.render().c_str(), stdout);
   std::puts("\nBinary cells tolerate an order of magnitude more read noise"
             "\nthan 8/16-level cells -- the paper's section II-C argument"

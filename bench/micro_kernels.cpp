@@ -5,9 +5,11 @@
 // *modeled* hardware, not the simulator).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bnn/batch_runner.hpp"
@@ -195,6 +197,49 @@ void BM_PackedBatchedDense(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedBatchedDense)->Arg(1)->Arg(0);
 
+// -- serial vs sharded mapped execution ----------------------------------
+//
+// The mapped executors flatten (row segment x column tile) crossbar steps
+// through map::CrossbarScheduler. This fixture is a paper-scale hidden
+// layer (m = 2048 inputs, n = 1024 weight vectors) on 512x512 crossbars:
+// 2m = 4096 rows -> 8 segments x 2 column tiles = 16 independent shards,
+// executed under realistic Gaussian read noise.
+
+struct ShardedFixture {
+  eb::map::XnorPopcountTask task;
+  eb::map::TacitMapElectrical mapped;
+  eb::dev::GaussianReadNoise noise{0.001};
+
+  ShardedFixture()
+      : task(make_task()),
+        mapped(task.weights, eb::map::TacitElectricalConfig{}) {}
+
+  static eb::map::XnorPopcountTask make_task() {
+    eb::Rng rng(21);
+    return eb::map::XnorPopcountTask::random(2048, 1024, 1, rng);
+  }
+};
+
+const ShardedFixture& sharded_fixture() {
+  static const ShardedFixture f;
+  return f;
+}
+
+void BM_TacitMapExecuteSharded(benchmark::State& state) {
+  const auto& f = sharded_fixture();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  eb::ThreadPool pool(threads);
+  eb::Rng rng(22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.mapped.execute(f.task.inputs[0], f.noise, rng, &pool));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(f.mapped.partition().crossbars()));
+}
+BENCHMARK(BM_TacitMapExecuteSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
 void BM_OpticalWdmExecute(benchmark::State& state) {
   eb::Rng rng(7);
   const auto k = static_cast<std::size_t>(state.range(0));
@@ -255,6 +300,52 @@ void report_engine_speedup() {
               reference_s / packed_s);
 }
 
+// Acceptance check for the sharded crossbar scheduler: times the mapped
+// noisy execution of the paper-scale fixture serially and at 1, 2 and N
+// threads (min-of-5 runs each) and prints crossbar steps/sec + speedup.
+void report_sharded_mapping_speedup() {
+  const auto& f = sharded_fixture();
+  const std::size_t hw =
+      std::max<std::size_t>(4, std::thread::hardware_concurrency());
+  auto time_min_s = [](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  };
+  const auto time_with_pool = [&](eb::ThreadPool* pool) {
+    eb::Rng rng(23);
+    return time_min_s([&f, pool, &rng] {
+      for (int i = 0; i < 4; ++i) {
+        benchmark::DoNotOptimize(
+            f.mapped.execute(f.task.inputs[0], f.noise, rng, pool));
+      }
+    });
+  };
+  const double steps =
+      4.0 * static_cast<double>(f.mapped.partition().crossbars());
+  const double serial_s = time_with_pool(nullptr);
+  std::printf(
+      "\n== sharded mapped execution vs serial loop "
+      "(TacitMap-ePCM, m=2048 n=1024, %zu shards, read noise 0.1%%) ==\n",
+      f.mapped.partition().crossbars());
+  std::printf("serial nested loops              : %8.3f ms  (%7.0f steps/s)\n",
+              serial_s * 1e3, steps / serial_s);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
+    eb::ThreadPool pool(threads);
+    const double s = time_with_pool(&pool);
+    std::printf(
+        "sharded scheduler, %2zu thread%s    : %8.3f ms  (%7.0f steps/s)  "
+        "%5.2fx\n",
+        threads, threads == 1 ? " " : "s", s * 1e3, steps / s,
+        serial_s / s);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,35 +354,46 @@ int main(int argc, char** argv) {
   // introspection-only invocations. Tracked as separate conditions so flag
   // order cannot re-enable the report.
   bool filter_matches_engine = true;
+  bool filter_matches_sharded = true;
   bool introspection_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     constexpr std::string_view kFilter = "--benchmark_filter=";
     if (arg.starts_with(kFilter)) {
       const std::string_view filter = arg.substr(kFilter.size());
-      constexpr std::string_view kEngineTokens[] = {
-          "Dense", "Scalar", "Packed", "Reference", "Batched", "engine"};
-      filter_matches_engine = false;
-      for (const auto token : kEngineTokens) {
-        filter_matches_engine =
-            filter_matches_engine ||
-            (filter.find(token) != std::string_view::npos &&
-             !filter.starts_with("-"));
-      }
+      const auto matches_any = [filter](
+                                   std::initializer_list<std::string_view>
+                                       tokens) {
+        if (filter.starts_with("-")) {
+          return false;  // exclusion filter: never re-enable a report
+        }
+        for (const auto token : tokens) {
+          if (filter.find(token) != std::string_view::npos) {
+            return true;
+          }
+        }
+        return false;
+      };
+      filter_matches_engine = matches_any(
+          {"Dense", "Scalar", "Packed", "Reference", "Batched", "engine"});
+      filter_matches_sharded =
+          matches_any({"Sharded", "TacitMap", "mapping"});
     } else if (arg.starts_with("--benchmark_list_tests") ||
                arg.starts_with("--benchmark_dry_run")) {
       introspection_only = true;
     }
   }
-  const bool want_report = filter_matches_engine && !introspection_only;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (want_report) {
+  if (filter_matches_engine && !introspection_only) {
     report_engine_speedup();
+  }
+  if (filter_matches_sharded && !introspection_only) {
+    report_sharded_mapping_speedup();
   }
   return 0;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "bnn/binarize.hpp"
+#include "bnn/real_gemm.hpp"
 #include "common/error.hpp"
 
 namespace eb::bnn {
@@ -54,6 +56,29 @@ Tensor DenseLayer::forward(const Tensor& x) const {
     y[o] = acc;
   }
   return y;
+}
+
+std::vector<Tensor> DenseLayer::forward_batch(std::span<const Tensor> xs,
+                                              ThreadPool& pool) const {
+  const std::size_t out_n = weights_.dim(0);
+  const std::size_t in = weights_.dim(1);
+  std::vector<double> x(xs.size() * in);
+  pool.parallel_for(0, xs.size(), 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      EB_REQUIRE(xs[i].size() == in,
+                 "dense input size mismatch in " + name_);
+      std::memcpy(x.data() + i * in, xs[i].data(), in * sizeof(double));
+    }
+  });
+  std::vector<double> y(xs.size() * out_n);
+  real_gemm_bias(xs.size(), out_n, in, x.data(), weights_.data(),
+                 bias_.data(), y.data(), &pool);
+  std::vector<Tensor> out(xs.size(), Tensor({out_n}));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::memcpy(out[i].data(), y.data() + i * out_n,
+                out_n * sizeof(double));
+  }
+  return out;
 }
 
 LayerSpec DenseLayer::spec() const {
@@ -137,6 +162,21 @@ LayerSpec BinaryDenseLayer::spec() const {
 
 // --------------------------------------------------------------- Conv2d --
 
+namespace {
+
+// Input-plane coordinate hit by output index `out` and kernel offset `k`
+// under `stride`/`pad`, or -1 when the tap lands in the zero padding.
+// Single source of truth for every im2col / convolution loop below.
+inline long long conv_in_coord(std::size_t out, std::size_t stride,
+                               std::size_t k, std::size_t pad,
+                               std::size_t limit) {
+  const long long v = static_cast<long long>(out * stride + k) -
+                      static_cast<long long>(pad);
+  return (v >= 0 && v < static_cast<long long>(limit)) ? v : -1;
+}
+
+}  // namespace
+
 Conv2dLayer::Conv2dLayer(std::string name, Conv2dGeom geom, Tensor weights,
                          Tensor bias, Precision precision)
     : name_(std::move(name)),
@@ -179,14 +219,10 @@ Tensor Conv2dLayer::forward(const Tensor& x) const {
           for (std::size_t kh = 0; kh < geom_.kernel; ++kh) {
             for (std::size_t kw = 0; kw < geom_.kernel; ++kw) {
               const long long r =
-                  static_cast<long long>(i * geom_.stride + kh) -
-                  static_cast<long long>(geom_.pad);
+                  conv_in_coord(i, geom_.stride, kh, geom_.pad, geom_.in_h);
               const long long c =
-                  static_cast<long long>(j * geom_.stride + kw) -
-                  static_cast<long long>(geom_.pad);
-              if (r < 0 || c < 0 ||
-                  r >= static_cast<long long>(geom_.in_h) ||
-                  c >= static_cast<long long>(geom_.in_w)) {
+                  conv_in_coord(j, geom_.stride, kw, geom_.pad, geom_.in_w);
+              if (r < 0 || c < 0) {
                 continue;  // zero padding
               }
               acc += weights_.at({oc, ic, kh, kw}) *
@@ -200,6 +236,74 @@ Tensor Conv2dLayer::forward(const Tensor& x) const {
     }
   }
   return y;
+}
+
+std::vector<Tensor> Conv2dLayer::forward_batch(std::span<const Tensor> xs,
+                                               ThreadPool& pool) const {
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  const std::size_t windows = oh * ow;
+  const std::size_t patch = geom_.in_ch * geom_.kernel * geom_.kernel;
+
+  // Real-valued im2col: one row per window, (ic, kh, kw) order -- the
+  // same accumulation order as forward(), with zero fill for padding so
+  // the GEMM adds exactly 0.0 where the reference loop skips.
+  std::vector<double> cols(xs.size() * windows * patch, 0.0);
+  pool.parallel_for(0, xs.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      const Tensor& x = xs[s];
+      EB_REQUIRE(x.rank() == 3 && x.dim(0) == geom_.in_ch &&
+                     x.dim(1) == geom_.in_h && x.dim(2) == geom_.in_w,
+                 "conv input shape mismatch in " + name_);
+      const double* src = x.data();
+      for (std::size_t i = 0; i < oh; ++i) {
+        for (std::size_t j = 0; j < ow; ++j) {
+          double* dst =
+              cols.data() + ((s * windows) + i * ow + j) * patch;
+          for (std::size_t ic = 0; ic < geom_.in_ch; ++ic) {
+            for (std::size_t kh = 0; kh < geom_.kernel; ++kh) {
+              const long long r =
+                  conv_in_coord(i, geom_.stride, kh, geom_.pad, geom_.in_h);
+              if (r < 0) {
+                dst += geom_.kernel;
+                continue;
+              }
+              const double* row = src + (ic * geom_.in_h +
+                                         static_cast<std::size_t>(r)) *
+                                            geom_.in_w;
+              for (std::size_t kw = 0; kw < geom_.kernel; ++kw, ++dst) {
+                const long long c =
+                    conv_in_coord(j, geom_.stride, kw, geom_.pad, geom_.in_w);
+                if (c >= 0) {
+                  *dst = row[static_cast<std::size_t>(c)];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  // weights_ is [oc, ic, k, k] row-major == out_ch rows of `patch` values.
+  std::vector<double> y(xs.size() * windows * geom_.out_ch);
+  real_gemm_bias(xs.size() * windows, geom_.out_ch, patch, cols.data(),
+                 weights_.data(), bias_.data(), y.data(), &pool);
+
+  std::vector<Tensor> out(xs.size(), Tensor({geom_.out_ch, oh, ow}));
+  pool.parallel_for(0, xs.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      double* dst = out[s].data();
+      for (std::size_t win = 0; win < windows; ++win) {
+        const double* vals =
+            y.data() + (s * windows + win) * geom_.out_ch;
+        for (std::size_t oc = 0; oc < geom_.out_ch; ++oc) {
+          dst[oc * windows + win] = vals[oc];
+        }
+      }
+    }
+  });
+  return out;
 }
 
 LayerSpec Conv2dLayer::spec() const {
@@ -244,12 +348,11 @@ BitVec BinaryConv2dLayer::im2col_window(const Tensor& x, const Conv2dGeom& geom,
   for (std::size_t ic = 0; ic < geom.in_ch; ++ic) {
     for (std::size_t kh = 0; kh < geom.kernel; ++kh) {
       for (std::size_t kw = 0; kw < geom.kernel; ++kw, ++idx) {
-        const long long r = static_cast<long long>(oh * geom.stride + kh) -
-                            static_cast<long long>(geom.pad);
-        const long long c = static_cast<long long>(ow * geom.stride + kw) -
-                            static_cast<long long>(geom.pad);
-        if (r < 0 || c < 0 || r >= static_cast<long long>(geom.in_h) ||
-            c >= static_cast<long long>(geom.in_w)) {
+        const long long r =
+            conv_in_coord(oh, geom.stride, kh, geom.pad, geom.in_h);
+        const long long c =
+            conv_in_coord(ow, geom.stride, kw, geom.pad, geom.in_w);
+        if (r < 0 || c < 0) {
           bits.set(idx, false);  // pad -> -1 in the signed interpretation
           continue;
         }
@@ -264,15 +367,49 @@ BitVec BinaryConv2dLayer::im2col_window(const Tensor& x, const Conv2dGeom& geom,
 namespace {
 
 // Packs every im2col window of one sample into consecutive rows of `dst`
-// starting at `row0` (row order: oh-major, ow-minor).
+// starting at `row0` (row order: oh-major, ow-minor). Bits go straight
+// from the input tensor into the PackedMatrix word slab -- no per-window
+// BitVec round trip -- accumulating 64 sign bits at a time in (ic, kh,
+// kw) order, the same order im2col_window uses. Padding positions pack as
+// 0 (-1 in the signed interpretation).
 void pack_im2col_rows(PackedMatrix& dst, std::size_t row0, const Tensor& x,
                       const Conv2dGeom& geom) {
   const std::size_t oh = geom.out_h();
   const std::size_t ow = geom.out_w();
+  const double* src = x.data();
   for (std::size_t i = 0; i < oh; ++i) {
     for (std::size_t j = 0; j < ow; ++j) {
-      dst.set_row(row0 + i * ow + j,
-                  BinaryConv2dLayer::im2col_window(x, geom, i, j));
+      std::uint64_t* words = dst.row_words(row0 + i * ow + j);
+      std::fill_n(words, dst.words_per_row(), std::uint64_t{0});
+      std::uint64_t cur = 0;
+      std::size_t idx = 0;
+      for (std::size_t ic = 0; ic < geom.in_ch; ++ic) {
+        for (std::size_t kh = 0; kh < geom.kernel; ++kh) {
+          const long long r =
+              conv_in_coord(i, geom.stride, kh, geom.pad, geom.in_h);
+          const double* row =
+              r >= 0 ? src + (ic * geom.in_h +
+                              static_cast<std::size_t>(r)) *
+                                 geom.in_w
+                     : nullptr;
+          for (std::size_t kw = 0; kw < geom.kernel; ++kw, ++idx) {
+            const long long c =
+                conv_in_coord(j, geom.stride, kw, geom.pad, geom.in_w);
+            const bool bit = row != nullptr && c >= 0 &&
+                             row[static_cast<std::size_t>(c)] >= 0.0;
+            if (bit) {
+              cur |= std::uint64_t{1} << (idx & 63);
+            }
+            if ((idx & 63) == 63) {
+              words[idx / 64] = cur;
+              cur = 0;
+            }
+          }
+        }
+      }
+      if ((idx & 63) != 0) {
+        words[idx / 64] = cur;
+      }
     }
   }
 }

@@ -54,6 +54,10 @@ class DenseLayer final : public Layer {
                                          Rng& rng);
 
   [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  // One blocked real-valued GEMM over the whole batch (bit-identical to
+  // the per-sample loop; uses the batch dimension instead of one row).
+  [[nodiscard]] std::vector<Tensor> forward_batch(
+      std::span<const Tensor> xs, ThreadPool& pool) const override;
   [[nodiscard]] LayerSpec spec() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
@@ -107,6 +111,10 @@ class Conv2dLayer final : public Layer {
                                           Precision precision, Rng& rng);
 
   [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  // Real-valued im2col + one blocked GEMM across all windows of all
+  // samples (bit-identical to the per-sample loop).
+  [[nodiscard]] std::vector<Tensor> forward_batch(
+      std::span<const Tensor> xs, ThreadPool& pool) const override;
   [[nodiscard]] LayerSpec spec() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 

@@ -1,0 +1,50 @@
+#include "bnn/real_gemm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace eb::bnn {
+
+namespace {
+
+// Weight rows per cache block: 64 rows x 1024 doubles (the widest layer
+// dimension in the model zoo) is 512 KiB, streaming-friendly for L2 while
+// the X row stays resident.
+constexpr std::size_t kColBlock = 64;
+
+}  // namespace
+
+void real_gemm_bias(std::size_t m, std::size_t n, std::size_t k,
+                    const double* x, const double* w, const double* bias,
+                    double* out, ThreadPool* pool) {
+  if (m == 0 || n == 0) {
+    return;  // empty batch / empty layer: nothing to write
+  }
+  EB_REQUIRE(w != nullptr && out != nullptr, "real_gemm_bias needs w, out");
+  EB_REQUIRE(k == 0 || x != nullptr, "real_gemm_bias needs x when k > 0");
+  auto body = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+      const std::size_t j1 = std::min(j0 + kColBlock, n);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double* xi = x + i * k;
+        double* oi = out + i * n;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const double* wj = w + j * k;
+          double acc = bias != nullptr ? bias[j] : 0.0;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            acc += xi[kk] * wj[kk];
+          }
+          oi[j] = acc;
+        }
+      }
+    }
+  };
+  if (pool != nullptr && m > 1) {
+    pool->parallel_for(0, m, 4, body);
+  } else {
+    body(0, m);
+  }
+}
+
+}  // namespace eb::bnn

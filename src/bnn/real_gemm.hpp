@@ -1,0 +1,31 @@
+// Blocked real-valued GEMM for the non-binary network ends.
+//
+// The paper keeps the first and last Dense/Conv layers in higher
+// precision, so batched MLP/CNN inference spends real time in plain
+// double GEMMs. This kernel computes
+//
+//   out[i][j] = bias[j] + sum_k x[i][k] * w[j][k]        (W row-major)
+//
+// blocked over output columns so one weight block streams against every
+// X row of a chunk while it is still cache-hot, and parallel over X rows
+// on the thread pool.
+//
+// Determinism: each (i, j) accumulation runs bias-first then k ascending
+// -- exactly the order of the per-sample reference loops -- and rows
+// never share accumulators, so results are bit-identical to the
+// per-sample path and independent of thread count.
+#pragma once
+
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+
+namespace eb::bnn {
+
+// x: m rows of k values; w: n rows of k values; bias: n values (may be
+// nullptr for none); out: m x n row-major. `pool` may be nullptr (serial).
+void real_gemm_bias(std::size_t m, std::size_t n, std::size_t k,
+                    const double* x, const double* w, const double* bias,
+                    double* out, ThreadPool* pool = nullptr);
+
+}  // namespace eb::bnn

@@ -2,15 +2,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "common/error.hpp"
 
 namespace eb {
 
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("EB_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= 65536) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = default_thread_count();
   }
   // Catches negative counts wrapped through size_t at the call boundary.
   EB_REQUIRE(threads <= 65536, "implausible thread count");
@@ -66,8 +78,7 @@ void ThreadPool::parallel_for(
   struct Shared {
     std::atomic<std::size_t> cursor;
     std::atomic<std::size_t> active;
-    std::mutex mu;
-    std::condition_variable done;
+    std::mutex mu;  // guards error
     std::exception_ptr error;
   };
   auto shared = std::make_shared<Shared>();
@@ -97,11 +108,13 @@ void ThreadPool::parallel_for(
   {
     const std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < helpers; ++i) {
-      tasks_.emplace([shared, run_chunks] {
+      // Completion notifies the pool-wide cv_: waiting callers (this
+      // invocation's, or a nested one's) sleep there too.
+      tasks_.emplace([this, shared, run_chunks] {
         run_chunks();
         if (shared->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          const std::lock_guard<std::mutex> done_lock(shared->mu);
-          shared->done.notify_all();
+          const std::lock_guard<std::mutex> done_lock(mu_);
+          cv_.notify_all();
         }
       });
     }
@@ -110,10 +123,30 @@ void ThreadPool::parallel_for(
 
   run_chunks();  // the calling thread pulls chunks too
 
-  std::unique_lock<std::mutex> lock(shared->mu);
-  shared->done.wait(lock, [&shared] {
-    return shared->active.load(std::memory_order_acquire) == 0;
-  });
+  // Wait for the queued helpers, but keep helping: a helper task that is
+  // still sitting in the queue may belong to a *nested* parallel_for
+  // issued by one of our chunks (or by another caller), and every worker
+  // may be blocked in a wait just like this one. Draining the queue while
+  // waiting guarantees global progress, making parallel_for re-entrant.
+  // Both wake sources (new tasks, helper completion) notify cv_, so this
+  // wait never polls; spurious wakeups of workers re-check their own
+  // predicate and go back to sleep.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this, &shared] {
+        return shared->active.load(std::memory_order_acquire) == 0 ||
+               !tasks_.empty();
+      });
+      if (shared->active.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
   if (shared->error) {
     std::rethrow_exception(shared->error);
   }

@@ -10,6 +10,10 @@
 //  * parallel_for hands out contiguous [begin, end) chunks through an
 //    atomic cursor, so uneven per-item cost (e.g. conv vs dense layers)
 //    load-balances without a scheduler.
+//  * parallel_for is re-entrant: a caller waiting for its chunks helps
+//    drain the pool's task queue, so nested invocations (e.g. a noise
+//    Monte-Carlo repetition that itself shards crossbar steps) cannot
+//    deadlock the pool.
 //  * The first exception thrown by any chunk is rethrown on the calling
 //    thread after all workers drain.
 #pragma once
@@ -24,10 +28,17 @@
 
 namespace eb {
 
+// Concurrency used when a caller asks for "default" threads (0): the
+// EB_THREADS environment variable when set to a positive integer, else
+// std::thread::hardware_concurrency(). EB_THREADS is how CI pins every
+// default-sized pool in the process to a fixed width and asserts that
+// results do not depend on it.
+[[nodiscard]] std::size_t default_thread_count();
+
 class ThreadPool {
  public:
-  // `threads` = total concurrency (callers + workers); 0 picks the
-  // hardware concurrency. ThreadPool(1) is fully inline.
+  // `threads` = total concurrency (callers + workers); 0 picks
+  // default_thread_count(). ThreadPool(1) is fully inline.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 

@@ -11,7 +11,7 @@ GaussianReadNoise::GaussianReadNoise(double sigma_fraction)
   EB_REQUIRE(sigma_fraction >= 0.0, "noise sigma must be non-negative");
 }
 
-double GaussianReadNoise::apply(double x, double full_scale, Rng& rng) const {
+double GaussianReadNoise::apply(double x, double full_scale, RngStream& rng) const {
   if (sigma_fraction_ == 0.0) {
     return x;
   }
@@ -22,7 +22,7 @@ ShotNoise::ShotNoise(double k) : k_(k) {
   EB_REQUIRE(k >= 0.0, "shot noise factor must be non-negative");
 }
 
-double ShotNoise::apply(double x, double full_scale, Rng& rng) const {
+double ShotNoise::apply(double x, double full_scale, RngStream& rng) const {
   if (k_ == 0.0 || x <= 0.0) {
     return x;
   }
@@ -34,7 +34,7 @@ TiaThermalNoise::TiaThermalNoise(double sigma_abs) : sigma_abs_(sigma_abs) {
 }
 
 double TiaThermalNoise::apply(double x, double /*full_scale*/,
-                              Rng& rng) const {
+                              RngStream& rng) const {
   if (sigma_abs_ == 0.0) {
     return x;
   }
@@ -46,7 +46,7 @@ void CompositeNoise::add(std::unique_ptr<NoiseModel> m) {
   parts_.push_back(std::move(m));
 }
 
-double CompositeNoise::apply(double x, double full_scale, Rng& rng) const {
+double CompositeNoise::apply(double x, double full_scale, RngStream& rng) const {
   for (const auto& p : parts_) {
     x = p->apply(x, full_scale, rng);
   }

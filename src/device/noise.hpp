@@ -7,7 +7,10 @@
 //
 // Conventions: a NoiseModel perturbs an analog readout value `x` whose
 // full-scale range is `full_scale` (same unit as x). All draws go through
-// the caller-provided Rng for reproducibility.
+// the caller-provided RngStream for reproducibility -- under the sharded
+// crossbar scheduler each (segment x tile) shard passes its own forked
+// substream, which is what keeps noisy runs bit-identical across thread
+// counts.
 #pragma once
 
 #include <memory>
@@ -23,14 +26,14 @@ class NoiseModel {
 
   // Returns the perturbed readout value.
   [[nodiscard]] virtual double apply(double x, double full_scale,
-                                     Rng& rng) const = 0;
+                                     RngStream& rng) const = 0;
 };
 
 // No perturbation (ideal readout).
 class NoNoise final : public NoiseModel {
  public:
   [[nodiscard]] double apply(double x, double /*full_scale*/,
-                             Rng& /*rng*/) const override {
+                             RngStream& /*rng*/) const override {
     return x;
   }
 };
@@ -42,7 +45,7 @@ class GaussianReadNoise final : public NoiseModel {
   explicit GaussianReadNoise(double sigma_fraction);
 
   [[nodiscard]] double apply(double x, double full_scale,
-                             Rng& rng) const override;
+                             RngStream& rng) const override;
 
   [[nodiscard]] double sigma_fraction() const { return sigma_fraction_; }
 
@@ -57,7 +60,7 @@ class ShotNoise final : public NoiseModel {
   explicit ShotNoise(double k);
 
   [[nodiscard]] double apply(double x, double full_scale,
-                             Rng& rng) const override;
+                             RngStream& rng) const override;
 
  private:
   double k_;
@@ -70,7 +73,7 @@ class TiaThermalNoise final : public NoiseModel {
   explicit TiaThermalNoise(double sigma_abs);
 
   [[nodiscard]] double apply(double x, double /*full_scale*/,
-                             Rng& rng) const override;
+                             RngStream& rng) const override;
 
  private:
   double sigma_abs_;
@@ -82,7 +85,7 @@ class CompositeNoise final : public NoiseModel {
   void add(std::unique_ptr<NoiseModel> m);
 
   [[nodiscard]] double apply(double x, double full_scale,
-                             Rng& rng) const override;
+                             RngStream& rng) const override;
 
   [[nodiscard]] std::size_t components() const { return parts_.size(); }
 

@@ -31,7 +31,7 @@ double EpcmDevice::nominal_conductance(std::size_t level) const {
   return params_.g_off_us + frac * (params_.g_on_us - params_.g_off_us);
 }
 
-void EpcmDevice::program(std::size_t level, Rng& rng) {
+void EpcmDevice::program(std::size_t level, RngStream& rng) {
   const double nominal = nominal_conductance(level);
   level_ = level;
   if (params_.sigma_program > 0.0) {
@@ -78,7 +78,7 @@ double OpcmDevice::nominal_transmission(std::size_t level) const {
          frac * (params_.t_amorphous - params_.t_crystalline);
 }
 
-void OpcmDevice::program(std::size_t level, Rng& rng) {
+void OpcmDevice::program(std::size_t level, RngStream& rng) {
   double t = nominal_transmission(level);
   level_ = level;
   if (params_.sigma_program > 0.0) {

@@ -45,7 +45,7 @@ class EpcmDevice {
 
   // Program to a level in [0, levels-1]; level 0 = OFF, max = fully ON.
   // Variability draws a fresh log-normal factor per programming event.
-  void program(std::size_t level, Rng& rng);
+  void program(std::size_t level, RngStream& rng);
 
   // Nominal (noise-free) conductance for a level, in microsiemens.
   [[nodiscard]] double nominal_conductance(std::size_t level) const;
@@ -78,7 +78,7 @@ class OpcmDevice {
   explicit OpcmDevice(const OpcmParams& p = OpcmParams::ideal());
 
   // Program to a level; level 0 = crystalline (low T), max = amorphous.
-  void program(std::size_t level, Rng& rng);
+  void program(std::size_t level, RngStream& rng);
 
   // Nominal transmission for a level (before insertion loss).
   [[nodiscard]] double nominal_transmission(std::size_t level) const;

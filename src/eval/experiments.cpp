@@ -1,6 +1,7 @@
 #include "eval/experiments.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "bnn/batch_runner.hpp"
 #include "bnn/dataset.hpp"
@@ -207,6 +208,45 @@ AccuracySweepResult run_accuracy_sweep(const AccuracySweepConfig& cfg) {
   }
   r.batched_accuracy =
       static_cast<double>(batched_correct) / static_cast<double>(r.samples);
+  return r;
+}
+
+NoiseMcResult run_noise_monte_carlo(
+    const std::function<double(std::size_t, RngStream&)>& metric,
+    const NoiseMcConfig& cfg) {
+  EB_REQUIRE(cfg.repetitions >= 1, "noise MC needs at least one repetition");
+  EB_REQUIRE(metric != nullptr, "noise MC needs a metric");
+  NoiseMcResult r;
+  r.per_rep.assign(cfg.repetitions, 0.0);
+
+  // Every repetition forks its stream from the same root snapshot, so the
+  // draw sequence of rep k is a pure function of (seed, k) -- independent
+  // of scheduling.
+  const RngStream root(cfg.seed);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = cfg.pool;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(cfg.threads);
+    pool = owned.get();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  pool->parallel_for(0, cfg.repetitions, 1,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t rep = begin; rep < end; ++rep) {
+                        RngStream rng = root.fork(
+                            static_cast<std::uint64_t>(
+                                StreamTag::NoiseMonteCarlo),
+                            rep, 0);
+                        r.per_rep[rep] = metric(rep, rng);
+                      }
+                    });
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+
+  // Deterministic reduction: repetition order, on the calling thread.
+  for (const double v : r.per_rep) {
+    r.stats.add(v);
+  }
   return r;
 }
 

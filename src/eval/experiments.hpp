@@ -9,13 +9,18 @@
 // tests assert on the bands).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "arch/cost_model.hpp"
 #include "arch/tech_params.hpp"
 #include "bnn/spec.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 
 namespace eb::eval {
 
@@ -125,5 +130,41 @@ struct AccuracySweepResult {
     const AccuracySweepConfig& cfg);
 
 [[nodiscard]] Table accuracy_sweep_table(const AccuracySweepResult& r);
+
+// ---- Noise Monte-Carlo fan-out ------------------------------------------
+//
+// The robustness ablations re-run the same mapped network over many noise
+// realizations. Repetitions are statistically independent, so they fan
+// out across the thread pool: repetition `rep` draws every noise sample
+// from RngStream(seed).fork(NoiseMonteCarlo tag, rep, 0), and the per-rep
+// metrics are folded into the StatAccumulator in repetition order on the
+// calling thread. Aggregates are therefore bit-identical for any thread
+// count (including threads == 1), which the determinism suite asserts.
+
+struct NoiseMcConfig {
+  std::size_t repetitions = 8;
+  // Pool for the repetition fan-out. When nullptr a pool of `threads`
+  // (0 = default_thread_count()) is created for the call; callers running
+  // many MC sweeps should pass one long-lived pool instead.
+  ThreadPool* pool = nullptr;
+  std::size_t threads = 0;
+  std::uint64_t seed = 0xEB0A11ULL;
+};
+
+struct NoiseMcResult {
+  std::vector<double> per_rep;  // metric value per repetition, in order
+  StatAccumulator stats;        // accumulated over per_rep, in order
+  double wall_ns = 0.0;
+};
+
+// `metric(rep, rng)` evaluates one Monte-Carlo repetition with its private
+// stream and returns the scalar being aggregated (accuracy, error rate,
+// ...). It runs concurrently on pool threads and must only share
+// read-only state. Use the provided `rng` (or streams forked from it) for
+// every stochastic draw; mapped executors should be called with
+// pool = nullptr -- the repetition is already the parallel dimension.
+[[nodiscard]] NoiseMcResult run_noise_monte_carlo(
+    const std::function<double(std::size_t rep, RngStream& rng)>& metric,
+    const NoiseMcConfig& cfg);
 
 }  // namespace eb::eval

@@ -53,29 +53,46 @@ std::size_t CustBinaryMap::digital_popcount(const BitVec& bits) const {
 
 std::vector<std::size_t> CustBinaryMap::execute(const BitVec& x,
                                                 const dev::NoiseModel& noise,
-                                                Rng& rng) const {
+                                                RngStream& rng,
+                                                ThreadPool* pool) const {
   EB_REQUIRE(x.size() == part_.m, "input length must match task m");
   const std::size_t n_tiles = part_.width_tiles.size();
   std::vector<std::size_t> out(part_.n, 0);
 
-  for (std::size_t g = 0; g < part_.row_groups.size(); ++g) {
-    const Range group = part_.row_groups[g];
-    // Sequential row activation within the group (the n-step cost the
-    // paper highlights); groups on different crossbars are independent.
-    for (std::size_t r = 0; r < group.length; ++r) {
-      std::size_t popcount = 0;
-      for (std::size_t t = 0; t < n_tiles; ++t) {
-        const Range tile = part_.width_tiles[t];
-        const auto& xb = *crossbars_[g * n_tiles + t];
-        const BitVec x_tile = x.slice(tile.begin, tile.length);
-        const BitVec xnor_bits =
-            xb.read_row_xnor(r, x_tile, cfg_.v_read, noise, rng);
-        popcount += digital_popcount(xnor_bits);  // local counters
-      }
-      // Tree-based global popcount merges the width tiles (sum above).
-      out[group.begin + r] = popcount;
-    }
+  // Per-tile input slices, shared read-only by every shard of that tile.
+  std::vector<BitVec> x_tiles;
+  x_tiles.reserve(n_tiles);
+  for (const Range tile : part_.width_tiles) {
+    x_tiles.push_back(x.slice(tile.begin, tile.length));
   }
+
+  // One shard per (row group x width tile) crossbar. Row activation
+  // within a shard stays sequential (the n-step cost the paper
+  // highlights); distinct crossbars run concurrently, and the tree-based
+  // global popcount merging width tiles becomes the reduction step.
+  const RngStream base = rng.split();
+  const CrossbarScheduler scheduler(pool);
+  scheduler.run(
+      part_.row_groups.size(), n_tiles, base, StreamTag::CustBinary,
+      /*rep=*/0,
+      [&](const Shard& shard, RngStream& shard_rng) {
+        const Range group = part_.row_groups[shard.segment];
+        const auto& xb =
+            *crossbars_[shard.segment * n_tiles + shard.tile];
+        std::vector<std::size_t> partial(group.length, 0);
+        for (std::size_t r = 0; r < group.length; ++r) {
+          const BitVec xnor_bits = xb.read_row_xnor(
+              r, x_tiles[shard.tile], cfg_.v_read, noise, shard_rng);
+          partial[r] = digital_popcount(xnor_bits);  // local counters
+        }
+        return partial;
+      },
+      [&](const Shard& shard, std::vector<std::size_t>&& partial) {
+        const Range group = part_.row_groups[shard.segment];
+        for (std::size_t r = 0; r < group.length; ++r) {
+          out[group.begin + r] += partial[r];
+        }
+      });
   return out;
 }
 

@@ -22,9 +22,11 @@
 
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "device/noise.hpp"
 #include "device/pcm.hpp"
 #include "mapping/partitioner.hpp"
+#include "mapping/scheduler.hpp"
 #include "xbar/crossbar.hpp"
 
 namespace eb::map {
@@ -44,8 +46,11 @@ class CustBinaryMap {
 
   // XNOR+Popcounts of one input vector against all n weight vectors via
   // sequential row activation + digital popcount. Exact for ideal devices.
+  // Independent (row group x width tile) crossbars shard across `pool`
+  // (nullptr -> serial, bit-identical to any pool size).
   [[nodiscard]] std::vector<std::size_t> execute(
-      const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const;
+      const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
+      ThreadPool* pool = nullptr) const;
 
   // Row-activation steps execute() needs for one input vector (row groups
   // on distinct crossbars run in parallel): max rows used in a crossbar.

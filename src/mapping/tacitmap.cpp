@@ -41,7 +41,8 @@ TacitMapElectrical::TacitMapElectrical(const BitMatrix& weights,
 }
 
 std::vector<std::size_t> TacitMapElectrical::execute(
-    const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const {
+    const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
+    ThreadPool* pool) const {
   EB_REQUIRE(x.size() == part_.m, "input length must match task m");
   const BitVec drive = tacit_row_drive(x);
   const std::size_t n_tiles = part_.col_tiles.size();
@@ -52,29 +53,51 @@ std::vector<std::size_t> TacitMapElectrical::execute(
   const xbar::Adc adc(cfg_.adc_bits,
                       static_cast<double>(cfg_.dims.rows) * i_on);
 
-  for (std::size_t s = 0; s < part_.row_segments.size(); ++s) {
-    const Range seg = part_.row_segments[s];
-    const BitVec seg_drive = drive.slice(seg.begin, seg.length);
-    const std::size_t active = seg_drive.popcount();
-    for (std::size_t t = 0; t < n_tiles; ++t) {
-      const Range tile = part_.col_tiles[t];
-      const auto& xb = *crossbars_[s * n_tiles + t];
-      const auto currents =
-          xb.vmm_currents_bits(seg_drive, cfg_.v_read, noise, rng);
-      for (std::size_t j = 0; j < tile.length; ++j) {
-        // ADC conversion then digital calibration: the controller knows
-        // how many rows it activated, so it can subtract the OFF-current
-        // pedestal and divide by the ON/OFF contrast.
-        const double analog = adc.dequantize(adc.quantize(currents[j]));
-        const double n_on =
-            (analog - static_cast<double>(active) * i_off) / (i_on - i_off);
-        const double clamped =
-            std::clamp(n_on, 0.0, static_cast<double>(active));
-        out[tile.begin + j] +=
-            static_cast<std::size_t>(std::llround(clamped));
-      }
-    }
+  // Per-segment drives and active-row counts, shared read-only by every
+  // shard of that segment.
+  std::vector<BitVec> seg_drives;
+  std::vector<std::size_t> seg_active;
+  seg_drives.reserve(part_.row_segments.size());
+  seg_active.reserve(part_.row_segments.size());
+  for (const Range seg : part_.row_segments) {
+    seg_drives.push_back(drive.slice(seg.begin, seg.length));
+    seg_active.push_back(seg_drives.back().popcount());
   }
+
+  // One shard per (segment x tile) crossbar step; each draws noise from
+  // its own stream forked off this execute() call's split point.
+  const RngStream base = rng.split();
+  const CrossbarScheduler scheduler(pool);
+  scheduler.run(
+      part_.row_segments.size(), n_tiles, base, StreamTag::TacitElectrical,
+      /*rep=*/0,
+      [&](const Shard& shard, RngStream& shard_rng) {
+        const Range tile = part_.col_tiles[shard.tile];
+        const std::size_t active = seg_active[shard.segment];
+        const auto& xb = *crossbars_[shard.segment * n_tiles + shard.tile];
+        const auto currents = xb.vmm_currents_bits(
+            seg_drives[shard.segment], cfg_.v_read, noise, shard_rng);
+        std::vector<std::size_t> partial(tile.length, 0);
+        for (std::size_t j = 0; j < tile.length; ++j) {
+          // ADC conversion then digital calibration: the controller knows
+          // how many rows it activated, so it can subtract the OFF-current
+          // pedestal and divide by the ON/OFF contrast.
+          const double analog = adc.dequantize(adc.quantize(currents[j]));
+          const double n_on =
+              (analog - static_cast<double>(active) * i_off) /
+              (i_on - i_off);
+          const double clamped =
+              std::clamp(n_on, 0.0, static_cast<double>(active));
+          partial[j] = static_cast<std::size_t>(std::llround(clamped));
+        }
+        return partial;
+      },
+      [&](const Shard& shard, std::vector<std::size_t>&& partial) {
+        const Range tile = part_.col_tiles[shard.tile];
+        for (std::size_t j = 0; j < tile.length; ++j) {
+          out[tile.begin + j] += partial[j];
+        }
+      });
   return out;
 }
 
@@ -105,7 +128,7 @@ TacitMapOptical::TacitMapOptical(const BitMatrix& weights,
 
 std::vector<std::vector<std::size_t>> TacitMapOptical::execute_wdm(
     const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
-    Rng& rng) const {
+    RngStream& rng, ThreadPool* pool) const {
   EB_REQUIRE(!inputs.empty(), "need at least one input vector");
   EB_REQUIRE(inputs.size() <= cfg_.wdm_capacity,
              "input batch exceeds WDM capacity");
@@ -114,48 +137,77 @@ std::vector<std::vector<std::size_t>> TacitMapOptical::execute_wdm(
   }
 
   const std::size_t n_tiles = part_.col_tiles.size();
+  const std::size_t n_channels = inputs.size();
   std::vector<std::vector<std::size_t>> out(
-      inputs.size(), std::vector<std::size_t>(part_.n, 0));
+      n_channels, std::vector<std::size_t>(part_.n, 0));
 
   const phot::Transmitter tx(cfg_.tx, cfg_.wdm_capacity, cfg_.dims.rows);
   const double p_ch = tx.channel_power_mw();
   const double p_on = crossbars_.front()->on_power(p_ch);
   const double p_off = crossbars_.front()->off_power(p_ch);
 
+  // Per-segment, per-channel drives and active counts, shared read-only
+  // across the shards of each segment. The full 2m-bit drive is built
+  // once per channel and then sliced per segment (this runs serially
+  // before dispatch, so it must stay off the Amdahl path).
+  std::vector<std::vector<BitVec>> seg_drives(part_.row_segments.size());
+  std::vector<std::vector<std::size_t>> seg_active(
+      part_.row_segments.size());
   for (std::size_t s = 0; s < part_.row_segments.size(); ++s) {
-    const Range seg = part_.row_segments[s];
-    // Per-channel drives for this row segment.
-    std::vector<BitVec> seg_drives;
-    seg_drives.reserve(inputs.size());
-    std::size_t max_active = 1;
-    for (const auto& x : inputs) {
-      BitVec d = tacit_row_drive(x).slice(seg.begin, seg.length);
-      max_active = std::max(max_active, d.popcount());
-      seg_drives.push_back(std::move(d));
-    }
-    for (std::size_t t = 0; t < n_tiles; ++t) {
-      const Range tile = part_.col_tiles[t];
-      const auto& xb = *crossbars_[s * n_tiles + t];
-      const auto powers = xb.mmm_powers(seg_drives, p_ch, noise, rng);
-      for (std::size_t k = 0; k < seg_drives.size(); ++k) {
-        const std::size_t active = seg_drives[k].popcount();
-        if (active == 0) {
-          continue;  // segment contributes nothing for this input
-        }
-        const phot::Receiver rx(cfg_.rx, active, p_on, p_off);
-        for (std::size_t j = 0; j < tile.length; ++j) {
-          out[k][tile.begin + j] +=
-              rx.decode_popcount(powers[k][j], noise, rng);
-        }
-      }
+    seg_drives[s].reserve(n_channels);
+    seg_active[s].reserve(n_channels);
+  }
+  for (const auto& x : inputs) {
+    const BitVec drive = tacit_row_drive(x);
+    for (std::size_t s = 0; s < part_.row_segments.size(); ++s) {
+      const Range seg = part_.row_segments[s];
+      BitVec d = drive.slice(seg.begin, seg.length);
+      seg_active[s].push_back(d.popcount());
+      seg_drives[s].push_back(std::move(d));
     }
   }
+
+  const RngStream base = rng.split();
+  const CrossbarScheduler scheduler(pool);
+  scheduler.run(
+      part_.row_segments.size(), n_tiles, base, StreamTag::TacitOptical,
+      /*rep=*/0,
+      [&](const Shard& shard, RngStream& shard_rng) {
+        const Range tile = part_.col_tiles[shard.tile];
+        const auto& xb = *crossbars_[shard.segment * n_tiles + shard.tile];
+        const auto powers = xb.mmm_powers(seg_drives[shard.segment], p_ch,
+                                          noise, shard_rng);
+        std::vector<std::vector<std::size_t>> partial(
+            n_channels, std::vector<std::size_t>(tile.length, 0));
+        for (std::size_t k = 0; k < n_channels; ++k) {
+          const std::size_t active = seg_active[shard.segment][k];
+          if (active == 0) {
+            continue;  // segment contributes nothing for this input
+          }
+          const phot::Receiver rx(cfg_.rx, active, p_on, p_off);
+          for (std::size_t j = 0; j < tile.length; ++j) {
+            partial[k][j] =
+                rx.decode_popcount(powers[k][j], noise, shard_rng);
+          }
+        }
+        return partial;
+      },
+      [&](const Shard& shard,
+          std::vector<std::vector<std::size_t>>&& partial) {
+        const Range tile = part_.col_tiles[shard.tile];
+        for (std::size_t k = 0; k < n_channels; ++k) {
+          for (std::size_t j = 0; j < tile.length; ++j) {
+            out[k][tile.begin + j] += partial[k][j];
+          }
+        }
+      });
   return out;
 }
 
 std::vector<std::size_t> TacitMapOptical::execute(
-    const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const {
-  return execute_wdm({x}, noise, rng).front();
+    const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
+    ThreadPool* pool) const {
+  return execute_wdm({x}, noise, rng, pool).front();
 }
 
 }  // namespace eb::map

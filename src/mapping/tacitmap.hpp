@@ -19,6 +19,14 @@
 // Both split oversize tasks with TacitPartition and accumulate partial
 // popcounts across row segments digitally (the ECore output-register adder
 // in the real design).
+//
+// Execution model: each (row segment x column tile) crossbar step is an
+// independent shard; execute() flattens the grid through
+// map::CrossbarScheduler, which runs shards across an optional ThreadPool
+// (pool == nullptr -> serial) and reduces the partial popcounts
+// deterministically. Every shard draws read-noise from its own RngStream
+// forked from the caller's stream, so noisy results are bit-identical for
+// any thread count.
 #pragma once
 
 #include <cstddef>
@@ -27,9 +35,11 @@
 
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "device/noise.hpp"
 #include "device/pcm.hpp"
 #include "mapping/partitioner.hpp"
+#include "mapping/scheduler.hpp"
 #include "mapping/task.hpp"
 #include "photonics/receiver.hpp"
 #include "photonics/transmitter.hpp"
@@ -54,8 +64,11 @@ class TacitMapElectrical {
 
   // XNOR+Popcounts of one input vector against all n weight vectors:
   // out[j] = popcount(x XNOR w_j). Exact for ideal devices / zero noise.
+  // Independent (segment x tile) crossbar steps shard across `pool`
+  // (nullptr -> serial, bit-identical to any pool size).
   [[nodiscard]] std::vector<std::size_t> execute(
-      const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const;
+      const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
+      ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const TacitPartition& partition() const { return part_; }
   [[nodiscard]] const TacitElectricalConfig& config() const { return cfg_; }
@@ -85,14 +98,16 @@ class TacitMapOptical {
   TacitMapOptical(const BitMatrix& weights, TacitOpticalConfig cfg);
 
   // WDM MMM: up to `wdm_capacity` input vectors in one crossbar pass.
-  // out[i][j] = popcount(inputs[i] XNOR w_j).
+  // out[i][j] = popcount(inputs[i] XNOR w_j). Crossbar shards spread
+  // across `pool` (nullptr -> serial, bit-identical to any pool size).
   [[nodiscard]] std::vector<std::vector<std::size_t>> execute_wdm(
       const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
-      Rng& rng) const;
+      RngStream& rng, ThreadPool* pool = nullptr) const;
 
   // Single-vector convenience.
   [[nodiscard]] std::vector<std::size_t> execute(
-      const BitVec& x, const dev::NoiseModel& noise, Rng& rng) const;
+      const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
+      ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const TacitPartition& partition() const { return part_; }
   [[nodiscard]] const TacitOpticalConfig& config() const { return cfg_; }

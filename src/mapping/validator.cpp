@@ -38,11 +38,13 @@ void finalize(ValidationReport& rep) {
 template <typename Mapped>
 ValidationReport validate_per_input(const XnorPopcountTask& task,
                                     const Mapped& mapped,
-                                    const dev::NoiseModel& noise, Rng& rng) {
+                                    const dev::NoiseModel& noise,
+                                    RngStream& rng, ThreadPool* pool) {
   const auto gold = task.reference();
   ValidationReport rep;
   for (std::size_t i = 0; i < task.inputs.size(); ++i) {
-    accumulate(rep, mapped.execute(task.inputs[i], noise, rng), gold[i]);
+    accumulate(rep, mapped.execute(task.inputs[i], noise, rng, pool),
+               gold[i]);
   }
   finalize(rep);
   return rep;
@@ -61,15 +63,15 @@ std::string ValidationReport::summary() const {
 ValidationReport validate_tacit_electrical(const XnorPopcountTask& task,
                                            const TacitElectricalConfig& cfg,
                                            const dev::NoiseModel& noise,
-                                           Rng& rng) {
+                                           RngStream& rng, ThreadPool* pool) {
   const TacitMapElectrical mapped(task.weights, cfg);
-  return validate_per_input(task, mapped, noise, rng);
+  return validate_per_input(task, mapped, noise, rng, pool);
 }
 
 ValidationReport validate_tacit_optical(const XnorPopcountTask& task,
                                         const TacitOpticalConfig& cfg,
                                         const dev::NoiseModel& noise,
-                                        Rng& rng) {
+                                        RngStream& rng, ThreadPool* pool) {
   const TacitMapOptical mapped(task.weights, cfg);
   const auto gold = task.reference();
   ValidationReport rep;
@@ -81,7 +83,7 @@ ValidationReport validate_tacit_optical(const XnorPopcountTask& task,
         std::min(cfg.wdm_capacity, task.inputs.size() - i);
     const std::vector<BitVec> inputs(task.inputs.begin() + i,
                                      task.inputs.begin() + i + batch);
-    const auto got = mapped.execute_wdm(inputs, noise, rng);
+    const auto got = mapped.execute_wdm(inputs, noise, rng, pool);
     for (std::size_t k = 0; k < batch; ++k) {
       accumulate(rep, got[k], gold[i + k]);
     }
@@ -94,9 +96,9 @@ ValidationReport validate_tacit_optical(const XnorPopcountTask& task,
 ValidationReport validate_cust_binary(const XnorPopcountTask& task,
                                       const CustBinaryConfig& cfg,
                                       const dev::NoiseModel& noise,
-                                      Rng& rng) {
+                                      RngStream& rng, ThreadPool* pool) {
   const CustBinaryMap mapped(task.weights, cfg);
-  return validate_per_input(task, mapped, noise, rng);
+  return validate_per_input(task, mapped, noise, rng, pool);
 }
 
 }  // namespace eb::map

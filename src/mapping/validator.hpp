@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "device/noise.hpp"
 #include "mapping/custbinarymap.hpp"
 #include "mapping/tacitmap.hpp"
@@ -33,16 +34,18 @@ struct ValidationReport {
 };
 
 // Runs every task input through the mapping and compares with reference().
+// `pool` shards the mapped execution's crossbar steps (nullptr = serial;
+// results are bit-identical either way).
 [[nodiscard]] ValidationReport validate_tacit_electrical(
     const XnorPopcountTask& task, const TacitElectricalConfig& cfg,
-    const dev::NoiseModel& noise, Rng& rng);
+    const dev::NoiseModel& noise, RngStream& rng, ThreadPool* pool = nullptr);
 
 [[nodiscard]] ValidationReport validate_tacit_optical(
     const XnorPopcountTask& task, const TacitOpticalConfig& cfg,
-    const dev::NoiseModel& noise, Rng& rng);
+    const dev::NoiseModel& noise, RngStream& rng, ThreadPool* pool = nullptr);
 
 [[nodiscard]] ValidationReport validate_cust_binary(
     const XnorPopcountTask& task, const CustBinaryConfig& cfg,
-    const dev::NoiseModel& noise, Rng& rng);
+    const dev::NoiseModel& noise, RngStream& rng, ThreadPool* pool = nullptr);
 
 }  // namespace eb::map

@@ -24,7 +24,7 @@ Receiver::Receiver(ReceiverParams params, std::size_t rows_spanned,
 
 std::size_t Receiver::decode_popcount(double power_mw,
                                       const dev::NoiseModel& noise,
-                                      Rng& rng) const {
+                                      RngStream& rng) const {
   const xbar::Tia tia(params_.tia_gain, params_.tia_power_mw);
   const double full_scale =
       params_.tia_gain * static_cast<double>(rows_) * p_on_;
@@ -44,7 +44,7 @@ std::size_t Receiver::decode_popcount(double power_mw,
 
 std::vector<std::vector<std::size_t>> Receiver::decode_frame(
     const std::vector<std::vector<double>>& powers,
-    const dev::NoiseModel& noise, Rng& rng) const {
+    const dev::NoiseModel& noise, RngStream& rng) const {
   std::vector<std::vector<std::size_t>> out(powers.size());
   for (std::size_t k = 0; k < powers.size(); ++k) {
     out[k].reserve(powers[k].size());

@@ -41,12 +41,12 @@ class Receiver {
   // and zero noise.
   [[nodiscard]] std::size_t decode_popcount(double power_mw,
                                             const dev::NoiseModel& noise,
-                                            Rng& rng) const;
+                                            RngStream& rng) const;
 
   // Vector/WDM form: powers[k][col] -> counts[k][col].
   [[nodiscard]] std::vector<std::vector<std::size_t>> decode_frame(
       const std::vector<std::vector<double>>& powers,
-      const dev::NoiseModel& noise, Rng& rng) const;
+      const dev::NoiseModel& noise, RngStream& rng) const;
 
   // Total receiver power for `n_cols` columns (paper Eq. 2).
   [[nodiscard]] double power_mw(std::size_t n_cols) const;

@@ -48,7 +48,7 @@ std::size_t ElectricalCrossbar::level_at(std::size_t row,
 }
 
 std::vector<double> ElectricalCrossbar::vmm_currents(
-    const std::vector<double>& v_rows, const dev::NoiseModel& noise, Rng& rng,
+    const std::vector<double>& v_rows, const dev::NoiseModel& noise, RngStream& rng,
     double t_s) const {
   EB_REQUIRE(v_rows.size() <= dims_.rows, "too many row voltages");
   std::vector<double> out(dims_.cols, 0.0);
@@ -72,7 +72,7 @@ std::vector<double> ElectricalCrossbar::vmm_currents(
 
 std::vector<double> ElectricalCrossbar::vmm_currents_bits(
     const BitVec& active, double v_read, const dev::NoiseModel& noise,
-    Rng& rng, double t_s) const {
+    RngStream& rng, double t_s) const {
   EB_REQUIRE(active.size() <= dims_.rows, "too many active rows");
   std::vector<double> v(active.size(), 0.0);
   for (std::size_t r = 0; r < active.size(); ++r) {
@@ -129,7 +129,7 @@ std::size_t OpticalCrossbar::level_at(std::size_t row, std::size_t col) const {
 
 std::vector<std::vector<double>> OpticalCrossbar::mmm_powers(
     const std::vector<BitVec>& wavelength_inputs, double p_in_mw,
-    const dev::NoiseModel& noise, Rng& rng) const {
+    const dev::NoiseModel& noise, RngStream& rng) const {
   std::vector<std::vector<double>> out(wavelength_inputs.size());
   const double full_scale =
       static_cast<double>(dims_.rows) * on_power(p_in_mw);
@@ -157,7 +157,7 @@ std::vector<std::vector<double>> OpticalCrossbar::mmm_powers(
 std::vector<double> OpticalCrossbar::vmm_powers(const BitVec& input,
                                                 double p_in_mw,
                                                 const dev::NoiseModel& noise,
-                                                Rng& rng) const {
+                                                RngStream& rng) const {
   return mmm_powers({input}, p_in_mw, noise, rng).front();
 }
 
@@ -195,7 +195,7 @@ void DifferentialCrossbar::program_pair(std::size_t row, std::size_t pair,
 BitVec DifferentialCrossbar::read_row_xnor(std::size_t row, const BitVec& x,
                                            double v_read,
                                            const dev::NoiseModel& noise,
-                                           Rng& rng) const {
+                                           RngStream& rng) const {
   EB_REQUIRE(row < rows_, "row out of range");
   EB_REQUIRE(x.size() <= pairs_, "input wider than pair count");
   const auto& params = devices_.front().params();

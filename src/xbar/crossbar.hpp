@@ -52,13 +52,13 @@ class ElectricalCrossbar {
   // microamps (uS * V). `t_s` = seconds since programming (drift).
   [[nodiscard]] std::vector<double> vmm_currents(
       const std::vector<double>& v_rows, const dev::NoiseModel& noise,
-      Rng& rng, double t_s = 0.0) const;
+      RngStream& rng, double t_s = 0.0) const;
 
   // Binary-input VMM: active rows driven at v_read volts, others at 0.
   // `active` may be shorter than rows(); missing rows are inactive.
   [[nodiscard]] std::vector<double> vmm_currents_bits(
       const BitVec& active, double v_read, const dev::NoiseModel& noise,
-      Rng& rng, double t_s = 0.0) const;
+      RngStream& rng, double t_s = 0.0) const;
 
   // Current a single fully-ON cell contributes at v_read (for full-scale
   // and calibration computations).
@@ -72,7 +72,7 @@ class ElectricalCrossbar {
 
   CrossbarDims dims_;
   std::vector<dev::EpcmDevice> cells_;
-  Rng rng_;  // programming-variability draws
+  RngStream rng_;  // programming-variability draws
 };
 
 class OpticalCrossbar {
@@ -93,13 +93,13 @@ class OpticalCrossbar {
   // column. Channels are physically independent (linear medium).
   [[nodiscard]] std::vector<std::vector<double>> mmm_powers(
       const std::vector<BitVec>& wavelength_inputs, double p_in_mw,
-      const dev::NoiseModel& noise, Rng& rng) const;
+      const dev::NoiseModel& noise, RngStream& rng) const;
 
   // Single-wavelength convenience (a VMM).
   [[nodiscard]] std::vector<double> vmm_powers(const BitVec& input,
                                                double p_in_mw,
                                                const dev::NoiseModel& noise,
-                                               Rng& rng) const;
+                                               RngStream& rng) const;
 
   // Received power from a single amorphous (transparent) cell at p_in.
   [[nodiscard]] double on_power(double p_in_mw) const;
@@ -112,7 +112,7 @@ class OpticalCrossbar {
 
   CrossbarDims dims_;
   std::vector<dev::OpcmDevice> cells_;
-  Rng rng_;
+  RngStream rng_;
 };
 
 // A 2T2R differential array as used by CustBinaryMap (paper Fig. 2-(a)).
@@ -137,13 +137,13 @@ class DifferentialCrossbar {
   [[nodiscard]] BitVec read_row_xnor(std::size_t row, const BitVec& x,
                                      double v_read,
                                      const dev::NoiseModel& noise,
-                                     Rng& rng) const;
+                                     RngStream& rng) const;
 
  private:
   std::size_t rows_;
   std::size_t pairs_;
   std::vector<dev::EpcmDevice> devices_;  // [row][pair][branch]
-  Rng rng_;
+  RngStream rng_;
 };
 
 }  // namespace eb::xbar

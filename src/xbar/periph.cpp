@@ -46,7 +46,7 @@ PrechargeSenseAmp::PrechargeSenseAmp(double offset_sigma_fraction)
 }
 
 bool PrechargeSenseAmp::sense(double i_plus, double i_minus,
-                              double full_scale, Rng& rng) const {
+                              double full_scale, RngStream& rng) const {
   double diff = i_plus - i_minus;
   if (offset_sigma_fraction_ > 0.0) {
     diff += rng.gaussian(0.0, offset_sigma_fraction_ * full_scale);
@@ -60,7 +60,7 @@ Tia::Tia(double gain, double power_mw) : gain_(gain), power_mw_(power_mw) {
 }
 
 double Tia::convert(double input, const dev::NoiseModel& noise,
-                    double full_scale, Rng& rng) const {
+                    double full_scale, RngStream& rng) const {
   return gain_ * noise.apply(input, full_scale, rng);
 }
 

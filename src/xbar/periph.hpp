@@ -53,7 +53,7 @@ class PrechargeSenseAmp {
 
   // True iff the plus branch conducts more than the minus branch.
   [[nodiscard]] bool sense(double i_plus, double i_minus, double full_scale,
-                           Rng& rng) const;
+                           RngStream& rng) const;
 
  private:
   double offset_sigma_fraction_;
@@ -65,7 +65,7 @@ class Tia {
   explicit Tia(double gain = 1.0, double power_mw = 2.0);
 
   [[nodiscard]] double convert(double input, const dev::NoiseModel& noise,
-                               double full_scale, Rng& rng) const;
+                               double full_scale, RngStream& rng) const;
 
   [[nodiscard]] double power_mw() const { return power_mw_; }
   [[nodiscard]] double gain() const { return gain_; }

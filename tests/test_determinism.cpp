@@ -1,0 +1,335 @@
+// Determinism suite for the sharded crossbar execution engine.
+//
+// The contract under test: for a fixed seed, mapped noisy inference and
+// noise Monte-Carlo aggregates are *bit-identical* regardless of how many
+// threads the scheduler spreads shards over -- serial (pool == nullptr),
+// ThreadPool(1), ThreadPool(2) and ThreadPool(hardware_concurrency) must
+// all produce the same integers and the same double bits. This is what
+// makes EB_THREADS-swept CI runs meaningful.
+//
+// Plus statistical sanity on RngStream: forked substreams must be
+// deterministic, pairwise distinct, and independent enough that shard
+// noise does not correlate across shards.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "device/noise.hpp"
+#include "eval/experiments.hpp"
+#include "mapping/custbinarymap.hpp"
+#include "mapping/scheduler.hpp"
+#include "mapping/tacitmap.hpp"
+#include "mapping/task.hpp"
+#include "mapping/validator.hpp"
+
+namespace eb {
+namespace {
+
+std::vector<std::size_t> pool_sizes() {
+  return {1, 2, std::max<std::size_t>(1, std::thread::hardware_concurrency())};
+}
+
+// ----------------------------------------------------------- rng streams --
+
+TEST(RngStream, ForkIsDeterministic) {
+  const RngStream base(42);
+  RngStream a = base.fork(1, 2, 3);
+  RngStream b = base.fork(1, 2, 3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.bits64(), b.bits64());
+  }
+}
+
+TEST(RngStream, ForkDoesNotAdvanceParent) {
+  RngStream a(7);
+  RngStream b(7);
+  (void)a.fork(0, 1, 2);
+  (void)a.fork(3, 4, 5);
+  EXPECT_EQ(a.bits64(), b.bits64());
+}
+
+TEST(RngStream, DistinctIndicesGiveDistinctStreams) {
+  const RngStream base(1);
+  // Across layers, shards and reps: first draws must differ pairwise.
+  std::vector<std::uint64_t> firsts;
+  for (std::uint64_t layer = 0; layer < 4; ++layer) {
+    for (std::uint64_t shard = 0; shard < 8; ++shard) {
+      for (std::uint64_t rep = 0; rep < 4; ++rep) {
+        RngStream s = base.fork(layer, shard, rep);
+        firsts.push_back(s.bits64());
+      }
+    }
+  }
+  for (std::size_t i = 0; i < firsts.size(); ++i) {
+    for (std::size_t j = i + 1; j < firsts.size(); ++j) {
+      EXPECT_NE(firsts[i], firsts[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(RngStream, SplitAdvancesParentDeterministically) {
+  RngStream a(99);
+  RngStream b(99);
+  RngStream a1 = a.split();
+  RngStream a2 = a.split();
+  RngStream b1 = b.split();
+  RngStream b2 = b.split();
+  const std::uint64_t d1 = a1.bits64();
+  const std::uint64_t d2 = a2.bits64();
+  EXPECT_NE(d1, d2);  // distinct children
+  // Same seed, same split sequence.
+  EXPECT_EQ(d1, b1.bits64());
+  EXPECT_EQ(d2, b2.bits64());
+}
+
+TEST(RngStream, ForkedStreamsAreStatisticallyIndependent) {
+  // Pooled uniforms over many forked shard streams behave like one
+  // uniform sample, and adjacent streams are uncorrelated.
+  const RngStream base(1234);
+  StatAccumulator pooled;
+  double cross = 0.0;
+  const std::size_t streams = 256;
+  const std::size_t draws = 64;
+  std::vector<double> prev(draws, 0.0);
+  for (std::size_t s = 0; s < streams; ++s) {
+    RngStream rng = base.fork(0, s, 0);
+    for (std::size_t d = 0; d < draws; ++d) {
+      const double u = rng.uniform();
+      pooled.add(u);
+      if (s > 0) {
+        cross += (u - 0.5) * (prev[d] - 0.5);
+      }
+      prev[d] = u;
+    }
+  }
+  EXPECT_NEAR(pooled.mean(), 0.5, 0.01);
+  EXPECT_NEAR(pooled.stddev(), 1.0 / std::sqrt(12.0), 0.01);
+  // Correlation estimate between neighbouring shard streams ~ 0: the sum
+  // of (streams-1)*draws products of variance 1/144 has stddev ~ 0.9.
+  EXPECT_LT(std::abs(cross) /
+                (static_cast<double>((streams - 1) * draws) / 12.0),
+            0.05);
+}
+
+TEST(RngStream, GaussianMomentsOnForkedStream) {
+  const RngStream base(77);
+  RngStream rng = base.fork(5, 6, 7);
+  StatAccumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    acc.add(rng.gaussian(1.0, 0.5));
+  }
+  EXPECT_NEAR(acc.mean(), 1.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 0.5, 0.02);
+}
+
+// ----------------------------------------- mapped execution determinism --
+
+const dev::GaussianReadNoise kNoise(0.01);
+
+TEST(ShardedDeterminism, TacitElectricalBitIdenticalAcrossPools) {
+  Rng build_rng(10);
+  // Multi-segment, multi-tile: 2m = 360 over 128 rows -> 3 segments,
+  // n = 300 over 128 cols -> 3 tiles = 9 shards.
+  const auto task = map::XnorPopcountTask::random(180, 300, 4, build_rng);
+  map::TacitElectricalConfig cfg;
+  cfg.dims = {128, 128};
+  const map::TacitMapElectrical mapped(task.weights, cfg);
+
+  Rng serial_rng(555);
+  std::vector<std::vector<std::size_t>> serial;
+  for (const auto& x : task.inputs) {
+    serial.push_back(mapped.execute(x, kNoise, serial_rng, nullptr));
+  }
+  for (const std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    Rng rng(555);
+    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+      EXPECT_EQ(mapped.execute(task.inputs[i], kNoise, rng, &pool),
+                serial[i])
+          << "threads=" << threads << " input=" << i;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, TacitOpticalWdmBitIdenticalAcrossPools) {
+  Rng build_rng(11);
+  const auto task = map::XnorPopcountTask::random(150, 90, 8, build_rng);
+  map::TacitOpticalConfig cfg;
+  cfg.dims = {128, 64};
+  cfg.wdm_capacity = 8;
+  const map::TacitMapOptical mapped(task.weights, cfg);
+
+  Rng serial_rng(777);
+  const auto serial =
+      mapped.execute_wdm(task.inputs, kNoise, serial_rng, nullptr);
+  for (const std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    Rng rng(777);
+    EXPECT_EQ(mapped.execute_wdm(task.inputs, kNoise, rng, &pool), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ShardedDeterminism, CustBinaryBitIdenticalAcrossPools) {
+  Rng build_rng(12);
+  const auto task = map::XnorPopcountTask::random(90, 100, 4, build_rng);
+  map::CustBinaryConfig cfg;
+  cfg.rows = 32;
+  cfg.pairs = 32;
+  const map::CustBinaryMap mapped(task.weights, cfg);
+
+  Rng serial_rng(999);
+  std::vector<std::vector<std::size_t>> serial;
+  for (const auto& x : task.inputs) {
+    serial.push_back(mapped.execute(x, kNoise, serial_rng, nullptr));
+  }
+  for (const std::size_t threads : pool_sizes()) {
+    ThreadPool pool(threads);
+    Rng rng(999);
+    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+      EXPECT_EQ(mapped.execute(task.inputs[i], kNoise, rng, &pool),
+                serial[i])
+          << "threads=" << threads << " input=" << i;
+    }
+  }
+}
+
+TEST(ShardedDeterminism, ExactnessSurvivesShardingWithoutNoise) {
+  // Sharding must not change the arithmetic: ideal devices + zero noise
+  // stay exact through the parallel path.
+  Rng rng(13);
+  const auto task = map::XnorPopcountTask::random(180, 300, 2, rng);
+  map::TacitElectricalConfig cfg;
+  cfg.dims = {128, 128};
+  const dev::NoNoise none;
+  ThreadPool pool(0);  // default_thread_count()
+  const auto rep = map::validate_tacit_electrical(task, cfg, none, rng, &pool);
+  EXPECT_TRUE(rep.exact()) << rep.summary();
+}
+
+// ------------------------------------------------ noise-MC determinism --
+
+TEST(ShardedDeterminism, NoiseMonteCarloAggregatesBitIdenticalAcrossPools) {
+  Rng build_rng(14);
+  const auto task = map::XnorPopcountTask::random(128, 64, 2, build_rng);
+  map::TacitElectricalConfig cfg;
+  const map::TacitMapElectrical mapped(task.weights, cfg);
+  const dev::GaussianReadNoise noise(0.02);
+  const auto gold = task.reference();
+
+  // Metric: mean |error| of the mapped noisy execution for one rep.
+  const auto metric = [&](std::size_t, RngStream& rng) {
+    double err = 0.0;
+    std::size_t outputs = 0;
+    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+      const auto got = mapped.execute(task.inputs[i], noise, rng, nullptr);
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        err += std::abs(static_cast<double>(got[j]) -
+                        static_cast<double>(gold[i][j]));
+        ++outputs;
+      }
+    }
+    return err / static_cast<double>(outputs);
+  };
+
+  eval::NoiseMcConfig mc;
+  mc.repetitions = 12;
+  mc.seed = 4242;
+  mc.threads = 1;
+  const auto serial = eval::run_noise_monte_carlo(metric, mc);
+  ASSERT_EQ(serial.per_rep.size(), 12u);
+  for (const std::size_t threads : pool_sizes()) {
+    eval::NoiseMcConfig swept = mc;
+    swept.threads = threads;
+    const auto got = eval::run_noise_monte_carlo(metric, swept);
+    EXPECT_EQ(got.per_rep, serial.per_rep) << "threads=" << threads;
+    // Same inputs in the same order: the accumulator state matches bit
+    // for bit.
+    EXPECT_EQ(got.stats.mean(), serial.stats.mean());
+    EXPECT_EQ(got.stats.stddev(), serial.stats.stddev());
+  }
+  // Reps differ from each other (streams really are distinct).
+  EXPECT_GT(serial.stats.max(), serial.stats.min());
+}
+
+// --------------------------------------------------- scheduler plumbing --
+
+TEST(CrossbarScheduler, ReducesInFlatIndexOrderAndForksPerShard) {
+  const RngStream base(5);
+  ThreadPool pool(4);
+  const map::CrossbarScheduler sched(&pool);
+  std::vector<std::size_t> order;
+  std::vector<std::uint64_t> draws(6, 0);
+  sched.run(
+      2, 3, base, StreamTag::TacitElectrical, 0,
+      [&](const map::Shard& shard, RngStream& rng) {
+        draws[shard.index] = rng.bits64();
+        return shard.segment * 10 + shard.tile;
+      },
+      [&](const map::Shard& shard, std::size_t&& v) {
+        EXPECT_EQ(v, shard.segment * 10 + shard.tile);
+        order.push_back(shard.index);
+      });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    RngStream expect = base.fork(
+        static_cast<std::uint64_t>(StreamTag::TacitElectrical), i, 0);
+    EXPECT_EQ(draws[i], expect.bits64()) << "shard " << i;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A rep fan-out whose bodies themselves shard over the same pool: the
+  // help-while-waiting caller must drain nested helper tasks.
+  ThreadPool pool(4);
+  std::vector<std::size_t> sums(8, 0);
+  pool.parallel_for(0, 8, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::vector<std::size_t> inner(64, 0);
+      pool.parallel_for(0, 64, 4,
+                        [&](std::size_t b2, std::size_t e2) {
+                          for (std::size_t j = b2; j < e2; ++j) {
+                            inner[j] = j;
+                          }
+                        });
+      std::size_t s = 0;
+      for (const std::size_t v : inner) {
+        s += v;
+      }
+      sums[i] = s;
+    }
+  });
+  for (const std::size_t s : sums) {
+    EXPECT_EQ(s, 64u * 63u / 2u);
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountHonoursEnv) {
+  // EB_THREADS is how CI pins default-sized pools; the parser must accept
+  // positive integers and ignore garbage. Restore whatever the process
+  // was launched with so later tests keep the CI-pinned width.
+  const char* launched = std::getenv("EB_THREADS");
+  const std::string saved = launched != nullptr ? launched : "";
+  ASSERT_EQ(setenv("EB_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ASSERT_EQ(setenv("EB_THREADS", "not-a-number", 1), 0);
+  EXPECT_EQ(default_thread_count(),
+            std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  ASSERT_EQ(unsetenv("EB_THREADS"), 0);
+  EXPECT_EQ(default_thread_count(),
+            std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  if (launched != nullptr) {
+    ASSERT_EQ(setenv("EB_THREADS", saved.c_str(), 1), 0);
+  }
+}
+
+}  // namespace
+}  // namespace eb

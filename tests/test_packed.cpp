@@ -15,6 +15,7 @@
 #include "bnn/model_zoo.hpp"
 #include "bnn/network.hpp"
 #include "bnn/packed.hpp"
+#include "bnn/real_gemm.hpp"
 #include "bnn/trainer.hpp"
 #include "common/bitvec.hpp"
 #include "common/error.hpp"
@@ -238,7 +239,88 @@ TEST(PackedGemm, WidthMismatchThrows) {
   EXPECT_THROW(xnor_popcount_gemm(a, b, out.data()), Error);
 }
 
+// --------------------------------------------------------- real GEMM --
+
+TEST(RealGemm, MatchesNaiveTripleLoopAndIsThreadCountInvariant) {
+  Rng rng(21);
+  for (const auto& [m, n, k] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{1, 1, 1},
+        {3, 65, 17},     // column-block remainder
+        {9, 130, 40}}) {  // two column blocks + remainder
+    std::vector<double> x(m * k);
+    std::vector<double> w(n * k);
+    std::vector<double> bias(n);
+    for (auto& v : x) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    for (auto& v : w) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    for (auto& v : bias) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+
+    // Naive reference in the same accumulation order (bias, k ascending).
+    std::vector<double> want(m * n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = bias[j];
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += x[i * k + kk] * w[j * k + kk];
+        }
+        want[i * n + j] = acc;
+      }
+    }
+
+    std::vector<double> serial(m * n);
+    real_gemm_bias(m, n, k, x.data(), w.data(), bias.data(), serial.data(),
+                   nullptr);
+    EXPECT_EQ(serial, want) << m << "x" << n << "x" << k;
+
+    ThreadPool pool(3);
+    std::vector<double> pooled(m * n);
+    real_gemm_bias(m, n, k, x.data(), w.data(), bias.data(), pooled.data(),
+                   &pool);
+    EXPECT_EQ(pooled, want) << m << "x" << n << "x" << k;
+
+    // Without bias: pure product sum, again bit-exact vs the naive loop.
+    std::vector<double> want_nb(m * n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += x[i * k + kk] * w[j * k + kk];
+        }
+        want_nb[i * n + j] = acc;
+      }
+    }
+    std::vector<double> no_bias(m * n);
+    real_gemm_bias(m, n, k, x.data(), w.data(), nullptr, no_bias.data(),
+                   nullptr);
+    EXPECT_EQ(no_bias, want_nb) << m << "x" << n << "x" << k;
+  }
+}
+
 // ------------------------------------------------------- layer equivalence --
+
+TEST(BatchEquivalence, EmptyBatchYieldsEmptyResult) {
+  // The blocked-GEMM overrides must keep the base-class behavior for an
+  // empty batch: return an empty vector, not throw.
+  Rng rng(20);
+  const auto dense =
+      DenseLayer::random("fc", 8, 4, Precision::Int8, rng);
+  Conv2dGeom g;
+  g.in_ch = 1;
+  g.out_ch = 2;
+  g.kernel = 3;
+  g.in_h = 5;
+  g.in_w = 5;
+  const auto conv = Conv2dLayer::random("conv", g, Precision::Int8, rng);
+  ThreadPool pool(2);
+  const std::vector<Tensor> none;
+  EXPECT_TRUE(dense.forward_batch(none, pool).empty());
+  EXPECT_TRUE(conv.forward_batch(none, pool).empty());
+}
 
 TEST(BatchEquivalence, BinaryDenseForwardBatchIsBitIdentical) {
   Rng rng(8);

@@ -7,6 +7,7 @@
 #include "arch/machine.hpp"
 #include "bnn/model_zoo.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "compiler/compiler.hpp"
 #include "device/noise.hpp"
 #include "mapping/custbinarymap.hpp"
@@ -46,11 +47,20 @@ TEST(Robustness, BaselineMappingDegradesUnderSenseNoise) {
   map::CustBinaryConfig cfg;
   // Noise amplitude comparable to the ON/OFF contrast corrupts PCSA
   // decisions; the mapping is *binary*-robust but not unconditionally so.
+  // Runs through the sharded path (default-width pool, EB_THREADS aware):
+  // the noisy verdict must not depend on the thread count.
   const dev::GaussianReadNoise heavy(0.5);
+  ThreadPool pool(0);
   Rng vrng(3);
-  const auto rep = map::validate_cust_binary(task, cfg, heavy, vrng);
+  const auto rep = map::validate_cust_binary(task, cfg, heavy, vrng, &pool);
   EXPECT_FALSE(rep.exact());
   EXPECT_NE(rep.summary().find("mismatched"), std::string::npos);
+
+  // Bit-identical replay: same seed, serial path.
+  Rng vrng2(3);
+  const auto rep2 = map::validate_cust_binary(task, cfg, heavy, vrng2);
+  EXPECT_EQ(rep2.mismatches, rep.mismatches);
+  EXPECT_EQ(rep2.max_abs_error, rep.max_abs_error);
 }
 
 // --------------------------------------------------------- message queue --
