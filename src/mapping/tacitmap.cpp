@@ -43,6 +43,39 @@ TacitMapElectrical::TacitMapElectrical(const BitMatrix& weights,
 std::vector<std::size_t> TacitMapElectrical::execute(
     const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
     ThreadPool* pool) const {
+  return execute_with_base(x, noise, rng.split(), pool);
+}
+
+std::vector<std::vector<std::size_t>> TacitMapElectrical::execute_batch(
+    const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+    RngStream& rng, ThreadPool* pool) const {
+  // One split per input, taken serially in input order: exactly the
+  // stream family a serial execute() loop would consume, so the batch is
+  // bit-identical to it regardless of how the fan-out is scheduled.
+  std::vector<RngStream> bases;
+  bases.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    bases.push_back(rng.split());
+  }
+  std::vector<std::vector<std::size_t>> out(inputs.size());
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Nested parallelism: each input's crossbar shards land in the same
+      // pool its siblings fan out over (parallel_for is re-entrant).
+      out[i] = execute_with_base(inputs[i], noise, bases[i], pool);
+    }
+  };
+  if (pool != nullptr && inputs.size() > 1) {
+    pool->parallel_for(0, inputs.size(), 1, body);
+  } else {
+    body(0, inputs.size());
+  }
+  return out;
+}
+
+std::vector<std::size_t> TacitMapElectrical::execute_with_base(
+    const BitVec& x, const dev::NoiseModel& noise, const RngStream& base,
+    ThreadPool* pool) const {
   EB_REQUIRE(x.size() == part_.m, "input length must match task m");
   const BitVec drive = tacit_row_drive(x);
   const std::size_t n_tiles = part_.col_tiles.size();
@@ -65,8 +98,7 @@ std::vector<std::size_t> TacitMapElectrical::execute(
   }
 
   // One shard per (segment x tile) crossbar step; each draws noise from
-  // its own stream forked off this execute() call's split point.
-  const RngStream base = rng.split();
+  // its own stream forked off this call's pre-split base.
   const CrossbarScheduler scheduler(pool);
   scheduler.run(
       part_.row_segments.size(), n_tiles, base, StreamTag::TacitElectrical,

@@ -70,6 +70,16 @@ class TacitMapElectrical {
       const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
       ThreadPool* pool = nullptr) const;
 
+  // Batch of independent inputs: out[i] is bit-identical to a serial loop
+  // of execute(inputs[i], ...) calls (per-input streams are split off
+  // `rng` up front, in input order, for any pool width). The pool works
+  // at both levels: inputs fan out across it and each input's crossbar
+  // shards nest into the same pool (parallel_for is re-entrant) -- the
+  // serving layer's batch-fan-out x crossbar-shard overlap.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> execute_batch(
+      const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+      RngStream& rng, ThreadPool* pool = nullptr) const;
+
   [[nodiscard]] const TacitPartition& partition() const { return part_; }
   [[nodiscard]] const TacitElectricalConfig& config() const { return cfg_; }
 
@@ -78,6 +88,12 @@ class TacitMapElectrical {
   [[nodiscard]] static constexpr std::size_t steps_per_input() { return 1; }
 
  private:
+  // execute() with the per-call stream base already split off the
+  // caller's rng (execute_batch pre-splits one base per input).
+  [[nodiscard]] std::vector<std::size_t> execute_with_base(
+      const BitVec& x, const dev::NoiseModel& noise, const RngStream& base,
+      ThreadPool* pool) const;
+
   TacitElectricalConfig cfg_;
   TacitPartition part_;
   // crossbars_[segment * col_tiles + tile]

@@ -1,0 +1,115 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace eb::serve {
+
+double percentile(std::vector<double> xs, double pct) {
+  EB_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile must be in [0, 100]");
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  const double rank = std::ceil(pct / 100.0 * n);
+  const std::size_t idx =
+      rank < 1.0 ? 0 : std::min(xs.size() - 1, static_cast<std::size_t>(rank) - 1);
+  return xs[idx];
+}
+
+std::string MetricsSnapshot::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "served %zu/%zu ok (%zu deadline, %zu rejected) in %zu "
+                "batches (mean %.1f) | lat us p50 %.0f p95 %.0f p99 %.0f | "
+                "%.0f req/s | depth %zu (peak %zu)",
+                completed, submitted, deadline_exceeded, rejected, batches,
+                mean_batch_size, latency_p50_us, latency_p95_us,
+                latency_p99_us, throughput_rps, queue_depth,
+                peak_queue_depth);
+  return buf;
+}
+
+Metrics::Metrics() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Metrics::record_submitted(std::size_t queue_depth_after) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_depth_after);
+}
+
+void Metrics::record_rejected() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void Metrics::record_completed(double latency_us) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  latencies_us_.push_back(latency_us);
+}
+
+void Metrics::record_deadline_exceeded() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_exceeded_;
+}
+
+void Metrics::record_batch(std::size_t live) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_requests_ += live;
+  if (batch_size_hist_.size() <= live) {
+    batch_size_hist_.resize(live + 1, 0);
+  }
+  ++batch_size_hist_[live];
+}
+
+MetricsSnapshot Metrics::snapshot(std::size_t queue_depth) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.deadline_exceeded = deadline_exceeded_;
+  s.rejected = rejected_;
+  s.batches = batches_;
+  s.queue_depth = queue_depth;
+  s.peak_queue_depth = peak_queue_depth_;
+  s.batch_size_hist = batch_size_hist_;
+  if (batches_ > 0) {
+    s.mean_batch_size = static_cast<double>(batched_requests_) /
+                        static_cast<double>(batches_);
+  }
+  if (!latencies_us_.empty()) {
+    // One sorted copy serves all three percentiles (snapshot holds mu_,
+    // so recorders stall while this runs -- keep it to a single sort).
+    std::vector<double> sorted = latencies_us_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = static_cast<double>(sorted.size());
+    const auto rank = [&](double pct) {
+      const double r = std::ceil(pct / 100.0 * n);
+      return sorted[r < 1.0 ? 0
+                            : std::min(sorted.size() - 1,
+                                       static_cast<std::size_t>(r) - 1)];
+    };
+    double sum = 0.0;
+    for (const double x : sorted) {
+      sum += x;
+    }
+    s.latency_mean_us = sum / n;
+    s.latency_max_us = sorted.back();
+    s.latency_p50_us = rank(50.0);
+    s.latency_p95_us = rank(95.0);
+    s.latency_p99_us = rank(99.0);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  s.wall_s = std::chrono::duration<double>(now - epoch_).count();
+  s.throughput_rps =
+      s.wall_s > 0.0 ? static_cast<double>(completed_) / s.wall_s : 0.0;
+  return s;
+}
+
+}  // namespace eb::serve

@@ -1,0 +1,239 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace eb::serve {
+
+namespace {
+
+double to_us(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kRejected:
+      return "rejected";
+  }
+  EB_UNREACHABLE("unknown serve::Status");
+}
+
+Server::Server(const bnn::Network& net, ServerConfig cfg)
+    : cfg_(cfg), pool_(cfg.pool_threads) {
+  EB_REQUIRE(cfg_.max_batch >= 1, "max_batch must be >= 1");
+  EB_REQUIRE(cfg_.workers >= 1, "need at least one worker");
+  EB_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be >= 1");
+  bnn::BatchRunnerConfig rcfg;
+  rcfg.batch_size = cfg_.max_batch;  // one GEMM batch per dispatched batch
+  runners_.reserve(cfg_.workers);
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    runners_.push_back(std::make_unique<bnn::BatchRunner>(net, pool_, rcfg));
+  }
+  start_workers();
+}
+
+Server::Server(BatchHandler handler, ServerConfig cfg)
+    : cfg_(cfg), pool_(cfg.pool_threads), handler_(std::move(handler)) {
+  EB_REQUIRE(handler_ != nullptr, "handler must be callable");
+  EB_REQUIRE(cfg_.max_batch >= 1, "max_batch must be >= 1");
+  EB_REQUIRE(cfg_.workers >= 1, "need at least one worker");
+  EB_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be >= 1");
+  start_workers();
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::start_workers() {
+  workers_.reserve(cfg_.workers);
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+std::future<Result> Server::submit(bnn::Tensor input) {
+  return submit(std::move(input), cfg_.default_deadline_us);
+}
+
+std::future<Result> Server::submit(bnn::Tensor input,
+                                   std::uint64_t deadline_us) {
+  Pending r;
+  r.input = std::move(input);
+  auto fut = r.promise.get_future();
+  bool accepted = false;
+  std::size_t depth = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!draining_ && queue_.size() < cfg_.queue_capacity) {
+      // Timestamp under the lock: queue order == enqueue-time order, the
+      // invariant the window prefix scan (and window 0's serve-singly
+      // guarantee) relies on when submitters race.
+      r.enqueue = Clock::now();
+      r.deadline = deadline_us == 0
+                       ? Clock::time_point::max()
+                       : r.enqueue + std::chrono::microseconds(deadline_us);
+      queue_.push_back(std::move(r));
+      depth = queue_.size();
+      accepted = true;
+    }
+  }
+  if (accepted) {
+    metrics_.record_submitted(depth);
+    // notify_all, not notify_one: workers wait on cv_ under two different
+    // predicates (idle vs window wait_until), and a single token handed
+    // to the "wrong" one costs a window of latency. Worker counts are
+    // small, so the extra wakeups are noise next to the batch work.
+    cv_.notify_all();
+  } else {
+    // Backpressure / post-shutdown: the caller still gets a fulfilled
+    // future, just not an answer.
+    metrics_.record_rejected();
+    Result res;
+    res.status = Status::kRejected;
+    r.promise.set_value(std::move(res));
+  }
+  return fut;
+}
+
+void Server::worker_loop(std::size_t worker_idx) {
+  std::vector<Pending> batch;
+  while (form_batch(batch)) {
+    serve_batch(worker_idx, std::move(batch));
+    batch.clear();
+  }
+}
+
+bool Server::form_batch(std::vector<Pending>& batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return false;  // draining and fully drained
+    }
+    // The batch is anchored on the current oldest request; it closes at
+    // max_batch or when that request's window expires. Anything the front
+    // changes under us (another worker popped it) we just recompute.
+    const auto close =
+        queue_.front().enqueue +
+        std::chrono::microseconds(cfg_.batching_window_us);
+    std::size_t live = 0;
+    if (draining_) {
+      // Drain fast: no window waits, full batches.
+      live = std::min(queue_.size(), cfg_.max_batch);
+    } else {
+      // Only requests that arrived within the window of the oldest member
+      // join its batch (FIFO -> a queue prefix). Window 0 degenerates to
+      // singleton batches: the no-coalescing baseline.
+      while (live < queue_.size() && live < cfg_.max_batch &&
+             queue_[live].enqueue <= close) {
+        ++live;
+      }
+    }
+    if (live >= cfg_.max_batch || draining_ || Clock::now() >= close) {
+      batch.clear();
+      batch.reserve(live);
+      for (std::size_t i = 0; i < live; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (!queue_.empty()) {
+        cv_.notify_all();  // the remainder may already form the next batch
+      }
+      return true;
+    }
+    // Under-full batch inside its window: sleep until the window closes or
+    // an arrival / drain notification re-evaluates the policy.
+    cv_.wait_until(lock, close);
+  }
+}
+
+void Server::serve_batch(std::size_t worker_idx, std::vector<Pending> batch) {
+  const auto formed = Clock::now();
+  // Deadline gate at batch formation: expired requests complete here with
+  // kDeadlineExceeded and never occupy GEMM space.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (auto& r : batch) {
+    if (formed >= r.deadline) {
+      Result res;
+      res.status = Status::kDeadlineExceeded;
+      res.queue_us = to_us(formed - r.enqueue);
+      res.total_us = res.queue_us;
+      metrics_.record_deadline_exceeded();
+      r.promise.set_value(std::move(res));
+    } else {
+      live.push_back(std::move(r));
+    }
+  }
+  if (live.empty()) {
+    return;
+  }
+  metrics_.record_batch(live.size());
+  std::vector<bnn::Tensor> inputs;
+  inputs.reserve(live.size());
+  for (auto& r : live) {
+    inputs.push_back(std::move(r.input));
+  }
+  std::vector<bnn::Tensor> outputs;
+  try {
+    if (!runners_.empty()) {
+      outputs = runners_[worker_idx]->forward_all(inputs);
+    } else {
+      outputs = handler_(std::span<const bnn::Tensor>(inputs), pool_);
+    }
+    EB_ASSERT(outputs.size() == live.size(),
+              "batch handler must produce one output per input");
+  } catch (...) {
+    // A failing batch fails every request in it; the futures carry the
+    // handler's exception rather than a fabricated status.
+    const auto err = std::current_exception();
+    for (auto& r : live) {
+      r.promise.set_exception(err);
+    }
+    return;
+  }
+  const auto done = Clock::now();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Result res;
+    res.status = Status::kOk;
+    res.output = std::move(outputs[i]);
+    res.queue_us = to_us(formed - live[i].enqueue);
+    res.total_us = to_us(done - live[i].enqueue);
+    res.batch_size = live.size();
+    metrics_.record_completed(res.total_us);
+    live[i].promise.set_value(std::move(res));
+  }
+}
+
+void Server::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  const std::lock_guard<std::mutex> lock(join_mu_);
+  if (!joined_) {
+    for (auto& t : workers_) {
+      t.join();
+    }
+    joined_ = true;
+  }
+}
+
+MetricsSnapshot Server::metrics() const {
+  return metrics_.snapshot(queue_depth());
+}
+
+std::size_t Server::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace eb::serve

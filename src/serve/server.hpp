@@ -1,0 +1,173 @@
+// Concurrent batch-serving layer over the batched inference engine.
+//
+// BatchRunner is a single-caller engine: one thread hands it a whole
+// sample vector and waits. A serving workload is the opposite shape --
+// many callers, one tensor each, latency budgets -- so serve::Server puts
+// a request queue with a *dynamic batching* policy in front of N worker
+// BatchRunners (Clipper-style adaptive batching / Triton-style delayed
+// batch windows):
+//
+//   submit(Tensor) -> future<Result>
+//        |                                    workers (N threads)
+//        v                                   +-> BatchRunner --+
+//   [ lock-guarded FIFO queue ] -- batches --+-> BatchRunner --+-> shared
+//     close batch when max_batch             +-> BatchRunner --+   pool
+//     reached OR the oldest member's
+//     batching_window_us expires, whichever first
+//
+// Policy details:
+//  * A request joins a batch only if it arrived within batching_window_us
+//    of the batch's oldest member -- window 0 therefore means "no
+//    coalescing" (every request is served alone), which is the baseline
+//    the load bench compares against. The window bounds a batch's age
+//    spread even when dispatch is late, so under sustained overload a
+//    batch holds at most ~window/inter-arrival-gap requests: pick a
+//    window of at least max_batch x the expected arrival gap to let
+//    batches fill (greedy backlog-filling would batch better there, but
+//    it would also erase the window-0 baseline and the age-spread
+//    latency bound). queue_capacity and deadlines are the overload
+//    backstops.
+//  * Per-request deadlines: a request whose deadline has passed when its
+//    batch is formed completes with Status::kDeadlineExceeded (it never
+//    occupies GEMM space, and it is never silently dropped).
+//  * shutdown() stops admissions, drains the queue (window waits are
+//    skipped while draining), and joins the workers; every accepted
+//    request's future is fulfilled before shutdown() returns. Submissions
+//    after shutdown -- and submissions that find the queue at
+//    queue_capacity -- complete immediately with Status::kRejected.
+//
+// All workers share one re-entrant ThreadPool: a batch's layer fan-out
+// and any nested crossbar-shard parallel_for (mapped executors take the
+// same pool) interleave in one task queue instead of oversubscribing the
+// machine with per-worker pools. This is the ROADMAP "serving-layer +
+// scheduler integration" point.
+//
+// The Network handler is bit-exact: every Result::output equals
+// net.forward(input) no matter how requests were coalesced into batches,
+// so serving is loss-free *and* reproducible under any interleaving.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bnn/batch_runner.hpp"
+#include "bnn/network.hpp"
+#include "bnn/tensor.hpp"
+#include "common/thread_pool.hpp"
+#include "serve/metrics.hpp"
+
+namespace eb::serve {
+
+enum class Status {
+  kOk = 0,
+  kDeadlineExceeded,  // expired before its batch was formed
+  kRejected,          // queue full, or submitted after shutdown
+};
+
+[[nodiscard]] const char* to_string(Status s);
+
+struct Result {
+  Status status = Status::kRejected;
+  bnn::Tensor output;        // valid only when status == kOk
+  double queue_us = 0.0;     // submit -> batch formation
+  double total_us = 0.0;     // submit -> promise fulfilled
+  std::size_t batch_size = 0;  // live requests in the batch served with
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+// A batch executor: maps inputs[i] -> outputs[i] using `pool` for
+// intra-batch parallelism. Must be safe to call concurrently from several
+// worker threads (the Network handler is: const net + re-entrant pool).
+using BatchHandler = std::function<std::vector<bnn::Tensor>(
+    std::span<const bnn::Tensor> inputs, ThreadPool& pool)>;
+
+struct ServerConfig {
+  // Batch closes as soon as it holds max_batch live requests...
+  std::size_t max_batch = 64;
+  // ...or when the oldest member has waited this long. 0 disables
+  // coalescing (serve singly) -- the no-batching baseline.
+  std::uint64_t batching_window_us = 1000;
+  // Worker threads, each forming + executing batches independently.
+  std::size_t workers = 2;
+  // Shared pool concurrency for intra-batch fan-out (0 = EB_THREADS /
+  // hardware concurrency, 1 = inline).
+  std::size_t pool_threads = 1;
+  // submit() beyond this queue depth completes with kRejected
+  // (backpressure instead of unbounded memory growth).
+  std::size_t queue_capacity = 65536;
+  // Deadline applied to submit(Tensor) without an explicit one; 0 = none.
+  std::uint64_t default_deadline_us = 0;
+};
+
+class Server {
+ public:
+  // Serves net.forward bit-exactly via per-worker BatchRunners.
+  Server(const bnn::Network& net, ServerConfig cfg = {});
+  // Serves an arbitrary batch function (e.g. a mapped-crossbar executor).
+  Server(BatchHandler handler, ServerConfig cfg = {});
+  ~Server();  // graceful: shutdown() if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Enqueue one request. Always returns a future that will be fulfilled:
+  // kOk with the output, kDeadlineExceeded, or kRejected.
+  std::future<Result> submit(bnn::Tensor input);
+  std::future<Result> submit(bnn::Tensor input, std::uint64_t deadline_us);
+
+  // Stop admissions, serve everything already queued, join workers.
+  // Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] MetricsSnapshot metrics() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    bnn::Tensor input;
+    std::promise<Result> promise;
+    Clock::time_point enqueue;
+    Clock::time_point deadline;  // Clock::time_point::max() = none
+  };
+
+  void start_workers();
+  void worker_loop(std::size_t worker_idx);
+  // Pops one batch under the dynamic-batching policy. Returns false when
+  // draining and the queue is empty (worker exits).
+  bool form_batch(std::vector<Pending>& batch);
+  void serve_batch(std::size_t worker_idx, std::vector<Pending> batch);
+
+  ServerConfig cfg_;
+  ThreadPool pool_;
+  BatchHandler handler_;
+  // Network mode: one runner per worker, all sharing pool_. Empty in
+  // custom-handler mode.
+  std::vector<std::unique_ptr<bnn::BatchRunner>> runners_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  std::vector<std::thread> workers_;
+  std::mutex join_mu_;  // serializes shutdown(); cannot hold mu_ across join
+  bool joined_ = false;
+
+  Metrics metrics_;
+};
+
+}  // namespace eb::serve

@@ -1,0 +1,483 @@
+// Serving-layer suite: serve::Server's dynamic batching policy, deadline
+// budgets, drain semantics and metrics, plus the shared-pool plumbing it
+// rides on (BatchRunner external-pool mode, TacitMapElectrical batch
+// execution).
+//
+// Contracts under test:
+//  * concurrent submit() from many threads is loss-free and every output
+//    is bit-identical to the per-sample reference path, no matter how the
+//    requests were coalesced into batches;
+//  * a batch closes at max_batch or when the oldest member's window
+//    expires, whichever first -- and window 0 means singleton batches;
+//  * expired requests complete with kDeadlineExceeded, never dropped;
+//  * shutdown() drains: every accepted request's future is fulfilled;
+//  * the whole suite is run by CI under EB_THREADS=1 and 4 and under
+//    ThreadSanitizer (the queue is the first real producer/consumer path).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bnn/batch_runner.hpp"
+#include "bnn/model_zoo.hpp"
+#include "bnn/network.hpp"
+#include "bnn/tensor.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "device/noise.hpp"
+#include "mapping/tacitmap.hpp"
+#include "mapping/task.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace eb {
+namespace {
+
+using bnn::Network;
+using bnn::Tensor;
+using serve::Result;
+using serve::Server;
+using serve::ServerConfig;
+using serve::Status;
+
+constexpr std::size_t kInputDim = 64;
+
+Network make_net() {
+  Rng rng(7);
+  return bnn::build_mlp("serve-test", {kInputDim, 96, 48, 10}, rng);
+}
+
+std::vector<Tensor> make_inputs(std::size_t n) {
+  Rng rng(11);
+  std::vector<Tensor> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(Tensor::random_uniform({kInputDim}, 1.0, rng));
+  }
+  return inputs;
+}
+
+void expect_tensors_equal(const Tensor& got, const Tensor& want,
+                          std::size_t sample) {
+  ASSERT_EQ(got.size(), want.size()) << "sample " << sample;
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    // Bit-identical, not approximately equal: the serving path must run
+    // the very same kernels as the reference path.
+    EXPECT_EQ(got[k], want[k]) << "sample " << sample << " elem " << k;
+  }
+}
+
+// ------------------------------------------------------------ percentile --
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) {
+    xs.push_back(i);
+  }
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 95.0), 95.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(serve::percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(serve::percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+// ----------------------------------------------------------- basic serve --
+
+TEST(Server, SingleRequestMatchesForward) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(1);
+  ServerConfig cfg;
+  cfg.batching_window_us = 0;  // serve immediately
+  cfg.workers = 1;
+  Server server(net, cfg);
+  auto fut = server.submit(inputs[0]);
+  const Result res = fut.get();
+  ASSERT_EQ(res.status, Status::kOk) << to_string(res.status);
+  EXPECT_EQ(res.batch_size, 1u);
+  EXPECT_GE(res.total_us, res.queue_us);
+  expect_tensors_equal(res.output, net.forward(inputs[0]), 0);
+}
+
+TEST(Server, ConcurrentSubmitIsLossFreeAndBitIdentical) {
+  const Network net = make_net();
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 24;
+  const auto inputs = make_inputs(kClients * kPerClient);
+
+  // Reference outputs from the per-sample path.
+  std::vector<Tensor> want;
+  want.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    want.push_back(net.forward(in));
+  }
+
+  ServerConfig cfg;
+  cfg.max_batch = 16;
+  cfg.batching_window_us = 500;
+  cfg.workers = 3;
+  cfg.pool_threads = 0;  // EB_THREADS-controlled: CI sweeps 1 and 4
+  Server server(net, cfg);
+
+  std::vector<std::future<Result>> futures(inputs.size());
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::size_t idx = c * kPerClient + i;
+        futures[idx] = server.submit(inputs[idx]);
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Result res = futures[i].get();
+    ASSERT_EQ(res.status, Status::kOk)
+        << "sample " << i << ": " << to_string(res.status);
+    ASSERT_GE(res.batch_size, 1u);
+    ASSERT_LE(res.batch_size, cfg.max_batch);
+    expect_tensors_equal(res.output, want[i], i);
+  }
+
+  const auto m = server.metrics();
+  EXPECT_EQ(m.submitted, inputs.size());
+  EXPECT_EQ(m.completed, inputs.size());
+  EXPECT_EQ(m.deadline_exceeded, 0u);
+  EXPECT_EQ(m.rejected, 0u);
+}
+
+// -------------------------------------------------------- batching policy --
+
+TEST(Server, FullBatchClosesBeforeWindowExpires) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(4);
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batching_window_us = 10'000'000;  // 10 s: only max_batch can close it
+  cfg.workers = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  Server server(net, cfg);
+  std::vector<std::future<Result>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(server.submit(in));
+  }
+  for (auto& f : futures) {
+    const Result res = f.get();
+    ASSERT_EQ(res.status, Status::kOk);
+    EXPECT_EQ(res.batch_size, 4u);  // one full batch, not four singletons
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed_s, 5.0);  // nowhere near the 10 s window
+}
+
+TEST(Server, WindowExpiryDispatchesPartialBatch) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(3);
+  ServerConfig cfg;
+  cfg.max_batch = 64;
+  cfg.batching_window_us = 50'000;  // 50 ms
+  cfg.workers = 1;
+  Server server(net, cfg);
+  std::vector<std::future<Result>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(server.submit(in));
+  }
+  for (auto& f : futures) {
+    const Result res = f.get();
+    ASSERT_EQ(res.status, Status::kOk);
+    // The window closed the batch well short of max_batch, with every
+    // request that arrived inside it on board.
+    EXPECT_EQ(res.batch_size, 3u);
+    EXPECT_GE(res.total_us, 20'000.0);  // waited out (most of) the window
+  }
+}
+
+TEST(Server, ZeroWindowServesSingletonBatches) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(6);
+  ServerConfig cfg;
+  cfg.max_batch = 64;
+  cfg.batching_window_us = 0;  // no coalescing
+  cfg.workers = 1;
+  Server server(net, cfg);
+  std::vector<std::future<Result>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(server.submit(in));
+  }
+  for (auto& f : futures) {
+    const Result res = f.get();
+    ASSERT_EQ(res.status, Status::kOk);
+    EXPECT_EQ(res.batch_size, 1u);
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.batches, 6u);
+  EXPECT_DOUBLE_EQ(m.mean_batch_size, 1.0);
+}
+
+// ------------------------------------------------------ deadlines / drain --
+
+TEST(Server, ExpiredRequestsCompleteWithDeadlineExceeded) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(8);
+  ServerConfig cfg;
+  cfg.max_batch = 1024;
+  cfg.batching_window_us = 30'000;  // 30 ms window...
+  cfg.workers = 1;
+  Server server(net, cfg);
+  std::vector<std::future<Result>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(server.submit(in, /*deadline_us=*/1000));  // ...1 ms
+  }
+  for (auto& f : futures) {
+    const Result res = f.get();  // fulfilled, not dropped
+    EXPECT_EQ(res.status, Status::kDeadlineExceeded);
+    EXPECT_EQ(res.output.size(), 0u);
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.deadline_exceeded, 8u);
+  EXPECT_EQ(m.completed, 0u);
+}
+
+TEST(Server, ShutdownDrainsEveryAcceptedRequest) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(50);
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.batching_window_us = 1'000'000;  // 1 s: drain must not wait for it
+  cfg.workers = 2;
+  Server server(net, cfg);
+  std::vector<std::future<Result>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(server.submit(in));
+  }
+  server.shutdown();  // returns only after the queue is drained
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Result res = futures[i].get();
+    EXPECT_EQ(res.status, Status::kOk) << "sample " << i;
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.completed, 50u);
+  EXPECT_EQ(m.queue_depth, 0u);
+}
+
+TEST(Server, SubmitAfterShutdownIsRejected) {
+  const Network net = make_net();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(net, cfg);
+  server.shutdown();
+  auto fut = server.submit(make_inputs(1)[0]);
+  EXPECT_EQ(fut.get().status, Status::kRejected);
+  EXPECT_EQ(server.metrics().rejected, 1u);
+}
+
+TEST(Server, QueueCapacityAppliesBackpressure) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(6);
+  ServerConfig cfg;
+  cfg.max_batch = 64;
+  cfg.batching_window_us = 2'000'000;  // 2 s: requests sit in the queue
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  Server server(net, cfg);
+  std::vector<std::future<Result>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(server.submit(in));
+  }
+  server.shutdown();  // drains the 4 accepted ones immediately
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  for (auto& f : futures) {
+    const Result res = f.get();
+    if (res.status == Status::kOk) {
+      ++ok;
+    } else if (res.status == Status::kRejected) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok, 4u);
+  EXPECT_EQ(rejected, 2u);
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Server, MetricsSnapshotIsConsistent) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(40);
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.batching_window_us = 300;
+  cfg.workers = 2;
+  Server server(net, cfg);
+  std::vector<std::future<Result>> futures;
+  for (const auto& in : inputs) {
+    futures.push_back(server.submit(in));
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.get().status, Status::kOk);
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.submitted, 40u);
+  EXPECT_EQ(m.completed, 40u);
+  EXPECT_GE(m.batches, (40u + cfg.max_batch - 1) / cfg.max_batch);
+  EXPECT_LE(m.batches, 40u);
+  EXPECT_LE(m.latency_p50_us, m.latency_p95_us);
+  EXPECT_LE(m.latency_p95_us, m.latency_p99_us);
+  EXPECT_LE(m.latency_p99_us, m.latency_max_us);
+  EXPECT_GT(m.latency_mean_us, 0.0);
+  EXPECT_GT(m.throughput_rps, 0.0);
+  EXPECT_GE(m.mean_batch_size, 1.0);
+  EXPECT_GE(m.peak_queue_depth, 1u);
+  std::size_t hist_batches = 0;
+  std::size_t hist_requests = 0;
+  for (std::size_t k = 0; k < m.batch_size_hist.size(); ++k) {
+    hist_batches += m.batch_size_hist[k];
+    hist_requests += k * m.batch_size_hist[k];
+  }
+  EXPECT_EQ(hist_batches, m.batches);
+  EXPECT_EQ(hist_requests, m.completed);  // no deadline losses here
+  EXPECT_FALSE(m.summary().empty());
+}
+
+// ------------------------------------------- shared-pool / mapped backend --
+
+TEST(TacitMapElectrical, ExecuteBatchBitIdenticalToSerialLoop) {
+  Rng task_rng(21);
+  const auto task = map::XnorPopcountTask::random(96, 100, 8, task_rng);
+  map::TacitElectricalConfig cfg;
+  cfg.dims = {64, 64};  // 3 row segments x 2 col tiles = 6 shards
+  const map::TacitMapElectrical mapped(task.weights, cfg);
+  const dev::GaussianReadNoise noise(0.05);
+
+  RngStream rng_serial(123);
+  std::vector<std::vector<std::size_t>> want;
+  want.reserve(task.inputs.size());
+  for (const auto& x : task.inputs) {
+    want.push_back(mapped.execute(x, noise, rng_serial));
+  }
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(width);
+    RngStream rng_batch(123);
+    const auto got = mapped.execute_batch(task.inputs, noise, rng_batch,
+                                          &pool);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "input " << i << " width " << width;
+    }
+  }
+}
+
+TEST(Server, MappedBackendServesBitExactPopcounts) {
+  Rng task_rng(33);
+  const auto task = map::XnorPopcountTask::random(96, 100, 12, task_rng);
+  map::TacitElectricalConfig mcfg;
+  mcfg.dims = {64, 64};
+  const auto mapped =
+      std::make_shared<map::TacitMapElectrical>(task.weights, mcfg);
+  const auto noise = std::make_shared<dev::NoNoise>();
+  const auto want = task.reference();
+
+  // The handler decodes each request tensor back to bits, runs the mapped
+  // executor's batch API on the *server's own pool*, and returns the
+  // popcounts: request fan-out and nested crossbar shards share one
+  // re-entrant pool (the ROADMAP serving + scheduler integration point).
+  const std::size_t m = task.m();
+  serve::BatchHandler handler =
+      [mapped, noise, m, rng = RngStream(5)](
+          std::span<const Tensor> batch,
+          ThreadPool& pool) mutable -> std::vector<Tensor> {
+    std::vector<BitVec> bits;
+    bits.reserve(batch.size());
+    for (const auto& t : batch) {
+      BitVec x(m);
+      for (std::size_t k = 0; k < m; ++k) {
+        x.set(k, t[k] > 0.5);
+      }
+      bits.push_back(std::move(x));
+    }
+    const auto counts = mapped->execute_batch(bits, *noise, rng, &pool);
+    std::vector<Tensor> out;
+    out.reserve(counts.size());
+    for (const auto& row : counts) {
+      Tensor t({row.size()});
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        t[j] = static_cast<double>(row[j]);
+      }
+      out.push_back(std::move(t));
+    }
+    return out;
+  };
+
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batching_window_us = 500;
+  cfg.workers = 1;  // the handler's RngStream is worker-local state
+  cfg.pool_threads = 0;
+  Server server(std::move(handler), cfg);
+
+  std::vector<std::future<Result>> futures;
+  for (const auto& x : task.inputs) {
+    Tensor t({m});
+    for (std::size_t k = 0; k < m; ++k) {
+      t[k] = x.get(k) ? 1.0 : 0.0;
+    }
+    futures.push_back(server.submit(std::move(t)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Result res = futures[i].get();
+    ASSERT_EQ(res.status, Status::kOk) << "input " << i;
+    ASSERT_EQ(res.output.size(), want[i].size());
+    for (std::size_t j = 0; j < want[i].size(); ++j) {
+      EXPECT_EQ(res.output[j], static_cast<double>(want[i][j]))
+          << "input " << i << " column " << j;
+    }
+  }
+}
+
+TEST(BatchRunner, ConcurrentRunnersOnOneSharedPoolAreRaceFree) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(48);
+  std::vector<Tensor> want;
+  want.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    want.push_back(net.forward(in));
+  }
+
+  ThreadPool pool(4);
+  bnn::BatchRunnerConfig rcfg;
+  rcfg.batch_size = 16;
+  const bnn::BatchRunner a(net, pool, rcfg);
+  const bnn::BatchRunner b(net, pool, rcfg);
+
+  std::vector<Tensor> out_a;
+  std::vector<Tensor> out_b;
+  std::thread ta([&] { out_a = a.forward_all(inputs); });
+  std::thread tb([&] { out_b = b.forward_all(inputs); });
+  ta.join();
+  tb.join();
+
+  ASSERT_EQ(out_a.size(), inputs.size());
+  ASSERT_EQ(out_b.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    expect_tensors_equal(out_a[i], want[i], i);
+    expect_tensors_equal(out_b[i], want[i], i);
+  }
+  // last_stats() is a locked copy now: both runs completed, so both slots
+  // hold full-run stats.
+  EXPECT_EQ(a.last_stats().samples, inputs.size());
+  EXPECT_EQ(b.last_stats().samples, inputs.size());
+  EXPECT_EQ(a.last_stats().batches, 3u);
+}
+
+}  // namespace
+}  // namespace eb
