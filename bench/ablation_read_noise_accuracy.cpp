@@ -24,6 +24,7 @@
 #include "common/table.hpp"
 #include "device/noise.hpp"
 #include "eval/experiments.hpp"
+#include "mapping/executor.hpp"
 #include "mapping/tacitmap.hpp"
 
 namespace {
@@ -53,8 +54,9 @@ struct NoisyPipeline {
     }
   }
 
-  template <typename Executor>
-  [[nodiscard]] std::size_t predict(const Executor& mapped,
+  // Any crossbar organization serves the hidden layer: the sweep drives
+  // the executors through the polymorphic MappedExecutor interface.
+  [[nodiscard]] std::size_t predict(const map::MappedExecutor& mapped,
                                     const bnn::Tensor& image,
                                     const dev::NoiseModel& noise,
                                     Rng& rng) const {

@@ -9,9 +9,16 @@
 // baseline (bench/baselines/serve_load_ci.json): fail when p99 latency
 // exceeds the budget or throughput regresses more than 20%.
 //
-// Usage (key=value args, common/config.hpp):
+// backend= selects what the server executes: `network` (default, the BNN
+// through per-worker BatchRunners) or a mapped crossbar executor served
+// through serve::make_mapped_handler over the map::MappedExecutor
+// interface -- `electrical`, `optical` (batches map onto WDM wavelengths
+// first, thread-pool passes second) or `cust`.
+//
+// Usage (key=value args, common/config.hpp; --key=value also accepted):
 //   serve_load                      # full sweep on the 1024-wide model
 //   serve_load mode=smoke           # ~2 s small-model run
+//   serve_load --backend=optical    # sweep a mapped WDM backend
 //   serve_load mode=ci json=serve_load_report.json
 //              baseline=bench/baselines/serve_load_ci.json
 //   serve_load duration_s=3 workers=2 threads=0 json=report.json
@@ -26,7 +33,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -36,20 +45,34 @@
 #include "bnn/model_zoo.hpp"
 #include "bnn/network.hpp"
 #include "bnn/tensor.hpp"
+#include "common/bitvec.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "device/noise.hpp"
+#include "mapping/executor.hpp"
+#include "serve/mapped_backend.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
+using eb::BitMatrix;
+using eb::BitVec;
 using eb::Config;
 using eb::RngStream;
+using eb::ThreadPool;
 using eb::bnn::Network;
 using eb::bnn::Tensor;
 using eb::serve::MetricsSnapshot;
 using eb::serve::Server;
 using eb::serve::ServerConfig;
 using Clock = std::chrono::steady_clock;
+
+// Builds a fresh Server for one sweep point's batching window; lets the
+// sweep drivers stay agnostic of what the server executes (Network vs
+// mapped-executor handler).
+using ServerFactory =
+    std::function<std::unique_ptr<Server>(std::uint64_t window_us)>;
 
 struct PointResult {
   std::string kind;  // "closed" | "open"
@@ -87,6 +110,39 @@ double calibrate_sps(const Network& net, const std::vector<Tensor>& inputs,
   return best;
 }
 
+// Same anchor for a mapped backend: time the executor's batch API over
+// the input set in chunks of `batch_size` (serial pool -- the per-worker
+// floor the offered loads are expressed against).
+double calibrate_mapped_sps(const eb::map::MappedExecutor& exec,
+                            const std::vector<Tensor>& inputs,
+                            std::size_t batch_size) {
+  const std::size_t m = exec.dims().m;
+  std::vector<BitVec> bits;
+  bits.reserve(inputs.size());
+  for (const auto& t : inputs) {
+    // Same decode the served handler applies (one wire format).
+    bits.push_back(eb::serve::tensor_to_bits(t, m));
+  }
+  const eb::dev::NoNoise none;
+  RngStream rng(1);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    for (std::size_t lo = 0; lo < bits.size(); lo += batch_size) {
+      const std::vector<BitVec> chunk(
+          bits.begin() + static_cast<std::ptrdiff_t>(lo),
+          bits.begin() + static_cast<std::ptrdiff_t>(
+                             std::min(lo + batch_size, bits.size())));
+      (void)exec.execute_batch(chunk, none, rng, nullptr);
+    }
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s > 0.0) {
+      best = std::max(best, static_cast<double>(bits.size()) / s);
+    }
+  }
+  return best;
+}
+
 ServerConfig server_config(const Config& cfg, std::uint64_t window_us) {
   ServerConfig scfg;
   scfg.max_batch =
@@ -98,11 +154,12 @@ ServerConfig server_config(const Config& cfg, std::uint64_t window_us) {
   return scfg;
 }
 
-PointResult run_closed_loop(const Network& net, const Config& cfg,
+PointResult run_closed_loop(const ServerFactory& make_server,
                             const std::vector<Tensor>& inputs,
                             std::size_t clients, std::uint64_t window_us,
                             double duration_s) {
-  Server server(net, server_config(cfg, window_us));
+  const auto server_ptr = make_server(window_us);
+  Server& server = *server_ptr;
   std::atomic<bool> stop{false};
   std::vector<std::thread> threads;
   threads.reserve(clients);
@@ -134,12 +191,13 @@ PointResult run_closed_loop(const Network& net, const Config& cfg,
   return r;
 }
 
-PointResult run_open_loop(const Network& net, const Config& cfg,
+PointResult run_open_loop(const ServerFactory& make_server,
                           const std::vector<Tensor>& inputs,
                           double offered_rps, std::size_t n_requests,
                           std::uint64_t window_us,
                           std::uint64_t deadline_us) {
-  Server server(net, server_config(cfg, window_us));
+  const auto server_ptr = make_server(window_us);
+  Server& server = *server_ptr;
   RngStream arrivals(0xA771BA1);  // fixed seed: reproducible schedule
   std::vector<std::future<eb::serve::Result>> futures;
   futures.reserve(n_requests);
@@ -233,26 +291,75 @@ double json_number_field(const std::string& text, const std::string& key,
 int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const std::string mode = cfg.get_string("mode", "sweep");
+  const std::string backend = cfg.get_string("backend", "network");
   const bool smoke = mode == "smoke" || mode == "ci";
+  if (mode == "ci" && backend != "network") {
+    // The checked-in baseline describes the network backend; gating a
+    // mapped backend against it would be meaningless.
+    std::fprintf(stderr, "FAIL: mode=ci supports backend=network only\n");
+    return 1;
+  }
 
-  // Smoke/CI: a small net that keeps the whole run around ~2 s. Full
-  // sweep: the 1024-wide model of the acceptance claim.
+  // What the server executes. backend=network: a BNN through per-worker
+  // BatchRunners (smoke: a small net that keeps the whole run around
+  // ~2 s; full sweep: the 1024-wide model of the acceptance claim).
+  // Mapped backends: a map::MappedExecutor served through the
+  // serve::make_mapped_handler adapter -- one XnorPopcount layer's worth
+  // of random weights on the chosen crossbar organization.
   eb::RngStream model_rng(17);
-  const Network net =
-      smoke ? eb::bnn::build_mlp("serve-smoke-256", {256, 256, 10},
-                                 model_rng)
-            : eb::bnn::build_mlp("serve-1024", {1024, 1024, 1024, 10},
-                                 model_rng);
-  const std::size_t dim = smoke ? 256 : 1024;
+  std::unique_ptr<Network> net;
+  std::shared_ptr<const eb::map::MappedExecutor> mapped;
+  std::string model_name;
+  std::size_t dim = 0;
+  if (backend == "network") {
+    net = std::make_unique<Network>(
+        smoke ? eb::bnn::build_mlp("serve-smoke-256", {256, 256, 10},
+                                   model_rng)
+              : eb::bnn::build_mlp("serve-1024", {1024, 1024, 1024, 10},
+                                   model_rng));
+    model_name = net->name();
+    dim = smoke ? 256 : 1024;
+  } else {
+    const auto m = static_cast<std::size_t>(
+        cfg.get_int("m", smoke ? 256 : 512));
+    const auto n = static_cast<std::size_t>(
+        cfg.get_int("n", smoke ? 64 : 256));
+    eb::map::MappedExecutorOptions opt;
+    opt.xbar_rows = static_cast<std::size_t>(
+        cfg.get_int("xbar", smoke ? 256 : 512));
+    opt.xbar_cols = opt.xbar_rows;
+    opt.wdm_capacity =
+        static_cast<std::size_t>(cfg.get_int("wdm", smoke ? 8 : 16));
+    const BitMatrix weights = BitMatrix::random(n, m, model_rng);
+    mapped = eb::map::make_mapped_executor(backend, weights, opt);
+    model_name = mapped->descriptor();
+    dim = m;
+  }
   const auto inputs = make_inputs(128, dim);
 
   std::printf("== serve_load (%s) on %s ==\n", mode.c_str(),
-              net.name().c_str());
-  const double single_sps = calibrate_sps(net, inputs, 1);
-  const double batched_sps = calibrate_sps(net, inputs, 64);
+              model_name.c_str());
+  const double single_sps =
+      net != nullptr ? calibrate_sps(*net, inputs, 1)
+                     : calibrate_mapped_sps(*mapped, inputs, 1);
+  const double batched_sps =
+      net != nullptr ? calibrate_sps(*net, inputs, 64)
+                     : calibrate_mapped_sps(*mapped, inputs, 64);
   std::printf("engine calibration: %.0f samples/s at batch 1, %.0f at "
               "batch 64 (%.1fx amortization headroom)\n",
               single_sps, batched_sps, batched_sps / single_sps);
+
+  const ServerFactory make_server = [&](std::uint64_t window) {
+    if (net != nullptr) {
+      return std::make_unique<Server>(*net, server_config(cfg, window));
+    }
+    // The handler is rebuilt per point so every sweep point sees the
+    // same handler-stream seed (run-to-run comparable points).
+    return std::make_unique<Server>(
+        eb::serve::make_mapped_handler(
+            mapped, std::make_shared<eb::dev::NoNoise>()),
+        server_config(cfg, window));
+  };
 
   const double duration_s =
       cfg.get_double("duration_s", smoke ? 0.4 : 2.0);
@@ -265,7 +372,7 @@ int main(int argc, char** argv) {
   for (const std::size_t clients :
        smoke ? std::vector<std::size_t>{4}
              : std::vector<std::size_t>{1, 4, 16}) {
-    points.push_back(run_closed_loop(net, cfg, inputs, clients, window_us,
+    points.push_back(run_closed_loop(make_server, inputs, clients, window_us,
                                      duration_s * 0.5));
     print_point(points.back());
   }
@@ -278,7 +385,7 @@ int main(int argc, char** argv) {
     const double offered = frac * batched_sps;
     const auto n = static_cast<std::size_t>(offered * duration_s);
     for (const std::uint64_t w : {std::uint64_t{0}, window_us}) {
-      points.push_back(run_open_loop(net, cfg, inputs, offered,
+      points.push_back(run_open_loop(make_server, inputs, offered,
                                      std::max<std::size_t>(n, 32), w,
                                      /*deadline_us=*/0));
       print_point(points.back());
@@ -291,7 +398,7 @@ int main(int argc, char** argv) {
     const double offered = 1.2 * batched_sps;
     const auto n = static_cast<std::size_t>(offered * duration_s * 0.5);
     points.push_back(run_open_loop(
-        net, cfg, inputs, offered, std::max<std::size_t>(n, 32), window_us,
+        make_server, inputs, offered, std::max<std::size_t>(n, 32), window_us,
         /*deadline_us=*/50'000));
     print_point(points.back());
     const auto& p = points.back();
@@ -336,7 +443,8 @@ int main(int argc, char** argv) {
     os << "{\n"
        << "  \"bench\": \"serve_load\",\n"
        << "  \"mode\": \"" << mode << "\",\n"
-       << "  \"model\": \"" << net.name() << "\",\n"
+       << "  \"backend\": \"" << backend << "\",\n"
+       << "  \"model\": \"" << model_name << "\",\n"
        << "  \"calibration\": {\"single_sps\": " << single_sps
        << ", \"batched_sps\": " << batched_sps << "},\n"
        << "  \"points\": [\n";

@@ -63,44 +63,35 @@ int main(int argc, char** argv) {
   map::TacitOpticalConfig ocfg;
   const map::TacitMapOptical mapped(kernels, ocfg);
 
-  std::size_t mismatches = 0;
-  std::size_t steps = 0;
+  // All windows through one execute_batch call: the executor tiles them
+  // into ceil(B / wdm_capacity) WDM passes internally (the hand-rolled
+  // chunking this example used to do itself).
   std::vector<std::pair<std::size_t, std::size_t>> positions;
-  std::vector<BitVec> batch;
-  auto flush = [&]() {
-    if (batch.empty()) {
-      return;
-    }
-    const auto counts = mapped.execute_wdm(batch, no_noise, rng);
-    ++steps;
-    for (std::size_t k = 0; k < batch.size(); ++k) {
-      const auto [oh, ow] = positions[k];
-      for (std::size_t oc = 0; oc < geom.out_ch; ++oc) {
-        const long long dot =
-            2 * static_cast<long long>(counts[k][oc]) -
-            static_cast<long long>(batch[k].size());
-        if (static_cast<double>(dot) != want.at({oc, oh, ow})) {
-          ++mismatches;
-        }
-      }
-    }
-    batch.clear();
-    positions.clear();
-  };
+  std::vector<BitVec> windows;
   for (std::size_t oh = 0; oh < geom.out_h(); ++oh) {
     for (std::size_t ow = 0; ow < geom.out_w(); ++ow) {
-      batch.push_back(
+      windows.push_back(
           bnn::BinaryConv2dLayer::im2col_window(act, geom, oh, ow));
       positions.emplace_back(oh, ow);
-      if (batch.size() == ocfg.wdm_capacity) {
-        flush();
+    }
+  }
+  const auto counts = mapped.execute_batch(windows, no_noise, rng);
+  std::size_t mismatches = 0;
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    const auto [oh, ow] = positions[k];
+    for (std::size_t oc = 0; oc < geom.out_ch; ++oc) {
+      const long long dot = 2 * static_cast<long long>(counts[k][oc]) -
+                            static_cast<long long>(windows[k].size());
+      if (static_cast<double>(dot) != want.at({oc, oh, ow})) {
+        ++mismatches;
       }
     }
   }
-  flush();
-  std::printf("\nconv validation: %zu im2col windows in %zu WDM steps of"
-              " K<=16 -> %zu output mismatches vs reference\n",
-              geom.out_h() * geom.out_w(), steps, mismatches);
+  const std::size_t steps =
+      (windows.size() + ocfg.wdm_capacity - 1) / ocfg.wdm_capacity;
+  std::printf("\nconv validation: %zu im2col windows in %zu WDM passes of"
+              " K<=%zu -> %zu output mismatches vs reference\n",
+              windows.size(), steps, ocfg.wdm_capacity, mismatches);
 
   // ---- modeled cost of the full VGG-D ------------------------------------
   const arch::TechParams tech = arch::TechParams::paper_defaults();

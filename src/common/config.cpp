@@ -9,10 +9,17 @@ namespace eb {
 Config Config::from_args(int argc, const char* const* argv) {
   Config cfg;
   for (int i = 1; i < argc; ++i) {
-    const std::string tok = argv[i];
-    // Skip google-benchmark style flags so binaries can share argv.
+    std::string tok = argv[i];
     if (tok.rfind("--", 0) == 0) {
-      continue;
+      // Google-benchmark flags (--benchmark_*) and dashed flags without
+      // '=' (--help) are skipped so binaries can share argv with other
+      // flag parsers; any other GNU-style --key=value is accepted as
+      // key=value.
+      if (tok.rfind("--benchmark", 0) == 0 ||
+          tok.find('=') == std::string::npos) {
+        continue;
+      }
+      tok.erase(0, tok.find_first_not_of('-'));
     }
     const auto eq = tok.find('=');
     EB_REQUIRE(eq != std::string::npos && eq > 0,

@@ -1,6 +1,7 @@
 #include "mapping/custbinarymap.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -55,6 +56,44 @@ std::vector<std::size_t> CustBinaryMap::execute(const BitVec& x,
                                                 const dev::NoiseModel& noise,
                                                 RngStream& rng,
                                                 ThreadPool* pool) const {
+  return execute_with_base(x, noise, rng.split(), pool);
+}
+
+std::vector<std::vector<std::size_t>> CustBinaryMap::execute_batch(
+    const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+    RngStream& rng, ThreadPool* pool) const {
+  // split_bases: per-input streams in input order == the family a serial
+  // execute() loop consumes, for any fan-out schedule.
+  const std::vector<RngStream> bases = split_bases(rng, inputs.size());
+  std::vector<std::vector<std::size_t>> out(inputs.size());
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Nested parallelism: each input's crossbar shards land in the same
+      // pool its siblings fan out over (parallel_for is re-entrant).
+      out[i] = execute_with_base(inputs[i], noise, bases[i], pool);
+    }
+  };
+  if (pool != nullptr && inputs.size() > 1) {
+    pool->parallel_for(0, inputs.size(), 1, body);
+  } else {
+    body(0, inputs.size());
+  }
+  return out;
+}
+
+ExecutorDims CustBinaryMap::dims() const { return {part_.m, part_.n}; }
+
+std::string CustBinaryMap::descriptor() const {
+  std::ostringstream os;
+  os << "custbinarymap " << cfg_.rows << "x" << cfg_.pairs << " ("
+     << part_.row_groups.size() << " grp x " << part_.width_tiles.size()
+     << " tiles)";
+  return os.str();
+}
+
+std::vector<std::size_t> CustBinaryMap::execute_with_base(
+    const BitVec& x, const dev::NoiseModel& noise, const RngStream& base,
+    ThreadPool* pool) const {
   EB_REQUIRE(x.size() == part_.m, "input length must match task m");
   const std::size_t n_tiles = part_.width_tiles.size();
   std::vector<std::size_t> out(part_.n, 0);
@@ -70,7 +109,6 @@ std::vector<std::size_t> CustBinaryMap::execute(const BitVec& x,
   // within a shard stays sequential (the n-step cost the paper
   // highlights); distinct crossbars run concurrently, and the tree-based
   // global popcount merging width tiles becomes the reduction step.
-  const RngStream base = rng.split();
   const CrossbarScheduler scheduler(pool);
   scheduler.run(
       part_.row_groups.size(), n_tiles, base, StreamTag::CustBinary,

@@ -1,23 +1,25 @@
-// CustBinaryMap -- the SotA baseline mapping (Hirtzlin et al. 2020; paper
-// Fig. 2-(a) / Fig. 3-(a)).
-//
-// Layout: weight vector W_j occupies *row* j of a 2T2R array, interleaved
-// bitwise with its complement: [w1 ~w1 w2 ~w2 ... wm ~wm]. The input is
-// applied on the bit-line pairs as (x, ~x); activating row j makes the
-// precharge sense amplifiers emit XNOR(x, W_j) one bit per column pair.
-// The popcount is then computed in digital logic: a 5-bit counter per
-// column chunk plus a tree-based global popcount across connected
-// crossbars.
-//
-// Consequences the paper builds on:
-//  * one row activation per weight vector => n sequential steps per input
-//    (TacitMap needs 1),
-//  * extra digital circuitry (counters + tree) on every readout,
-//  * a customized 2T2R cell + modified SA microarchitecture.
+/// \file
+/// \brief CustBinaryMap -- the SotA baseline mapping (Hirtzlin et al. 2020;
+/// paper Fig. 2-(a) / Fig. 3-(a)).
+///
+/// Layout: weight vector W_j occupies *row* j of a 2T2R array, interleaved
+/// bitwise with its complement: [w1 ~w1 w2 ~w2 ... wm ~wm]. The input is
+/// applied on the bit-line pairs as (x, ~x); activating row j makes the
+/// precharge sense amplifiers emit XNOR(x, W_j) one bit per column pair.
+/// The popcount is then computed in digital logic: a 5-bit counter per
+/// column chunk plus a tree-based global popcount across connected
+/// crossbars.
+///
+/// Consequences the paper builds on:
+///  * one row activation per weight vector => n sequential steps per input
+///    (TacitMap needs 1),
+///  * extra digital circuitry (counters + tree) on every readout,
+///  * a customized 2T2R cell + modified SA microarchitecture.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/bitvec.hpp"
@@ -25,40 +27,63 @@
 #include "common/thread_pool.hpp"
 #include "device/noise.hpp"
 #include "device/pcm.hpp"
+#include "mapping/executor.hpp"
 #include "mapping/partitioner.hpp"
 #include "mapping/scheduler.hpp"
 #include "xbar/crossbar.hpp"
 
 namespace eb::map {
 
+/// Configuration of the CustBinaryMap baseline executor.
 struct CustBinaryConfig {
-  std::size_t rows = 512;   // word lines per crossbar
-  std::size_t pairs = 256;  // 2T2R column pairs per crossbar (512 devices)
-  dev::EpcmParams device = dev::EpcmParams::ideal();
-  double v_read = 0.2;
-  std::size_t counter_bits = 5;  // local popcount counter width (paper)
-  std::uint64_t seed = 107;
+  std::size_t rows = 512;   ///< Word lines per crossbar.
+  std::size_t pairs = 256;  ///< 2T2R column pairs per crossbar (512 devices).
+  dev::EpcmParams device = dev::EpcmParams::ideal();  ///< Device model.
+  double v_read = 0.2;  ///< Read voltage, volts.
+  std::size_t counter_bits = 5;  ///< Local popcount counter width (paper).
+  std::uint64_t seed = 107;  ///< Device-variability seed.
 };
 
-class CustBinaryMap {
+/// The 2T2R + PCSA baseline mapping, implementing map::MappedExecutor via
+/// sequential row activation and digital popcount.
+class CustBinaryMap final : public MappedExecutor {
  public:
+  /// Programs the task's weights into the partition's crossbars.
   CustBinaryMap(const BitMatrix& weights, CustBinaryConfig cfg);
 
-  // XNOR+Popcounts of one input vector against all n weight vectors via
-  // sequential row activation + digital popcount. Exact for ideal devices.
-  // Independent (row group x width tile) crossbars shard across `pool`
-  // (nullptr -> serial, bit-identical to any pool size).
+  /// XNOR+Popcounts of one input vector against all n weight vectors via
+  /// sequential row activation + digital popcount. Exact for ideal devices.
+  /// Independent (row group x width tile) crossbars shard across `pool`
+  /// (nullptr -> serial, bit-identical to any pool size).
   [[nodiscard]] std::vector<std::size_t> execute(
       const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const override;
 
-  // Row-activation steps execute() needs for one input vector (row groups
-  // on distinct crossbars run in parallel): max rows used in a crossbar.
+  /// Batch of independent inputs fanned across `pool` with nested
+  /// crossbar shards in the same re-entrant pool (the scheme
+  /// TacitMapElectrical::execute_batch uses). Per-input streams are split
+  /// off `rng` up front in input order, so out[i] is bit-identical to a
+  /// serial loop of execute(inputs[i], ...) calls for any pool width.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> execute_batch(
+      const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+      RngStream& rng, ThreadPool* pool = nullptr) const override;
+
+  /// Task shape (m input bits, n weight vectors).
+  [[nodiscard]] ExecutorDims dims() const override;
+
+  /// "custbinarymap RxP (G grp x T tiles)".
+  [[nodiscard]] std::string descriptor() const override;
+
+  /// Row-activation steps execute() needs for one input vector (row groups
+  /// on distinct crossbars run in parallel): max rows used in a crossbar.
   [[nodiscard]] std::size_t steps_per_input() const {
     return part_.steps_per_input();
   }
 
+  /// Tiling of the task over crossbars.
   [[nodiscard]] const CustPartition& partition() const { return part_; }
+
+  /// Configuration the executor was built with.
   [[nodiscard]] const CustBinaryConfig& config() const { return cfg_; }
 
  private:
@@ -66,14 +91,20 @@ class CustBinaryMap {
   // Functionally a popcount; chunked to mirror the paper's circuit.
   [[nodiscard]] std::size_t digital_popcount(const BitVec& bits) const;
 
+  // execute() with the per-call stream base already split off the
+  // caller's rng (execute_batch pre-splits one base per input).
+  [[nodiscard]] std::vector<std::size_t> execute_with_base(
+      const BitVec& x, const dev::NoiseModel& noise, const RngStream& base,
+      ThreadPool* pool) const;
+
   CustBinaryConfig cfg_;
   CustPartition part_;
   // crossbars_[group * width_tiles + tile]
   std::vector<std::unique_ptr<xbar::DifferentialCrossbar>> crossbars_;
 };
 
-// Interleaves a weight vector with its complement: [w1 ~w1 w2 ~w2 ...].
-// Exposed for layout tests.
+/// Interleaves a weight vector with its complement: [w1 ~w1 w2 ~w2 ...].
+/// Exposed for layout tests.
 [[nodiscard]] BitVec cust_interleave(const BitVec& w);
 
 }  // namespace eb::map

@@ -1,0 +1,100 @@
+/// \file
+/// \brief The polymorphic mapped-executor interface every crossbar mapping
+/// implements.
+///
+/// The paper evaluates three crossbar organizations -- TacitMap on ePCM,
+/// TacitMap on oPCM + WDM (the EinsteinBarrier VCore), and the
+/// CustBinaryMap SotA baseline. They differ in layout and physics but
+/// consume the same workload unit (map::XnorPopcountTask shapes: n binary
+/// weight vectors of length m hit by m-bit inputs) and produce the same
+/// result shape (one popcount per weight vector). MappedExecutor captures
+/// that contract so the serving layer, the validator and the eval sweeps
+/// can drive *any* mapping through one interface -- a backend becomes a
+/// constructor choice instead of a code path.
+///
+/// Batch semantics are part of the contract: execute_batch(inputs) must be
+/// bit-identical to a serial loop of execute(inputs[i]) calls for any
+/// thread-pool width, including the fully serial pool == nullptr path.
+/// Each implementation achieves that with per-input pre-split RngStream
+/// bases (see the determinism contract in docs/ARCHITECTURE.md); what the
+/// batch dimension maps onto is implementation-defined -- WDM wavelengths
+/// first for the optical executor, thread-pool fan-out for the electrical
+/// and Cust ones.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "device/noise.hpp"
+
+namespace eb::map {
+
+/// Logical task shape an executor was programmed with.
+struct ExecutorDims {
+  std::size_t m = 0;  ///< Input length in bits (weight-vector length).
+  std::size_t n = 0;  ///< Number of weight vectors == outputs per input.
+};
+
+/// Abstract XNOR+Popcount crossbar executor: one programmed weight matrix,
+/// executed against single inputs or batches, with injectable device noise
+/// and a splittable RngStream for every stochastic draw.
+///
+/// Implementations: TacitMapElectrical, TacitMapOptical, CustBinaryMap.
+class MappedExecutor {
+ public:
+  /// Executors are owned polymorphically (factory + serving layer).
+  virtual ~MappedExecutor() = default;
+
+  /// XNOR+Popcounts of one input vector against all n weight vectors:
+  /// out[j] = popcount(x XNOR w_j). Exact for ideal devices / zero noise.
+  /// Crossbar shards spread across `pool` (nullptr = serial; results are
+  /// bit-identical for any pool width).
+  [[nodiscard]] virtual std::vector<std::size_t> execute(
+      const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
+      ThreadPool* pool = nullptr) const = 0;
+
+  /// Batch of independent inputs: out[i] is bit-identical to a serial
+  /// loop of execute(inputs[i], ...) calls for any pool width (per-input
+  /// streams are split off `rng` up front, in input order). The pool works
+  /// at every level the mapping exposes: batch fan-out, WDM passes and
+  /// nested crossbar shards share one re-entrant pool.
+  [[nodiscard]] virtual std::vector<std::vector<std::size_t>> execute_batch(
+      const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+      RngStream& rng, ThreadPool* pool = nullptr) const = 0;
+
+  /// Task shape this executor was programmed with (inputs must be
+  /// dims().m bits; every result row has dims().n popcounts).
+  [[nodiscard]] virtual ExecutorDims dims() const = 0;
+
+  /// Short human-readable identity: mapping name, crossbar geometry and
+  /// tiling, e.g. "tacitmap-optical 128x64 wdm=8 (3 seg x 2 tiles)".
+  /// Serving logs and bench reports print this.
+  [[nodiscard]] virtual std::string descriptor() const = 0;
+};
+
+/// Geometry knobs for make_mapped_executor (kept to plain integers so CLI
+/// front-ends like bench/serve_load can populate them from key=value
+/// flags without pulling in every backend's config struct).
+struct MappedExecutorOptions {
+  std::size_t xbar_rows = 512;     ///< Crossbar rows (Cust: word lines).
+  std::size_t xbar_cols = 512;     ///< Crossbar cols (Cust: devices = 2 x pairs).
+  std::size_t wdm_capacity = 16;   ///< Optical backend only: wavelengths/pass.
+  std::uint64_t seed = 0;          ///< Device-variability seed; 0 = backend default.
+};
+
+/// Builds the named backend ("electrical", "optical" or "cust") programmed
+/// with `weights`, using each backend's default device parameters and the
+/// geometry in `opt`. Throws eb::Error on an unknown backend name.
+[[nodiscard]] std::unique_ptr<MappedExecutor> make_mapped_executor(
+    const std::string& backend, const BitMatrix& weights,
+    const MappedExecutorOptions& opt = {});
+
+/// Backend names make_mapped_executor accepts, for CLI help strings.
+[[nodiscard]] const std::vector<std::string>& mapped_backend_names();
+
+}  // namespace eb::map

@@ -1,11 +1,12 @@
-// Tiling geometry shared by the mappings.
-//
-// TacitMap stores a 2m-bit column ([w ; ~w]) per weight vector, so a task
-// occupies ceil(2m/R) row segments x ceil(n/C) column tiles of R x C
-// crossbars (paper Fig. 3-(b)). CustBinaryMap stores one weight vector per
-// 2T2R row (2m devices wide), so a task occupies ceil(n/R) row groups x
-// ceil(m/(C/2)) width tiles (Fig. 3-(a)). The Partition struct captures
-// either decomposition as uniform ranges.
+/// \file
+/// \brief Tiling geometry shared by the mappings.
+///
+/// TacitMap stores a 2m-bit column ([w ; ~w]) per weight vector, so a task
+/// occupies ceil(2m/R) row segments x ceil(n/C) column tiles of R x C
+/// crossbars (paper Fig. 3-(b)). CustBinaryMap stores one weight vector per
+/// 2T2R row (2m devices wide), so a task occupies ceil(n/R) row groups x
+/// ceil(m/(C/2)) width tiles (Fig. 3-(a)). The Partition struct captures
+/// either decomposition as uniform ranges.
 #pragma once
 
 #include <cstddef>
@@ -15,53 +16,58 @@
 
 namespace eb::map {
 
-// A contiguous 1-D range [begin, begin + length).
+/// A contiguous 1-D range [begin, begin + length).
 struct Range {
-  std::size_t begin = 0;
-  std::size_t length = 0;
+  std::size_t begin = 0;   ///< First index covered.
+  std::size_t length = 0;  ///< Number of indices covered.
 
+  /// One past the last index covered.
   [[nodiscard]] std::size_t end() const { return begin + length; }
 };
 
-// Splits [0, total) into chunks of at most `chunk`.
+/// Splits [0, total) into chunks of at most `chunk`.
 [[nodiscard]] std::vector<Range> split_ranges(std::size_t total,
                                               std::size_t chunk);
 
-// TacitMap tiling of an (m, n) task onto R x C crossbars.
+/// TacitMap tiling of an (m, n) task onto R x C crossbars.
 struct TacitPartition {
-  std::size_t m = 0;
-  std::size_t n = 0;
-  xbar::CrossbarDims dims;
-  std::vector<Range> row_segments;  // over the 2m concatenated bits
-  std::vector<Range> col_tiles;     // over the n weight vectors
+  std::size_t m = 0;  ///< Input length in bits.
+  std::size_t n = 0;  ///< Number of weight vectors.
+  xbar::CrossbarDims dims;  ///< Geometry of each crossbar tile.
+  std::vector<Range> row_segments;  ///< Over the 2m concatenated bits.
+  std::vector<Range> col_tiles;     ///< Over the n weight vectors.
 
+  /// Crossbars the partition occupies (segments x tiles).
   [[nodiscard]] std::size_t crossbars() const {
     return row_segments.size() * col_tiles.size();
   }
 
+  /// Computes the tiling of an (m, n) task onto `dims` crossbars.
   [[nodiscard]] static TacitPartition build(std::size_t m, std::size_t n,
                                             xbar::CrossbarDims dims);
 };
 
-// CustBinaryMap tiling of an (m, n) task onto crossbars with `rows` word
-// lines and `pairs` 2T2R column pairs.
+/// CustBinaryMap tiling of an (m, n) task onto crossbars with `rows` word
+/// lines and `pairs` 2T2R column pairs.
 struct CustPartition {
-  std::size_t m = 0;
-  std::size_t n = 0;
-  std::size_t rows = 0;
-  std::size_t pairs = 0;
-  std::vector<Range> row_groups;   // over the n weight vectors
-  std::vector<Range> width_tiles;  // over the m bit positions
+  std::size_t m = 0;      ///< Input length in bits.
+  std::size_t n = 0;      ///< Number of weight vectors.
+  std::size_t rows = 0;   ///< Word lines per crossbar.
+  std::size_t pairs = 0;  ///< 2T2R column pairs per crossbar.
+  std::vector<Range> row_groups;   ///< Over the n weight vectors.
+  std::vector<Range> width_tiles;  ///< Over the m bit positions.
 
+  /// Crossbars the partition occupies (groups x tiles).
   [[nodiscard]] std::size_t crossbars() const {
     return row_groups.size() * width_tiles.size();
   }
 
-  // Sequential row activations needed per input vector, assuming row
-  // groups on distinct crossbars proceed in parallel and width tiles are
-  // merged by the popcount tree: the longest row group.
+  /// Sequential row activations needed per input vector, assuming row
+  /// groups on distinct crossbars proceed in parallel and width tiles are
+  /// merged by the popcount tree: the longest row group.
   [[nodiscard]] std::size_t steps_per_input() const;
 
+  /// Computes the tiling of an (m, n) task onto rows x pairs crossbars.
   [[nodiscard]] static CustPartition build(std::size_t m, std::size_t n,
                                            std::size_t rows,
                                            std::size_t pairs);

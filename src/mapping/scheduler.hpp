@@ -1,22 +1,23 @@
-// Sharded crossbar execution.
-//
-// A mapped layer decomposes into a grid of independent crossbar steps:
-// TacitMap runs one VMM per (row segment x column tile) crossbar,
-// CustBinaryMap one row-activation sweep per (row group x width tile).
-// The real hardware executes those steps concurrently -- distinct crossbar
-// tiles and WDM channels operate in parallel -- and the ECore output
-// registers reduce the partial popcounts digitally. CrossbarScheduler is
-// the software analogue: it flattens the grid into shard tasks, fans them
-// out across an eb::ThreadPool, and reduces the partial sums on the
-// calling thread in a fixed order (the adder-tree merge; integer partial
-// sums make the reduction order-invariant anyway).
-//
-// Determinism contract: every shard draws read-noise from its own
-// RngStream forked as (tag, shard_index, rep) from a base stream captured
-// before dispatch. Because fork() is a pure function of the base state and
-// the indices, a shard's noise sequence does not depend on which thread
-// runs it or in what order -- mapped execution is bit-identical across
-// pool sizes, including the fully serial pool == nullptr path.
+/// \file
+/// \brief Sharded crossbar execution.
+///
+/// A mapped layer decomposes into a grid of independent crossbar steps:
+/// TacitMap runs one VMM per (row segment x column tile) crossbar,
+/// CustBinaryMap one row-activation sweep per (row group x width tile).
+/// The real hardware executes those steps concurrently -- distinct crossbar
+/// tiles and WDM channels operate in parallel -- and the ECore output
+/// registers reduce the partial popcounts digitally. CrossbarScheduler is
+/// the software analogue: it flattens the grid into shard tasks, fans them
+/// out across an eb::ThreadPool, and reduces the partial sums on the
+/// calling thread in a fixed order (the adder-tree merge; integer partial
+/// sums make the reduction order-invariant anyway).
+///
+/// Determinism contract: every shard draws read-noise from its own
+/// RngStream forked as (tag, shard_index, rep) from a base stream captured
+/// before dispatch. Because fork() is a pure function of the base state and
+/// the indices, a shard's noise sequence does not depend on which thread
+/// runs it or in what order -- mapped execution is bit-identical across
+/// pool sizes, including the fully serial pool == nullptr path.
 #pragma once
 
 #include <cstddef>
@@ -30,31 +31,67 @@
 
 namespace eb::map {
 
-// One independent crossbar step of a segments x tiles grid.
+/// One stream base per batch input, split off `rng` serially in input
+/// order: exactly the family a serial execute() loop would consume, so a
+/// batch fan-out scheduled over any pool width stays bit-identical to
+/// that loop. Every executor's execute_batch (and the WDM pass) derives
+/// its per-input bases through this one helper -- it IS the batch
+/// determinism contract, keep it single-sourced.
+[[nodiscard]] inline std::vector<RngStream> split_bases(RngStream& rng,
+                                                        std::size_t n) {
+  std::vector<RngStream> bases;
+  bases.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bases.push_back(rng.split());
+  }
+  return bases;
+}
+
+/// One independent crossbar step of a segments x tiles grid.
 struct Shard {
-  std::size_t index = 0;    // flat index == segment * tiles + tile
-  std::size_t segment = 0;  // row segment (TacitMap) / row group (Cust)
-  std::size_t tile = 0;     // column tile (TacitMap) / width tile (Cust)
+  std::size_t index = 0;    ///< Flat index == segment * tiles + tile.
+  std::size_t segment = 0;  ///< Row segment (TacitMap) / row group (Cust).
+  std::size_t tile = 0;     ///< Column tile (TacitMap) / width tile (Cust).
 };
 
+/// Fans a (segments x tiles) shard grid across a ThreadPool and reduces
+/// the per-shard partial results deterministically on the calling thread.
 class CrossbarScheduler {
  public:
-  // `pool` may be nullptr: shards then execute inline on the calling
-  // thread, in flat-index order, with the very same forked streams the
-  // parallel path uses.
+  /// `pool` may be nullptr: shards then execute inline on the calling
+  /// thread, in flat-index order, with the very same forked streams the
+  /// parallel path uses.
   explicit CrossbarScheduler(ThreadPool* pool = nullptr) : pool_(pool) {}
 
-  // Executes shard_fn(shard, rng) for every shard of the grid, each with
-  // its private stream base.fork(tag, shard.index, rep), then feeds the
-  // partial results to reduce(shard, partial) in flat-index order on the
-  // calling thread. shard_fn must be safe to call concurrently on
-  // distinct shards (const crossbar reads + private rng).
+  /// Executes shard_fn(shard, rng) for every shard of the grid, each with
+  /// its private stream base.fork(tag, shard.index, rep), then feeds the
+  /// partial results to reduce(shard, partial) in flat-index order on the
+  /// calling thread. shard_fn must be safe to call concurrently on
+  /// distinct shards (const crossbar reads + private rng).
   template <typename ShardFn, typename ReduceFn>
   void run(std::size_t segments, std::size_t tiles, const RngStream& base,
            StreamTag tag, std::uint64_t rep, ShardFn&& shard_fn,
            ReduceFn&& reduce) const {
-    using Partial = std::decay_t<
-        std::invoke_result_t<ShardFn&, const Shard&, RngStream&>>;
+    run_raw(
+        segments, tiles,
+        [&](const Shard& shard) {
+          RngStream rng =
+              base.fork(static_cast<std::uint64_t>(tag), shard.index, rep);
+          return shard_fn(shard, rng);
+        },
+        std::forward<ReduceFn>(reduce));
+  }
+
+  /// Stream-agnostic variant: shard_fn(shard) owns its stream derivation.
+  /// The WDM executor uses this -- a shard there serves several wavelength
+  /// channels, each drawing from a fork of its *input's* base stream
+  /// rather than from one per-shard stream, so batch tiling cannot change
+  /// a channel's noise sequence.
+  template <typename ShardFn, typename ReduceFn>
+  void run_raw(std::size_t segments, std::size_t tiles, ShardFn&& shard_fn,
+               ReduceFn&& reduce) const {
+    using Partial =
+        std::decay_t<std::invoke_result_t<ShardFn&, const Shard&>>;
     const std::size_t n_shards = segments * tiles;
     if (n_shards == 0) {
       return;
@@ -62,10 +99,7 @@ class CrossbarScheduler {
     std::vector<Partial> partials(n_shards);
     auto body = [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
-        const Shard shard{i, i / tiles, i % tiles};
-        RngStream rng =
-            base.fork(static_cast<std::uint64_t>(tag), i, rep);
-        partials[i] = shard_fn(shard, rng);
+        partials[i] = shard_fn(Shard{i, i / tiles, i % tiles});
       }
     };
     if (pool_ != nullptr && n_shards > 1) {

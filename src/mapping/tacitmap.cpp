@@ -2,10 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 
 namespace eb::map {
+
+namespace {
+
+std::string tiling_suffix(const TacitPartition& part) {
+  std::ostringstream os;
+  os << " (" << part.row_segments.size() << " seg x " << part.col_tiles.size()
+     << " tiles)";
+  return os.str();
+}
+
+}  // namespace
 
 BitVec tacit_column_stack(const BitVec& w) {
   return w.concat(w.complemented());
@@ -49,14 +61,9 @@ std::vector<std::size_t> TacitMapElectrical::execute(
 std::vector<std::vector<std::size_t>> TacitMapElectrical::execute_batch(
     const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
     RngStream& rng, ThreadPool* pool) const {
-  // One split per input, taken serially in input order: exactly the
-  // stream family a serial execute() loop would consume, so the batch is
-  // bit-identical to it regardless of how the fan-out is scheduled.
-  std::vector<RngStream> bases;
-  bases.reserve(inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    bases.push_back(rng.split());
-  }
+  // split_bases: per-input streams in input order == the family a serial
+  // execute() loop consumes, for any fan-out schedule.
+  const std::vector<RngStream> bases = split_bases(rng, inputs.size());
   std::vector<std::vector<std::size_t>> out(inputs.size());
   auto body = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
@@ -71,6 +78,15 @@ std::vector<std::vector<std::size_t>> TacitMapElectrical::execute_batch(
     body(0, inputs.size());
   }
   return out;
+}
+
+ExecutorDims TacitMapElectrical::dims() const { return {part_.m, part_.n}; }
+
+std::string TacitMapElectrical::descriptor() const {
+  std::ostringstream os;
+  os << "tacitmap-electrical " << cfg_.dims.rows << "x" << cfg_.dims.cols
+     << tiling_suffix(part_);
+  return os.str();
 }
 
 std::vector<std::size_t> TacitMapElectrical::execute_with_base(
@@ -164,6 +180,16 @@ std::vector<std::vector<std::size_t>> TacitMapOptical::execute_wdm(
   EB_REQUIRE(!inputs.empty(), "need at least one input vector");
   EB_REQUIRE(inputs.size() <= cfg_.wdm_capacity,
              "input batch exceeds WDM capacity");
+  // split_bases: per-input streams, so WDM coalescing never changes a
+  // channel's result vs a serial execute() loop.
+  const std::vector<RngStream> bases = split_bases(rng, inputs.size());
+  return wdm_pass(inputs, noise, bases, pool);
+}
+
+std::vector<std::vector<std::size_t>> TacitMapOptical::wdm_pass(
+    std::span<const BitVec> inputs, const dev::NoiseModel& noise,
+    std::span<const RngStream> bases, ThreadPool* pool) const {
+  EB_ASSERT(inputs.size() == bases.size(), "one stream base per input");
   for (const auto& x : inputs) {
     EB_REQUIRE(x.size() == part_.m, "input length must match task m");
   }
@@ -199,16 +225,18 @@ std::vector<std::vector<std::size_t>> TacitMapOptical::execute_wdm(
     }
   }
 
-  const RngStream base = rng.split();
+  // Wavelength channels are physically independent (linear medium), so
+  // each channel k of a shard draws its noise from a private stream
+  // forked off *its input's* base -- bases[k].fork(tag, shard, 0) -- not
+  // from one shared shard stream. A channel's noise sequence is therefore
+  // a pure function of its input's base and the shard index: identical
+  // whether the input rides a crowded WDM pass or a single-channel one.
   const CrossbarScheduler scheduler(pool);
-  scheduler.run(
-      part_.row_segments.size(), n_tiles, base, StreamTag::TacitOptical,
-      /*rep=*/0,
-      [&](const Shard& shard, RngStream& shard_rng) {
+  scheduler.run_raw(
+      part_.row_segments.size(), n_tiles,
+      [&](const Shard& shard) {
         const Range tile = part_.col_tiles[shard.tile];
         const auto& xb = *crossbars_[shard.segment * n_tiles + shard.tile];
-        const auto powers = xb.mmm_powers(seg_drives[shard.segment], p_ch,
-                                          noise, shard_rng);
         std::vector<std::vector<std::size_t>> partial(
             n_channels, std::vector<std::size_t>(tile.length, 0));
         for (std::size_t k = 0; k < n_channels; ++k) {
@@ -216,10 +244,14 @@ std::vector<std::vector<std::size_t>> TacitMapOptical::execute_wdm(
           if (active == 0) {
             continue;  // segment contributes nothing for this input
           }
+          RngStream ch_rng = bases[k].fork(
+              static_cast<std::uint64_t>(StreamTag::TacitOptical),
+              shard.index, 0);
+          const auto powers = xb.vmm_powers(seg_drives[shard.segment][k],
+                                            p_ch, noise, ch_rng);
           const phot::Receiver rx(cfg_.rx, active, p_on, p_off);
           for (std::size_t j = 0; j < tile.length; ++j) {
-            partial[k][j] =
-                rx.decode_popcount(powers[k][j], noise, shard_rng);
+            partial[k][j] = rx.decode_popcount(powers[j], noise, ch_rng);
           }
         }
         return partial;
@@ -240,6 +272,51 @@ std::vector<std::size_t> TacitMapOptical::execute(
     const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
     ThreadPool* pool) const {
   return execute_wdm({x}, noise, rng, pool).front();
+}
+
+std::vector<std::vector<std::size_t>> TacitMapOptical::execute_batch(
+    const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+    RngStream& rng, ThreadPool* pool) const {
+  // Wavelengths first, threads second: the batch tiles into
+  // ceil(B / wdm_capacity) WDM passes -- the hardware's native batch
+  // dimension -- and the *passes* fan out across the pool, with each
+  // pass's crossbar shards nesting into the same re-entrant pool.
+  if (inputs.empty()) {
+    return {};
+  }
+  // split_bases: per-input streams, independent of the pass tiling.
+  const std::vector<RngStream> bases = split_bases(rng, inputs.size());
+  const std::size_t cap = cfg_.wdm_capacity;
+  const std::size_t passes = (inputs.size() + cap - 1) / cap;
+  std::vector<std::vector<std::size_t>> out(inputs.size());
+  const std::span<const BitVec> in_span(inputs);
+  const std::span<const RngStream> base_span(bases);
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::size_t lo = p * cap;
+      const std::size_t len = std::min(cap, inputs.size() - lo);
+      auto counts = wdm_pass(in_span.subspan(lo, len), noise,
+                             base_span.subspan(lo, len), pool);
+      for (std::size_t k = 0; k < len; ++k) {
+        out[lo + k] = std::move(counts[k]);
+      }
+    }
+  };
+  if (pool != nullptr && passes > 1) {
+    pool->parallel_for(0, passes, 1, body);
+  } else {
+    body(0, passes);
+  }
+  return out;
+}
+
+ExecutorDims TacitMapOptical::dims() const { return {part_.m, part_.n}; }
+
+std::string TacitMapOptical::descriptor() const {
+  std::ostringstream os;
+  os << "tacitmap-optical " << cfg_.dims.rows << "x" << cfg_.dims.cols
+     << " wdm=" << cfg_.wdm_capacity << tiling_suffix(part_);
+  return os.str();
 }
 
 }  // namespace eb::map

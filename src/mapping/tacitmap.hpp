@@ -1,36 +1,42 @@
-// TacitMap -- the paper's proposed data mapping (section III).
-//
-// Layout (Fig. 2-(b) / Fig. 3-(b)): weight vector W_j of length m occupies
-// *column* j as the 2m-bit stack [W_j ; ~W_j] on 1T1R cells. The input
-// drive is the concatenation [X ; ~X]. Since
-//
-//   popcount(X XNOR W) = X.W + ~X.~W          (0/1 dot products)
-//
-// one analog VMM step accumulates the full XNOR+Popcount of X against all
-// n weight columns at once, read out by the per-column ADCs -- no PCSA, no
-// digital popcount circuitry, and n results per step instead of 1.
-//
-// Two functional executors are provided:
-//  * TacitMapElectrical -- ePCM crossbars (TacitMap-ePCM configuration)
-//  * TacitMapOptical    -- oPCM crossbars + transmitter/receiver, with
-//    WDM MMM execution of up to K input vectors per step (EinsteinBarrier
-//    VCore behaviour)
-//
-// Both split oversize tasks with TacitPartition and accumulate partial
-// popcounts across row segments digitally (the ECore output-register adder
-// in the real design).
-//
-// Execution model: each (row segment x column tile) crossbar step is an
-// independent shard; execute() flattens the grid through
-// map::CrossbarScheduler, which runs shards across an optional ThreadPool
-// (pool == nullptr -> serial) and reduces the partial popcounts
-// deterministically. Every shard draws read-noise from its own RngStream
-// forked from the caller's stream, so noisy results are bit-identical for
-// any thread count.
+/// \file
+/// \brief TacitMap -- the paper's proposed data mapping (section III).
+///
+/// Layout (Fig. 2-(b) / Fig. 3-(b)): weight vector W_j of length m occupies
+/// *column* j as the 2m-bit stack [W_j ; ~W_j] on 1T1R cells. The input
+/// drive is the concatenation [X ; ~X]. Since
+///
+///   popcount(X XNOR W) = X.W + ~X.~W          (0/1 dot products)
+///
+/// one analog VMM step accumulates the full XNOR+Popcount of X against all
+/// n weight columns at once, read out by the per-column ADCs -- no PCSA, no
+/// digital popcount circuitry, and n results per step instead of 1.
+///
+/// Two functional executors are provided, both implementing
+/// map::MappedExecutor:
+///  * TacitMapElectrical -- ePCM crossbars (TacitMap-ePCM configuration)
+///  * TacitMapOptical    -- oPCM crossbars + transmitter/receiver, with
+///    WDM MMM execution of up to K input vectors per step (EinsteinBarrier
+///    VCore behaviour); execute_batch tiles larger batches into
+///    ceil(B / K) WDM passes.
+///
+/// Both split oversize tasks with TacitPartition and accumulate partial
+/// popcounts across row segments digitally (the ECore output-register adder
+/// in the real design).
+///
+/// Execution model: each (row segment x column tile) crossbar step is an
+/// independent shard; execute() flattens the grid through
+/// map::CrossbarScheduler, which runs shards across an optional ThreadPool
+/// (pool == nullptr -> serial) and reduces the partial popcounts
+/// deterministically. Every shard draws read-noise from its own RngStream
+/// derived from the caller's stream -- per shard for the electrical path,
+/// per (shard, wavelength channel) for the optical one -- so noisy results
+/// are bit-identical for any thread count and any WDM batch tiling.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/bitvec.hpp"
@@ -38,6 +44,7 @@
 #include "common/thread_pool.hpp"
 #include "device/noise.hpp"
 #include "device/pcm.hpp"
+#include "mapping/executor.hpp"
 #include "mapping/partitioner.hpp"
 #include "mapping/scheduler.hpp"
 #include "mapping/task.hpp"
@@ -48,43 +55,54 @@
 
 namespace eb::map {
 
+/// Configuration of the electrical (ePCM) TacitMap executor.
 struct TacitElectricalConfig {
-  xbar::CrossbarDims dims{512, 512};
-  dev::EpcmParams device = dev::EpcmParams::ideal();
-  double v_read = 0.2;      // volts
-  unsigned adc_bits = 10;   // >= log2(active rows + 1) for exact popcounts
-  std::uint64_t seed = 101;
+  xbar::CrossbarDims dims{512, 512};  ///< Crossbar geometry per tile.
+  dev::EpcmParams device = dev::EpcmParams::ideal();  ///< Device model.
+  double v_read = 0.2;      ///< Read voltage, volts.
+  unsigned adc_bits = 10;   ///< >= log2(active rows + 1) for exact popcounts.
+  std::uint64_t seed = 101;  ///< Device-variability seed.
 };
 
-class TacitMapElectrical {
+/// TacitMap on 1T1R ePCM crossbars (the paper's TacitMap-ePCM design).
+class TacitMapElectrical final : public MappedExecutor {
  public:
-  // Programs the task's weights into as many crossbars as the partition
-  // requires (row segments x column tiles).
+  /// Programs the task's weights into as many crossbars as the partition
+  /// requires (row segments x column tiles).
   TacitMapElectrical(const BitMatrix& weights, TacitElectricalConfig cfg);
 
-  // XNOR+Popcounts of one input vector against all n weight vectors:
-  // out[j] = popcount(x XNOR w_j). Exact for ideal devices / zero noise.
-  // Independent (segment x tile) crossbar steps shard across `pool`
-  // (nullptr -> serial, bit-identical to any pool size).
+  /// XNOR+Popcounts of one input vector against all n weight vectors:
+  /// out[j] = popcount(x XNOR w_j). Exact for ideal devices / zero noise.
+  /// Independent (segment x tile) crossbar steps shard across `pool`
+  /// (nullptr -> serial, bit-identical to any pool size).
   [[nodiscard]] std::vector<std::size_t> execute(
       const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const override;
 
-  // Batch of independent inputs: out[i] is bit-identical to a serial loop
-  // of execute(inputs[i], ...) calls (per-input streams are split off
-  // `rng` up front, in input order, for any pool width). The pool works
-  // at both levels: inputs fan out across it and each input's crossbar
-  // shards nest into the same pool (parallel_for is re-entrant) -- the
-  // serving layer's batch-fan-out x crossbar-shard overlap.
+  /// Batch of independent inputs: out[i] is bit-identical to a serial loop
+  /// of execute(inputs[i], ...) calls (per-input streams are split off
+  /// `rng` up front, in input order, for any pool width). The pool works
+  /// at both levels: inputs fan out across it and each input's crossbar
+  /// shards nest into the same pool (parallel_for is re-entrant) -- the
+  /// serving layer's batch-fan-out x crossbar-shard overlap.
   [[nodiscard]] std::vector<std::vector<std::size_t>> execute_batch(
       const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
-      RngStream& rng, ThreadPool* pool = nullptr) const;
+      RngStream& rng, ThreadPool* pool = nullptr) const override;
 
+  /// Task shape (m input bits, n weight vectors).
+  [[nodiscard]] ExecutorDims dims() const override;
+
+  /// "tacitmap-electrical RxC (S seg x T tiles)".
+  [[nodiscard]] std::string descriptor() const override;
+
+  /// Tiling of the task over crossbars.
   [[nodiscard]] const TacitPartition& partition() const { return part_; }
+
+  /// Configuration the executor was built with.
   [[nodiscard]] const TacitElectricalConfig& config() const { return cfg_; }
 
-  // Crossbar VMM passes one execute() performs (row segments run on
-  // distinct crossbars in parallel; this counts the sequential passes: 1).
+  /// Crossbar VMM passes one execute() performs (row segments run on
+  /// distinct crossbars in parallel; this counts the sequential passes: 1).
   [[nodiscard]] static constexpr std::size_t steps_per_input() { return 1; }
 
  private:
@@ -100,45 +118,82 @@ class TacitMapElectrical {
   std::vector<std::unique_ptr<xbar::ElectricalCrossbar>> crossbars_;
 };
 
+/// Configuration of the optical (oPCM + WDM) TacitMap executor.
 struct TacitOpticalConfig {
-  xbar::CrossbarDims dims{512, 512};
-  dev::OpcmParams device = dev::OpcmParams::ideal();
-  std::size_t wdm_capacity = 16;
-  phot::TransmitterParams tx = phot::TransmitterParams::defaults();
-  phot::ReceiverParams rx = phot::ReceiverParams::defaults();
-  std::uint64_t seed = 103;
+  xbar::CrossbarDims dims{512, 512};  ///< Crossbar geometry per tile.
+  dev::OpcmParams device = dev::OpcmParams::ideal();  ///< Device model.
+  std::size_t wdm_capacity = 16;  ///< Wavelength channels per crossbar pass.
+  phot::TransmitterParams tx = phot::TransmitterParams::defaults();  ///< Laser/modulator bank.
+  phot::ReceiverParams rx = phot::ReceiverParams::defaults();  ///< Photodiode/TIA/ADC chain.
+  std::uint64_t seed = 103;  ///< Device-variability seed.
 };
 
-class TacitMapOptical {
+/// TacitMap on oPCM photonic crossbars with WDM multi-input execution
+/// (the EinsteinBarrier VCore). The WDM channel set is the hardware's
+/// native batch dimension: execute_batch maps batches onto wavelengths
+/// first (passes of up to wdm_capacity inputs) and thread-pool fan-out
+/// second.
+class TacitMapOptical final : public MappedExecutor {
  public:
+  /// Programs the task's weights into the partition's crossbars.
   TacitMapOptical(const BitMatrix& weights, TacitOpticalConfig cfg);
 
-  // WDM MMM: up to `wdm_capacity` input vectors in one crossbar pass.
-  // out[i][j] = popcount(inputs[i] XNOR w_j). Crossbar shards spread
-  // across `pool` (nullptr -> serial, bit-identical to any pool size).
+  /// WDM MMM: up to `wdm_capacity` input vectors in one crossbar pass.
+  /// out[i][j] = popcount(inputs[i] XNOR w_j). Crossbar shards spread
+  /// across `pool` (nullptr -> serial, bit-identical to any pool size).
+  /// Every input owns a private stream split off `rng` in input order and
+  /// every shard derives per-channel forks from it, so out[i] is
+  /// bit-identical to execute(inputs[i]) run against the same stream
+  /// family -- WDM coalescing never changes a request's result.
   [[nodiscard]] std::vector<std::vector<std::size_t>> execute_wdm(
       const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
       RngStream& rng, ThreadPool* pool = nullptr) const;
 
-  // Single-vector convenience.
+  /// Single-vector convenience (a one-channel WDM pass).
   [[nodiscard]] std::vector<std::size_t> execute(
       const BitVec& x, const dev::NoiseModel& noise, RngStream& rng,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const override;
 
+  /// Arbitrary batch sizes: tiles the batch into ceil(B / wdm_capacity)
+  /// WDM passes (each pass one execute_wdm-style MMM) and fans the passes
+  /// across `pool`; each pass's crossbar shards nest into the same
+  /// re-entrant pool. Per-input pre-split streams keep the result
+  /// bit-identical to a serial execute(inputs[i]) loop for any pool width
+  /// and any tiling.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> execute_batch(
+      const std::vector<BitVec>& inputs, const dev::NoiseModel& noise,
+      RngStream& rng, ThreadPool* pool = nullptr) const override;
+
+  /// Task shape (m input bits, n weight vectors).
+  [[nodiscard]] ExecutorDims dims() const override;
+
+  /// "tacitmap-optical RxC wdm=K (S seg x T tiles)".
+  [[nodiscard]] std::string descriptor() const override;
+
+  /// Tiling of the task over crossbars.
   [[nodiscard]] const TacitPartition& partition() const { return part_; }
+
+  /// Configuration the executor was built with.
   [[nodiscard]] const TacitOpticalConfig& config() const { return cfg_; }
 
  private:
+  // One WDM pass over `inputs` (<= wdm_capacity of them) where inputs[i]
+  // draws every stochastic sample from streams forked off bases[i] --
+  // the shared core of execute_wdm and execute_batch.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> wdm_pass(
+      std::span<const BitVec> inputs, const dev::NoiseModel& noise,
+      std::span<const RngStream> bases, ThreadPool* pool) const;
+
   TacitOpticalConfig cfg_;
   TacitPartition part_;
   std::vector<std::unique_ptr<xbar::OpticalCrossbar>> crossbars_;
 };
 
-// Builds the [w ; ~w] column stack for a weight vector (layout primitive,
-// exposed for tests and the compiler's program generator).
+/// Builds the [w ; ~w] column stack for a weight vector (layout primitive,
+/// exposed for tests and the compiler's program generator).
 [[nodiscard]] BitVec tacit_column_stack(const BitVec& w);
 
-// Builds the [x ; ~x] row drive for an input vector.
+/// Builds the [x ; ~x] row drive for an input vector.
 [[nodiscard]] BitVec tacit_row_drive(const BitVec& x);
 
 }  // namespace eb::map

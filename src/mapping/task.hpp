@@ -1,10 +1,11 @@
-// The workload unit both mappings consume.
-//
-// One XnorPopcountTask is "n binary weight vectors of length m, hit by a
-// set of input vectors" -- exactly what one binarized layer contributes
-// (dense layer: one input vector; conv layer: one input vector per im2col
-// window). The reference() method computes the gold XNOR+Popcount results
-// that every mapped execution must reproduce bit-exactly on ideal devices.
+/// \file
+/// \brief The workload unit every mapping consumes.
+///
+/// One XnorPopcountTask is "n binary weight vectors of length m, hit by a
+/// set of input vectors" -- exactly what one binarized layer contributes
+/// (dense layer: one input vector; conv layer: one input vector per im2col
+/// window). The reference() method computes the gold XNOR+Popcount results
+/// that every mapped execution must reproduce bit-exactly on ideal devices.
 #pragma once
 
 #include <cstddef>
@@ -16,19 +17,23 @@
 
 namespace eb::map {
 
+/// One binarized layer's worth of XNOR+Popcount work.
 struct XnorPopcountTask {
-  std::string name;
-  BitMatrix weights;           // n rows, each of m bits
-  std::vector<BitVec> inputs;  // each of m bits
+  std::string name;            ///< Human-readable label.
+  BitMatrix weights;           ///< n rows, each of m bits.
+  std::vector<BitVec> inputs;  ///< Each of m bits.
 
+  /// Weight-vector length in bits.
   [[nodiscard]] std::size_t m() const { return weights.cols(); }
+  /// Number of weight vectors.
   [[nodiscard]] std::size_t n() const { return weights.rows(); }
+  /// Number of input vectors (im2col windows for conv layers).
   [[nodiscard]] std::size_t windows() const { return inputs.size(); }
 
-  // Gold results: out[i][j] = popcount(inputs[i] XNOR weights[j]).
+  /// Gold results: out[i][j] = popcount(inputs[i] XNOR weights[j]).
   [[nodiscard]] std::vector<std::vector<std::size_t>> reference() const;
 
-  // Random task for property tests / benches.
+  /// Random task for property tests / benches.
   [[nodiscard]] static XnorPopcountTask random(std::size_t m, std::size_t n,
                                                std::size_t windows, Rng& rng,
                                                std::string name = "task");

@@ -31,25 +31,6 @@ void finalize(ValidationReport& rep) {
   }
 }
 
-// Shared driver for the per-input mappings: gold results come from the
-// packed batched engine (task.reference() runs one fused XNOR+Popcount
-// GEMM over all windows), the mapped execution stays per-input because
-// that is the schedule the modeled hardware runs.
-template <typename Mapped>
-ValidationReport validate_per_input(const XnorPopcountTask& task,
-                                    const Mapped& mapped,
-                                    const dev::NoiseModel& noise,
-                                    RngStream& rng, ThreadPool* pool) {
-  const auto gold = task.reference();
-  ValidationReport rep;
-  for (std::size_t i = 0; i < task.inputs.size(); ++i) {
-    accumulate(rep, mapped.execute(task.inputs[i], noise, rng, pool),
-               gold[i]);
-  }
-  finalize(rep);
-  return rep;
-}
-
 }  // namespace
 
 std::string ValidationReport::summary() const {
@@ -60,12 +41,33 @@ std::string ValidationReport::summary() const {
   return os.str();
 }
 
+ValidationReport validate_mapped(const MappedExecutor& mapped,
+                                 const XnorPopcountTask& task,
+                                 const dev::NoiseModel& noise, RngStream& rng,
+                                 ThreadPool* pool) {
+  // Gold results come from the packed batched engine (task.reference()
+  // runs one fused XNOR+Popcount GEMM over all windows); the mapped side
+  // runs one execute_batch call -- the serving-layer schedule, which every
+  // executor guarantees is bit-identical to a serial execute() loop. The
+  // optical executor tiles the batch into WDM passes internally, so the
+  // old hand-rolled wdm_capacity chunk loop lives in the executor now,
+  // not here.
+  const auto gold = task.reference();
+  const auto got = mapped.execute_batch(task.inputs, noise, rng, pool);
+  ValidationReport rep;
+  for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+    accumulate(rep, got[i], gold[i]);
+  }
+  finalize(rep);
+  return rep;
+}
+
 ValidationReport validate_tacit_electrical(const XnorPopcountTask& task,
                                            const TacitElectricalConfig& cfg,
                                            const dev::NoiseModel& noise,
                                            RngStream& rng, ThreadPool* pool) {
   const TacitMapElectrical mapped(task.weights, cfg);
-  return validate_per_input(task, mapped, noise, rng, pool);
+  return validate_mapped(mapped, task, noise, rng, pool);
 }
 
 ValidationReport validate_tacit_optical(const XnorPopcountTask& task,
@@ -73,24 +75,7 @@ ValidationReport validate_tacit_optical(const XnorPopcountTask& task,
                                         const dev::NoiseModel& noise,
                                         RngStream& rng, ThreadPool* pool) {
   const TacitMapOptical mapped(task.weights, cfg);
-  const auto gold = task.reference();
-  ValidationReport rep;
-  // Execute in WDM batches of the configured capacity, as the hardware
-  // would.
-  std::size_t i = 0;
-  while (i < task.inputs.size()) {
-    const std::size_t batch =
-        std::min(cfg.wdm_capacity, task.inputs.size() - i);
-    const std::vector<BitVec> inputs(task.inputs.begin() + i,
-                                     task.inputs.begin() + i + batch);
-    const auto got = mapped.execute_wdm(inputs, noise, rng, pool);
-    for (std::size_t k = 0; k < batch; ++k) {
-      accumulate(rep, got[k], gold[i + k]);
-    }
-    i += batch;
-  }
-  finalize(rep);
-  return rep;
+  return validate_mapped(mapped, task, noise, rng, pool);
 }
 
 ValidationReport validate_cust_binary(const XnorPopcountTask& task,
@@ -98,7 +83,7 @@ ValidationReport validate_cust_binary(const XnorPopcountTask& task,
                                       const dev::NoiseModel& noise,
                                       RngStream& rng, ThreadPool* pool) {
   const CustBinaryMap mapped(task.weights, cfg);
-  return validate_per_input(task, mapped, noise, rng, pool);
+  return validate_mapped(mapped, task, noise, rng, pool);
 }
 
 }  // namespace eb::map

@@ -1,0 +1,48 @@
+/// \file
+/// \brief Serving adapter for mapped crossbar executors: wraps any
+/// map::MappedExecutor into a serve::BatchHandler.
+///
+/// This is the bridge between the request-level serving layer and the
+/// crossbar-level batch API. The handler decodes each request tensor back
+/// to the executor's m input bits (threshold at 0.5), runs one
+/// MappedExecutor::execute_batch over the whole dispatched batch on the
+/// *server's own pool* -- so request fan-out, WDM passes and nested
+/// crossbar shards interleave in one re-entrant task queue -- and returns
+/// the popcounts as tensors. Because execute_batch is bit-identical to a
+/// serial execute() loop, dynamic batching never changes a request's
+/// result; with a zero-noise model results are exact for any worker count
+/// and any coalescing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "bnn/tensor.hpp"
+#include "common/bitvec.hpp"
+#include "device/noise.hpp"
+#include "mapping/executor.hpp"
+#include "serve/server.hpp"
+
+namespace eb::serve {
+
+/// The mapped backends' request wire format: element k of a request
+/// tensor encodes input bit k, thresholded at 0.5. `t` must carry
+/// exactly `m` elements (the executor's dims().m). Shared by the handler
+/// and by benches that need to drive an executor with the same decode.
+[[nodiscard]] BitVec tensor_to_bits(const bnn::Tensor& t, std::size_t m);
+
+/// Builds a BatchHandler serving `exec` under `noise`. The handler owns a
+/// mutex-guarded RngStream seeded with `seed` and takes one split() per
+/// dispatched batch, so it is safe for multi-worker servers; note that
+/// with a noisy model and several workers the batch composition (and
+/// therefore the noise draws) depends on arrival timing -- use one worker
+/// or a zero-noise model when run-to-run bit-reproducibility matters.
+/// Requests must carry exactly exec->dims().m elements; outputs carry
+/// exec->dims().n popcounts.
+[[nodiscard]] BatchHandler make_mapped_handler(
+    std::shared_ptr<const map::MappedExecutor> exec,
+    std::shared_ptr<const dev::NoiseModel> noise,
+    std::uint64_t seed = 0x5E17EEULL);
+
+}  // namespace eb::serve

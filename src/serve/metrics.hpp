@@ -1,19 +1,21 @@
-// Serving metrics: the counters and distributions a latency-budgeted
-// serving layer has to expose to be tunable.
-//
-// serve::Server records one event per request (submitted / completed /
-// deadline_exceeded / rejected) and one per dispatched batch; snapshot()
-// folds them into the numbers the load bench and the CI perf gate consume:
-// latency percentiles (p50/p95/p99 by nearest-rank over every completed
-// request -- serving benches are small enough that keeping all samples
-// beats a sketch), queue-depth gauge + high-water mark, a batch-size
-// histogram (the direct readout of the dynamic-batching policy: a spike at
-// max_batch means the window never expires, a spike at 1 means it always
-// does), and sustained throughput.
-//
-// Metrics is internally locked: the Server's worker threads and submit()
-// callers record concurrently, and snapshot() can be taken from any thread
-// mid-flight (it sees a consistent cut).
+/// \file
+/// \brief Serving metrics: the counters and distributions a
+/// latency-budgeted serving layer has to expose to be tunable.
+///
+/// serve::Server records one event per request (submitted / completed /
+/// deadline_exceeded / rejected) and one per dispatched batch; snapshot()
+/// folds them into the numbers the load bench and the CI perf gate consume:
+/// latency percentiles (p50/p95/p99 by nearest-rank over every completed
+/// request -- serving benches are small enough that keeping all samples
+/// beats a sketch), queue-depth gauge + high-water mark, a batch-size
+/// histogram (the direct readout of the dynamic-batching policy: a spike at
+/// max_batch means the window never expires, a spike at 1 means it always
+/// does), and sustained throughput. docs/SERVING.md walks through every
+/// field.
+///
+/// Metrics is internally locked: the Server's worker threads and submit()
+/// callers record concurrently, and snapshot() can be taken from any thread
+/// mid-flight (it sees a consistent cut).
 #pragma once
 
 #include <chrono>
@@ -24,59 +26,63 @@
 
 namespace eb::serve {
 
-// Nearest-rank percentile (pct in [0, 100]) of an unsorted sample set.
-// Sorts a copy; empty input -> 0. Exposed for tests and the load bench.
+/// Nearest-rank percentile (pct in [0, 100]) of an unsorted sample set.
+/// Sorts a copy; empty input -> 0. Exposed for tests and the load bench.
 [[nodiscard]] double percentile(std::vector<double> xs, double pct);
 
+/// Consistent cut of everything a Server recorded, ready to print or gate
+/// on. Counter invariant: submitted == completed + deadline_exceeded +
+/// in-flight; rejected submissions (queue full / after shutdown) are
+/// counted separately and never enter the queue.
 struct MetricsSnapshot {
-  // Request counters. submitted == completed + deadline_exceeded +
-  // in-flight; rejected submissions (queue full / after shutdown) are
-  // counted separately and never enter the queue.
-  std::size_t submitted = 0;
-  std::size_t completed = 0;
-  std::size_t deadline_exceeded = 0;
-  std::size_t rejected = 0;
-  std::size_t batches = 0;
+  std::size_t submitted = 0;          ///< Accepted into the queue.
+  std::size_t completed = 0;          ///< Served with kOk.
+  std::size_t deadline_exceeded = 0;  ///< Expired at batch formation.
+  std::size_t rejected = 0;           ///< Backpressured / post-shutdown.
+  std::size_t batches = 0;            ///< Batches dispatched.
 
-  // Queue depth at snapshot time is owned by the Server (it knows the
-  // queue); Metrics tracks the high-water mark seen at submit.
+  /// Queue depth at snapshot time (owned by the Server -- it knows the
+  /// queue; Metrics itself tracks only the high-water mark at submit).
   std::size_t queue_depth = 0;
-  std::size_t peak_queue_depth = 0;
+  std::size_t peak_queue_depth = 0;  ///< High-water mark seen at submit.
 
-  // Submit -> completion latency of completed requests, microseconds.
-  double latency_mean_us = 0.0;
-  double latency_p50_us = 0.0;
-  double latency_p95_us = 0.0;
-  double latency_p99_us = 0.0;
-  double latency_max_us = 0.0;
+  double latency_mean_us = 0.0;  ///< Mean submit -> completion latency.
+  double latency_p50_us = 0.0;   ///< Median latency, microseconds.
+  double latency_p95_us = 0.0;   ///< 95th percentile latency.
+  double latency_p99_us = 0.0;   ///< 99th percentile latency.
+  double latency_max_us = 0.0;   ///< Worst completed-request latency.
 
-  // batch_size_hist[k] = dispatched batches that served exactly k live
-  // requests (index 0 unused). Sized to the largest batch seen.
+  /// batch_size_hist[k] = dispatched batches that served exactly k live
+  /// requests (index 0 unused). Sized to the largest batch seen.
   std::vector<std::size_t> batch_size_hist;
-  double mean_batch_size = 0.0;
+  double mean_batch_size = 0.0;  ///< Mean live requests per batch.
 
-  // Wall time since the Metrics epoch (Server construction) and the
-  // completion rate over it.
-  double wall_s = 0.0;
-  double throughput_rps = 0.0;
+  double wall_s = 0.0;  ///< Wall time since the Metrics epoch (Server construction).
+  double throughput_rps = 0.0;  ///< completed / wall_s.
 
+  /// One-line human-readable digest.
   [[nodiscard]] std::string summary() const;
 };
 
+/// Internally-locked event recorder behind Server::metrics().
 class Metrics {
  public:
+  /// Starts the wall-clock epoch throughput is measured against.
   Metrics();
 
+  /// One accepted request; `queue_depth_after` updates the high-water mark.
   void record_submitted(std::size_t queue_depth_after);
+  /// One rejected submission (backpressure or post-shutdown).
   void record_rejected();
-  // One completed request: status latency from submit to promise fulfil.
+  /// One completed request: latency from submit to promise fulfil.
   void record_completed(double latency_us);
+  /// One request that expired at batch formation.
   void record_deadline_exceeded();
-  // One dispatched batch of `live` requests (after deadline filtering).
+  /// One dispatched batch of `live` requests (after deadline filtering).
   void record_batch(std::size_t live);
 
-  // Consistent cut of everything recorded so far. `queue_depth` is the
-  // caller-observed current depth (the Server passes its queue size).
+  /// Consistent cut of everything recorded so far. `queue_depth` is the
+  /// caller-observed current depth (the Server passes its queue size).
   [[nodiscard]] MetricsSnapshot snapshot(std::size_t queue_depth) const;
 
  private:

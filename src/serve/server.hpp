@@ -1,50 +1,51 @@
-// Concurrent batch-serving layer over the batched inference engine.
-//
-// BatchRunner is a single-caller engine: one thread hands it a whole
-// sample vector and waits. A serving workload is the opposite shape --
-// many callers, one tensor each, latency budgets -- so serve::Server puts
-// a request queue with a *dynamic batching* policy in front of N worker
-// BatchRunners (Clipper-style adaptive batching / Triton-style delayed
-// batch windows):
-//
-//   submit(Tensor) -> future<Result>
-//        |                                    workers (N threads)
-//        v                                   +-> BatchRunner --+
-//   [ lock-guarded FIFO queue ] -- batches --+-> BatchRunner --+-> shared
-//     close batch when max_batch             +-> BatchRunner --+   pool
-//     reached OR the oldest member's
-//     batching_window_us expires, whichever first
-//
-// Policy details:
-//  * A request joins a batch only if it arrived within batching_window_us
-//    of the batch's oldest member -- window 0 therefore means "no
-//    coalescing" (every request is served alone), which is the baseline
-//    the load bench compares against. The window bounds a batch's age
-//    spread even when dispatch is late, so under sustained overload a
-//    batch holds at most ~window/inter-arrival-gap requests: pick a
-//    window of at least max_batch x the expected arrival gap to let
-//    batches fill (greedy backlog-filling would batch better there, but
-//    it would also erase the window-0 baseline and the age-spread
-//    latency bound). queue_capacity and deadlines are the overload
-//    backstops.
-//  * Per-request deadlines: a request whose deadline has passed when its
-//    batch is formed completes with Status::kDeadlineExceeded (it never
-//    occupies GEMM space, and it is never silently dropped).
-//  * shutdown() stops admissions, drains the queue (window waits are
-//    skipped while draining), and joins the workers; every accepted
-//    request's future is fulfilled before shutdown() returns. Submissions
-//    after shutdown -- and submissions that find the queue at
-//    queue_capacity -- complete immediately with Status::kRejected.
-//
-// All workers share one re-entrant ThreadPool: a batch's layer fan-out
-// and any nested crossbar-shard parallel_for (mapped executors take the
-// same pool) interleave in one task queue instead of oversubscribing the
-// machine with per-worker pools. This is the ROADMAP "serving-layer +
-// scheduler integration" point.
-//
-// The Network handler is bit-exact: every Result::output equals
-// net.forward(input) no matter how requests were coalesced into batches,
-// so serving is loss-free *and* reproducible under any interleaving.
+/// \file
+/// \brief Concurrent batch-serving layer over the batched inference engine.
+///
+/// BatchRunner is a single-caller engine: one thread hands it a whole
+/// sample vector and waits. A serving workload is the opposite shape --
+/// many callers, one tensor each, latency budgets -- so serve::Server puts
+/// a request queue with a *dynamic batching* policy in front of N worker
+/// BatchRunners (Clipper-style adaptive batching / Triton-style delayed
+/// batch windows):
+///
+///     submit(Tensor) -> future<Result>
+///          |                                    workers (N threads)
+///          v                                   +-> BatchRunner --+
+///     [ lock-guarded FIFO queue ] -- batches --+-> BatchRunner --+-> shared
+///       close batch when max_batch             +-> BatchRunner --+   pool
+///       reached OR the oldest member's
+///       batching_window_us expires, whichever first
+///
+/// Policy details:
+///  * A request joins a batch only if it arrived within batching_window_us
+///    of the batch's oldest member -- window 0 therefore means "no
+///    coalescing" (every request is served alone), which is the baseline
+///    the load bench compares against. The window bounds a batch's age
+///    spread even when dispatch is late, so under sustained overload a
+///    batch holds at most ~window/inter-arrival-gap requests: pick a
+///    window of at least max_batch x the expected arrival gap to let
+///    batches fill (greedy backlog-filling would batch better there, but
+///    it would also erase the window-0 baseline and the age-spread
+///    latency bound). queue_capacity and deadlines are the overload
+///    backstops.
+///  * Per-request deadlines: a request whose deadline has passed when its
+///    batch is formed completes with Status::kDeadlineExceeded (it never
+///    occupies GEMM space, and it is never silently dropped).
+///  * shutdown() stops admissions, drains the queue (window waits are
+///    skipped while draining), and joins the workers; every accepted
+///    request's future is fulfilled before shutdown() returns. Submissions
+///    after shutdown -- and submissions that find the queue at
+///    queue_capacity -- complete immediately with Status::kRejected.
+///
+/// All workers share one re-entrant ThreadPool: a batch's layer fan-out
+/// and any nested crossbar-shard parallel_for (mapped executors take the
+/// same pool) interleave in one task queue instead of oversubscribing the
+/// machine with per-worker pools. See docs/SERVING.md for the lifecycle
+/// walk-through and a tuning guide.
+///
+/// The Network handler is bit-exact: every Result::output equals
+/// net.forward(input) no matter how requests were coalesced into batches,
+/// so serving is loss-free *and* reproducible under any interleaving.
 #pragma once
 
 #include <chrono>
@@ -68,71 +69,87 @@
 
 namespace eb::serve {
 
+/// Terminal state of a served request.
 enum class Status {
-  kOk = 0,
-  kDeadlineExceeded,  // expired before its batch was formed
-  kRejected,          // queue full, or submitted after shutdown
+  kOk = 0,            ///< Served; Result::output is valid.
+  kDeadlineExceeded,  ///< Expired before its batch was formed.
+  kRejected,          ///< Queue full, or submitted after shutdown.
 };
 
+/// Lower-case wire/log name of a Status ("ok", "deadline_exceeded", ...).
 [[nodiscard]] const char* to_string(Status s);
 
+/// What a submitted request's future resolves to.
 struct Result {
-  Status status = Status::kRejected;
-  bnn::Tensor output;        // valid only when status == kOk
-  double queue_us = 0.0;     // submit -> batch formation
-  double total_us = 0.0;     // submit -> promise fulfilled
-  std::size_t batch_size = 0;  // live requests in the batch served with
+  Status status = Status::kRejected;  ///< Terminal state.
+  bnn::Tensor output;        ///< Valid only when status == kOk.
+  double queue_us = 0.0;     ///< Submit -> batch formation, microseconds.
+  double total_us = 0.0;     ///< Submit -> promise fulfilled, microseconds.
+  std::size_t batch_size = 0;  ///< Live requests in the batch served with.
 
+  /// True when the request was served (status == kOk).
   [[nodiscard]] bool ok() const { return status == Status::kOk; }
 };
 
-// A batch executor: maps inputs[i] -> outputs[i] using `pool` for
-// intra-batch parallelism. Must be safe to call concurrently from several
-// worker threads (the Network handler is: const net + re-entrant pool).
+/// A batch executor: maps inputs[i] -> outputs[i] using `pool` for
+/// intra-batch parallelism. Must be safe to call concurrently from several
+/// worker threads (the Network handler is: const net + re-entrant pool;
+/// serve::make_mapped_handler builds one from any map::MappedExecutor).
 using BatchHandler = std::function<std::vector<bnn::Tensor>(
     std::span<const bnn::Tensor> inputs, ThreadPool& pool)>;
 
+/// Tuning knobs of the dynamic-batching policy and the worker fleet.
 struct ServerConfig {
-  // Batch closes as soon as it holds max_batch live requests...
+  /// Batch closes as soon as it holds max_batch live requests...
   std::size_t max_batch = 64;
-  // ...or when the oldest member has waited this long. 0 disables
-  // coalescing (serve singly) -- the no-batching baseline.
+  /// ...or when the oldest member has waited this long. 0 disables
+  /// coalescing (serve singly) -- the no-batching baseline.
   std::uint64_t batching_window_us = 1000;
-  // Worker threads, each forming + executing batches independently.
+  /// Worker threads, each forming + executing batches independently.
   std::size_t workers = 2;
-  // Shared pool concurrency for intra-batch fan-out (0 = EB_THREADS /
-  // hardware concurrency, 1 = inline).
+  /// Shared pool concurrency for intra-batch fan-out (0 = EB_THREADS /
+  /// hardware concurrency, 1 = inline).
   std::size_t pool_threads = 1;
-  // submit() beyond this queue depth completes with kRejected
-  // (backpressure instead of unbounded memory growth).
+  /// submit() beyond this queue depth completes with kRejected
+  /// (backpressure instead of unbounded memory growth).
   std::size_t queue_capacity = 65536;
-  // Deadline applied to submit(Tensor) without an explicit one; 0 = none.
+  /// Deadline applied to submit(Tensor) without an explicit one; 0 = none.
   std::uint64_t default_deadline_us = 0;
 };
 
+/// The request queue + dynamic batcher + worker fleet.
 class Server {
  public:
-  // Serves net.forward bit-exactly via per-worker BatchRunners.
+  /// Serves net.forward bit-exactly via per-worker BatchRunners.
   Server(const bnn::Network& net, ServerConfig cfg = {});
-  // Serves an arbitrary batch function (e.g. a mapped-crossbar executor).
+  /// Serves an arbitrary batch function (e.g. a mapped-crossbar executor
+  /// wrapped by serve::make_mapped_handler).
   Server(BatchHandler handler, ServerConfig cfg = {});
-  ~Server();  // graceful: shutdown() if still running
+  /// Graceful: shutdown() if still running.
+  ~Server();
 
-  Server(const Server&) = delete;
-  Server& operator=(const Server&) = delete;
+  Server(const Server&) = delete;             ///< Owns threads: not copyable.
+  Server& operator=(const Server&) = delete;  ///< Owns threads: not copyable.
 
-  // Enqueue one request. Always returns a future that will be fulfilled:
-  // kOk with the output, kDeadlineExceeded, or kRejected.
+  /// Enqueue one request under the default deadline. Always returns a
+  /// future that will be fulfilled: kOk with the output,
+  /// kDeadlineExceeded, or kRejected.
   std::future<Result> submit(bnn::Tensor input);
+  /// Enqueue one request with an explicit deadline (microseconds from
+  /// submission; 0 = none).
   std::future<Result> submit(bnn::Tensor input, std::uint64_t deadline_us);
 
-  // Stop admissions, serve everything already queued, join workers.
-  // Idempotent; called by the destructor.
+  /// Stop admissions, serve everything already queued, join workers.
+  /// Idempotent; called by the destructor.
   void shutdown();
 
+  /// Consistent cut of the serving counters and latency distributions.
   [[nodiscard]] MetricsSnapshot metrics() const;
+  /// Requests currently queued (excludes in-flight batches).
   [[nodiscard]] std::size_t queue_depth() const;
+  /// Configuration the server was built with.
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+  /// The shared intra-batch pool (mapped handlers run on it).
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
  private:

@@ -130,26 +130,12 @@ std::size_t OpticalCrossbar::level_at(std::size_t row, std::size_t col) const {
 std::vector<std::vector<double>> OpticalCrossbar::mmm_powers(
     const std::vector<BitVec>& wavelength_inputs, double p_in_mw,
     const dev::NoiseModel& noise, RngStream& rng) const {
-  std::vector<std::vector<double>> out(wavelength_inputs.size());
-  const double full_scale =
-      static_cast<double>(dims_.rows) * on_power(p_in_mw);
-  for (std::size_t k = 0; k < wavelength_inputs.size(); ++k) {
-    const BitVec& input = wavelength_inputs[k];
-    EB_REQUIRE(input.size() <= dims_.rows, "too many active rows");
-    auto& cols = out[k];
-    cols.assign(dims_.cols, 0.0);
-    for (std::size_t r = 0; r < input.size(); ++r) {
-      if (!input.get(r)) {
-        continue;
-      }
-      const dev::OpcmDevice* row_cells = &cells_[r * dims_.cols];
-      for (std::size_t c = 0; c < dims_.cols; ++c) {
-        cols[c] += p_in_mw * row_cells[c].transmission();
-      }
-    }
-    for (auto& p : cols) {
-      p = noise.apply(p, full_scale, rng);
-    }
+  // Channels are physically independent; draws stay channel-major, so
+  // this is exactly a sequence of single-channel passes.
+  std::vector<std::vector<double>> out;
+  out.reserve(wavelength_inputs.size());
+  for (const BitVec& input : wavelength_inputs) {
+    out.push_back(vmm_powers(input, p_in_mw, noise, rng));
   }
   return out;
 }
@@ -158,7 +144,27 @@ std::vector<double> OpticalCrossbar::vmm_powers(const BitVec& input,
                                                 double p_in_mw,
                                                 const dev::NoiseModel& noise,
                                                 RngStream& rng) const {
-  return mmm_powers({input}, p_in_mw, noise, rng).front();
+  // Direct single-channel path: the WDM executor calls this once per
+  // (shard, wavelength) on the simulator's hottest loop, so it must not
+  // pay mmm_powers' temporary input vector + result-row copy. Draw order
+  // is identical to a one-channel mmm_powers call.
+  EB_REQUIRE(input.size() <= dims_.rows, "too many active rows");
+  const double full_scale =
+      static_cast<double>(dims_.rows) * on_power(p_in_mw);
+  std::vector<double> cols(dims_.cols, 0.0);
+  for (std::size_t r = 0; r < input.size(); ++r) {
+    if (!input.get(r)) {
+      continue;
+    }
+    const dev::OpcmDevice* row_cells = &cells_[r * dims_.cols];
+    for (std::size_t c = 0; c < dims_.cols; ++c) {
+      cols[c] += p_in_mw * row_cells[c].transmission();
+    }
+  }
+  for (auto& p : cols) {
+    p = noise.apply(p, full_scale, rng);
+  }
+  return cols;
 }
 
 double OpticalCrossbar::on_power(double p_in_mw) const {

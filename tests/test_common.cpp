@@ -243,6 +243,15 @@ TEST(Config, ParsesKeyValueArgs) {
   EXPECT_DOUBLE_EQ(cfg.get_double("ratio", 0.0), 2.5);
   EXPECT_TRUE(cfg.get_bool("flag", false));
   EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  // google-benchmark flags stay invisible (shared argv), not config keys.
+  EXPECT_FALSE(cfg.has("benchmark_filter"));
+}
+
+TEST(Config, AcceptsGnuStyleDashedKeyValue) {
+  const char* argv[] = {"prog", "--backend=optical", "--help"};
+  const Config cfg = Config::from_args(3, argv);
+  EXPECT_EQ(cfg.get_string("backend", ""), "optical");  // dashes stripped
+  EXPECT_FALSE(cfg.has("help"));  // dashed flag without '=' is skipped
 }
 
 TEST(Config, RejectsMalformedValues) {

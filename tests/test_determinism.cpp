@@ -19,12 +19,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "device/noise.hpp"
 #include "eval/experiments.hpp"
 #include "mapping/custbinarymap.hpp"
+#include "mapping/executor.hpp"
 #include "mapping/scheduler.hpp"
 #include "mapping/tacitmap.hpp"
 #include "mapping/task.hpp"
@@ -175,6 +177,129 @@ TEST(ShardedDeterminism, TacitOpticalWdmBitIdenticalAcrossPools) {
     Rng rng(777);
     EXPECT_EQ(mapped.execute_wdm(task.inputs, kNoise, rng, &pool), serial)
         << "threads=" << threads;
+  }
+}
+
+TEST(ShardedDeterminism, TacitOpticalWdmCoalescingDoesNotChangeResults) {
+  // The WDM pass serves each wavelength channel from a fork of *its
+  // input's* stream base, so an input's noisy popcounts are the same
+  // whether it rides a crowded WDM pass or a single-channel one.
+  Rng build_rng(15);
+  const auto task = map::XnorPopcountTask::random(150, 90, 8, build_rng);
+  map::TacitOpticalConfig cfg;
+  cfg.dims = {128, 64};
+  cfg.wdm_capacity = 8;
+  const map::TacitMapOptical mapped(task.weights, cfg);
+
+  Rng loop_rng(4242);
+  std::vector<std::vector<std::size_t>> serial;
+  for (const auto& x : task.inputs) {
+    serial.push_back(mapped.execute(x, kNoise, loop_rng, nullptr));
+  }
+  Rng wdm_rng(4242);
+  EXPECT_EQ(mapped.execute_wdm(task.inputs, kNoise, wdm_rng, nullptr),
+            serial);
+}
+
+// Batch sizes the executor batch API must tile correctly around the WDM
+// capacity: singleton, exactly one pass, one spilled input, several full
+// passes.
+std::vector<std::size_t> batch_sizes_around(std::size_t cap) {
+  return {1, cap, cap + 1, 3 * cap};
+}
+
+TEST(ShardedDeterminism, TacitOpticalExecuteBatchMatchesSerialExecuteLoop) {
+  Rng build_rng(16);
+  map::TacitOpticalConfig cfg;
+  cfg.dims = {128, 64};
+  cfg.wdm_capacity = 4;  // small so 3x capacity stays cheap
+  const auto task = map::XnorPopcountTask::random(
+      150, 90, 3 * cfg.wdm_capacity, build_rng);
+  const map::TacitMapOptical mapped(task.weights, cfg);
+
+  for (const std::size_t batch : batch_sizes_around(cfg.wdm_capacity)) {
+    const std::vector<BitVec> inputs(task.inputs.begin(),
+                                     task.inputs.begin() +
+                                         static_cast<std::ptrdiff_t>(batch));
+    Rng loop_rng(31337);
+    std::vector<std::vector<std::size_t>> serial;
+    for (const auto& x : inputs) {
+      serial.push_back(mapped.execute(x, kNoise, loop_rng, nullptr));
+    }
+    // CI runs the suite under EB_THREADS=1 and 4; ThreadPool(0) honours
+    // it, and the explicit widths pin both ends locally.
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{4}}) {
+      ThreadPool pool(threads);
+      Rng rng(31337);
+      EXPECT_EQ(mapped.execute_batch(inputs, kNoise, rng, &pool), serial)
+          << "batch=" << batch << " threads=" << threads;
+    }
+    Rng rng_serial(31337);
+    EXPECT_EQ(mapped.execute_batch(inputs, kNoise, rng_serial, nullptr),
+              serial)
+        << "batch=" << batch << " pool=nullptr";
+  }
+}
+
+TEST(ShardedDeterminism, CustBinaryExecuteBatchMatchesSerialExecuteLoop) {
+  Rng build_rng(17);
+  map::CustBinaryConfig cfg;
+  cfg.rows = 32;
+  cfg.pairs = 32;
+  const std::size_t wdm_like = 4;  // same size grid as the optical test
+  const auto task =
+      map::XnorPopcountTask::random(90, 100, 3 * wdm_like, build_rng);
+  const map::CustBinaryMap mapped(task.weights, cfg);
+
+  for (const std::size_t batch : batch_sizes_around(wdm_like)) {
+    const std::vector<BitVec> inputs(task.inputs.begin(),
+                                     task.inputs.begin() +
+                                         static_cast<std::ptrdiff_t>(batch));
+    Rng loop_rng(2718);
+    std::vector<std::vector<std::size_t>> serial;
+    for (const auto& x : inputs) {
+      serial.push_back(mapped.execute(x, kNoise, loop_rng, nullptr));
+    }
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{4}}) {
+      ThreadPool pool(threads);
+      Rng rng(2718);
+      EXPECT_EQ(mapped.execute_batch(inputs, kNoise, rng, &pool), serial)
+          << "batch=" << batch << " threads=" << threads;
+    }
+    Rng rng_serial(2718);
+    EXPECT_EQ(mapped.execute_batch(inputs, kNoise, rng_serial, nullptr),
+              serial)
+        << "batch=" << batch << " pool=nullptr";
+  }
+}
+
+TEST(ShardedDeterminism, ExecuteBatchUniformAcrossBackendsViaInterface) {
+  // The polymorphic interface carries the same determinism contract for
+  // every backend: drive all three through MappedExecutor and check batch
+  // results against a serial interface-execute loop.
+  Rng build_rng(18);
+  const auto task = map::XnorPopcountTask::random(96, 60, 6, build_rng);
+  map::MappedExecutorOptions opt;
+  opt.xbar_rows = 64;
+  opt.xbar_cols = 64;
+  opt.wdm_capacity = 4;
+  for (const auto& backend : map::mapped_backend_names()) {
+    const auto mapped =
+        map::make_mapped_executor(backend, task.weights, opt);
+    ASSERT_EQ(mapped->dims().m, task.m()) << backend;
+    ASSERT_EQ(mapped->dims().n, task.n()) << backend;
+    Rng loop_rng(99);
+    std::vector<std::vector<std::size_t>> serial;
+    for (const auto& x : task.inputs) {
+      serial.push_back(mapped->execute(x, kNoise, loop_rng, nullptr));
+    }
+    ThreadPool pool(4);
+    Rng rng(99);
+    EXPECT_EQ(mapped->execute_batch(task.inputs, kNoise, rng, &pool),
+              serial)
+        << backend;
   }
 }
 

@@ -2,11 +2,13 @@
 // functional equivalence against the packed-kernel gold model.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "common/error.hpp"
 #include "device/noise.hpp"
 #include "mapping/custbinarymap.hpp"
+#include "mapping/executor.hpp"
 #include "mapping/partitioner.hpp"
 #include "mapping/tacitmap.hpp"
 #include "mapping/task.hpp"
@@ -16,6 +18,40 @@ namespace eb::map {
 namespace {
 
 const dev::NoNoise kNoNoise;
+
+// ------------------------------------------------------------- executor --
+
+TEST(MappedExecutor, FactoryBuildsEveryBackendAndValidates) {
+  Rng rng(51);
+  const auto task = XnorPopcountTask::random(64, 40, 4, rng);
+  MappedExecutorOptions opt;
+  opt.xbar_rows = 64;
+  opt.xbar_cols = 64;
+  opt.wdm_capacity = 4;
+  for (const auto& backend : mapped_backend_names()) {
+    const auto mapped = make_mapped_executor(backend, task.weights, opt);
+    ASSERT_NE(mapped, nullptr) << backend;
+    EXPECT_EQ(mapped->dims().m, task.m()) << backend;
+    EXPECT_EQ(mapped->dims().n, task.n()) << backend;
+    EXPECT_NE(mapped->descriptor().find(backend == "cust" ? "custbinarymap"
+                                                          : backend),
+              std::string::npos)
+        << mapped->descriptor();
+    // Ideal devices + zero noise: the polymorphic validator entry point
+    // must report bit-exactness through the batch API for every backend.
+    Rng vrng(52);
+    const auto rep = validate_mapped(*mapped, task, kNoNoise, vrng);
+    EXPECT_TRUE(rep.exact()) << backend << ": " << rep.summary();
+  }
+}
+
+TEST(MappedExecutor, FactoryRejectsUnknownBackend) {
+  Rng rng(53);
+  const auto task = XnorPopcountTask::random(16, 4, 1, rng);
+  EXPECT_THROW(
+      static_cast<void>(make_mapped_executor("quantum", task.weights)),
+      Error);
+}
 
 // ------------------------------------------------------------------ task --
 

@@ -28,8 +28,11 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "device/noise.hpp"
+#include "mapping/custbinarymap.hpp"
+#include "mapping/executor.hpp"
 #include "mapping/tacitmap.hpp"
 #include "mapping/task.hpp"
+#include "serve/mapped_backend.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
 
@@ -377,53 +380,27 @@ TEST(TacitMapElectrical, ExecuteBatchBitIdenticalToSerialLoop) {
   }
 }
 
-TEST(Server, MappedBackendServesBitExactPopcounts) {
-  Rng task_rng(33);
-  const auto task = map::XnorPopcountTask::random(96, 100, 12, task_rng);
-  map::TacitElectricalConfig mcfg;
-  mcfg.dims = {64, 64};
-  const auto mapped =
-      std::make_shared<map::TacitMapElectrical>(task.weights, mcfg);
-  const auto noise = std::make_shared<dev::NoNoise>();
+// Drives a mapped executor through serve::make_mapped_handler (the
+// MappedExecutor -> BatchHandler adapter): request fan-out, WDM passes and
+// nested crossbar shards all share the server's one re-entrant pool, and
+// with zero noise every served popcount equals the reference regardless of
+// batching, worker count or backend.
+void serve_mapped_round_trip(
+    std::shared_ptr<const map::MappedExecutor> mapped,
+    const map::XnorPopcountTask& task, std::size_t max_batch,
+    std::size_t workers) {
   const auto want = task.reference();
-
-  // The handler decodes each request tensor back to bits, runs the mapped
-  // executor's batch API on the *server's own pool*, and returns the
-  // popcounts: request fan-out and nested crossbar shards share one
-  // re-entrant pool (the ROADMAP serving + scheduler integration point).
   const std::size_t m = task.m();
-  serve::BatchHandler handler =
-      [mapped, noise, m, rng = RngStream(5)](
-          std::span<const Tensor> batch,
-          ThreadPool& pool) mutable -> std::vector<Tensor> {
-    std::vector<BitVec> bits;
-    bits.reserve(batch.size());
-    for (const auto& t : batch) {
-      BitVec x(m);
-      for (std::size_t k = 0; k < m; ++k) {
-        x.set(k, t[k] > 0.5);
-      }
-      bits.push_back(std::move(x));
-    }
-    const auto counts = mapped->execute_batch(bits, *noise, rng, &pool);
-    std::vector<Tensor> out;
-    out.reserve(counts.size());
-    for (const auto& row : counts) {
-      Tensor t({row.size()});
-      for (std::size_t j = 0; j < row.size(); ++j) {
-        t[j] = static_cast<double>(row[j]);
-      }
-      out.push_back(std::move(t));
-    }
-    return out;
-  };
 
   ServerConfig cfg;
-  cfg.max_batch = 4;
+  cfg.max_batch = max_batch;
   cfg.batching_window_us = 500;
-  cfg.workers = 1;  // the handler's RngStream is worker-local state
-  cfg.pool_threads = 0;
-  Server server(std::move(handler), cfg);
+  cfg.workers = workers;  // the handler locks its stream: multi-worker safe
+  cfg.pool_threads = 0;   // EB_THREADS-controlled: CI sweeps 1 and 4
+  Server server(
+      serve::make_mapped_handler(std::move(mapped),
+                                 std::make_shared<dev::NoNoise>()),
+      cfg);
 
   std::vector<std::future<Result>> futures;
   for (const auto& x : task.inputs) {
@@ -442,6 +419,41 @@ TEST(Server, MappedBackendServesBitExactPopcounts) {
           << "input " << i << " column " << j;
     }
   }
+}
+
+TEST(Server, MappedBackendServesBitExactPopcounts) {
+  Rng task_rng(33);
+  const auto task = map::XnorPopcountTask::random(96, 100, 12, task_rng);
+  map::TacitElectricalConfig mcfg;
+  mcfg.dims = {64, 64};
+  serve_mapped_round_trip(
+      std::make_shared<map::TacitMapElectrical>(task.weights, mcfg), task,
+      /*max_batch=*/4, /*workers=*/1);
+}
+
+TEST(Server, OpticalBackendServesBitExactPopcounts) {
+  // WDM-aware serving: max_batch exceeds wdm_capacity, so a full batch
+  // spans several WDM passes inside one execute_batch call; two workers
+  // exercise the handler's locked stream.
+  Rng task_rng(34);
+  const auto task = map::XnorPopcountTask::random(96, 80, 12, task_rng);
+  map::TacitOpticalConfig mcfg;
+  mcfg.dims = {64, 64};
+  mcfg.wdm_capacity = 4;
+  serve_mapped_round_trip(
+      std::make_shared<map::TacitMapOptical>(task.weights, mcfg), task,
+      /*max_batch=*/6, /*workers=*/2);
+}
+
+TEST(Server, CustBackendServesBitExactPopcounts) {
+  Rng task_rng(35);
+  const auto task = map::XnorPopcountTask::random(64, 48, 8, task_rng);
+  map::CustBinaryConfig ccfg;
+  ccfg.rows = 32;
+  ccfg.pairs = 32;
+  serve_mapped_round_trip(
+      std::make_shared<map::CustBinaryMap>(task.weights, ccfg), task,
+      /*max_batch=*/4, /*workers=*/2);
 }
 
 TEST(BatchRunner, ConcurrentRunnersOnOneSharedPoolAreRaceFree) {
