@@ -289,7 +289,18 @@ double json_number_field(const std::string& text, const std::string& key,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
+  // Strict flag set: a mistyped key fails loudly instead of silently
+  // running the sweep with defaults (the keys mirror the usage block).
+  Config cfg;
+  try {
+    cfg = Config::from_args(
+        argc, argv,
+        {"mode", "backend", "m", "n", "xbar", "wdm", "max_batch", "workers",
+         "threads", "duration_s", "window_us", "json", "baseline"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL: %s\n", e.what());
+    return 2;
+  }
   const std::string mode = cfg.get_string("mode", "sweep");
   const std::string backend = cfg.get_string("backend", "network");
   const bool smoke = mode == "smoke" || mode == "ci";

@@ -1,5 +1,6 @@
 #include "common/config.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -25,6 +26,24 @@ Config Config::from_args(int argc, const char* const* argv) {
     EB_REQUIRE(eq != std::string::npos && eq > 0,
                "expected key=value argument, got: " + tok);
     cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return cfg;
+}
+
+Config Config::from_args(int argc, const char* const* argv,
+                         const std::vector<std::string>& allowed_keys) {
+  Config cfg = from_args(argc, argv);
+  for (const auto& key : cfg.keys()) {
+    if (std::find(allowed_keys.begin(), allowed_keys.end(), key) !=
+        allowed_keys.end()) {
+      continue;
+    }
+    std::string accepted;
+    for (const auto& k : allowed_keys) {
+      accepted += accepted.empty() ? k : ", " + k;
+    }
+    EB_REQUIRE(false, "unknown flag '" + key + "' (accepted keys: " +
+                          accepted + ")");
   }
   return cfg;
 }

@@ -18,6 +18,13 @@ class Config {
   // Parses "key=value" tokens; unknown formats raise eb::Error.
   static Config from_args(int argc, const char* const* argv);
 
+  // As above, but additionally rejects any key not in `allowed_keys`
+  // with an eb::Error naming the bad key and listing the accepted ones --
+  // a mistyped flag (e.g. --durations_s) must fail loudly instead of
+  // silently running the bench with defaults.
+  static Config from_args(int argc, const char* const* argv,
+                          const std::vector<std::string>& allowed_keys);
+
   void set(const std::string& key, const std::string& value);
 
   [[nodiscard]] bool has(const std::string& key) const;

@@ -1,0 +1,235 @@
+/// \file
+/// \brief Multi-model serving gateway: a named-model registry with
+/// weighted deadline-class admission in front of per-model serve::Servers.
+///
+/// serve::Server fronts exactly one model. A photonic accelerator
+/// deployment is inherently multi-tenant -- crossbar/wavelength resources
+/// are shared across workloads -- so the Gateway schedules many *named*
+/// models over one machine:
+///
+///     submit("mlp-a", x, kInteractive) ─┐   per-(model, class)      model
+///     submit("mlp-b", x, kBatch) ───────┼─> admission queues ──┐   servers
+///     TcpFrontend (wire frames) ────────┘   weighted-deficit   │  ┌───────┐
+///                                           round-robin        ├─>│ mlp-a │─┐
+///                                           dispatcher ────────┤  ├───────┤ ├─> ONE
+///                                           (3:1 under         └─>│ mlp-b │─┘  shared
+///                                            saturation)          └───────┘  ThreadPool
+///
+///  * **Registry** -- register_model(id, ...) accepts a bnn::Network, any
+///    serve::BatchHandler, or a map::MappedExecutor (adapted via
+///    serve::make_mapped_handler), each with its own batching config and a
+///    scheduling weight. Every model gets its own serve::Server whose
+///    workers all share the gateway's single re-entrant ThreadPool, so N
+///    models never oversubscribe the machine. unregister_model() drains
+///    the model's in-flight work (every accepted request is fulfilled) and
+///    rejects anything still waiting in the admission queues.
+///  * **Weighted admission** -- requests are admitted under a
+///    DeadlineClass (interactive | batch | besteffort) into per-(model,
+///    class) FIFO queues, each bounded by the class's capacity partition.
+///    A dispatcher thread drains them with deficit round-robin at weight
+///    `model.weight x class.weight`, forwarding into a model's server only
+///    while that server has queue capacity (the server's on_dequeue hook
+///    wakes the dispatcher when capacity frees). Under saturation the
+///    admitted-throughput ratio between two queues matches their weight
+///    ratio. Requests without an explicit deadline inherit their class
+///    default; deadlines are end-to-end from gateway admission.
+///  * **Metrics** -- per-class gateway Metrics (admission-to-completion
+///    latency), per-model server snapshots, and an aggregated
+///    GatewaySnapshot for dashboards and the gateway_load CI gate.
+///
+/// The wire protocol in serve/wire.hpp and the socket frontend in
+/// serve/tcp_frontend.hpp let a separate client process drive submit()
+/// remotely. docs/SERVING.md#gateway walks through the whole subsystem.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bnn/network.hpp"
+#include "bnn/tensor.hpp"
+#include "common/thread_pool.hpp"
+#include "device/noise.hpp"
+#include "mapping/executor.hpp"
+#include "serve/mapped_backend.hpp"
+#include "serve/metrics.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+
+namespace eb::serve {
+
+/// Per-model server defaults for gateway-hosted models: identical to
+/// ServerConfig{} except for a *shallow* queue (2 x max_batch). The
+/// admission queues -- where the weighted scheduler arbitrates -- must be
+/// where backlog accumulates; a deep server queue would swallow the
+/// backlog FIFO and erase the weight ratios.
+[[nodiscard]] ServerConfig default_model_server_config();
+
+/// How one registered model is hosted.
+struct ModelConfig {
+  /// Queue + batching knobs of the model's own serve::Server.
+  /// pool_threads is ignored (all models share the gateway pool); keep
+  /// queue_capacity shallow (see default_model_server_config()).
+  ServerConfig server = default_model_server_config();
+  /// Scheduling weight multiplier (> 0): the model's (model, class) queue
+  /// weighs model.weight x class.weight in the dispatcher.
+  double weight = 1.0;
+  /// Expected request tensor element count; a mismatching submission is
+  /// rejected at admission with kInvalidArgument instead of reaching a
+  /// batch (where one malformed co-tenant request would fail every
+  /// request batched with it). 0 = unchecked. Auto-derived when left 0:
+  /// mapped-executor registrations use dims().m, Network registrations
+  /// use the first layer's in_features when it is a dense layer.
+  std::size_t input_size = 0;
+};
+
+/// Gateway-wide knobs.
+struct GatewayConfig {
+  /// Shared pool concurrency for every model's intra-batch fan-out
+  /// (0 = EB_THREADS / hardware concurrency, 1 = inline).
+  std::size_t pool_threads = 0;
+  /// Per-class scheduling weight, default deadline and admission-capacity
+  /// partition (indexed by DeadlineClass).
+  std::array<ClassConfig, kNumClasses> classes = default_class_configs();
+};
+
+/// One registered model's slice of a GatewaySnapshot.
+struct ModelSnapshot {
+  std::string id;                 ///< Registry name.
+  double weight = 1.0;            ///< ModelConfig::weight.
+  MetricsSnapshot server;         ///< The model server's own metrics.
+};
+
+/// Consistent cut of everything the gateway recorded: per-class admission
+/// metrics (latencies are end-to-end from gateway admission), per-model
+/// server snapshots, and class-summed aggregates.
+struct GatewaySnapshot {
+  /// Indexed by DeadlineClass; queue_depth is the class's current
+  /// admission-queue population across all models.
+  std::array<MetricsSnapshot, kNumClasses> classes;
+  /// Per-class kInternalError completions (handler exceptions).
+  std::array<std::size_t, kNumClasses> errors{};
+  std::vector<ModelSnapshot> models;  ///< Sorted by model id.
+
+  std::size_t submitted = 0;          ///< Sum over classes.
+  std::size_t completed = 0;          ///< Sum over classes.
+  std::size_t deadline_exceeded = 0;  ///< Sum over classes.
+  std::size_t rejected = 0;           ///< Sum over classes.
+
+  /// One-line human-readable digest.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The multi-model registry + weighted-deficit admission scheduler.
+class Gateway {
+ public:
+  explicit Gateway(GatewayConfig cfg = {});
+  /// Graceful: shutdown() if still running.
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;             ///< Owns threads.
+  Gateway& operator=(const Gateway&) = delete;  ///< Owns threads.
+
+  /// Registers `net` under `id` (bit-exact BatchRunner serving). The
+  /// network must outlive the registration. Throws on a duplicate id or
+  /// after shutdown.
+  void register_model(const std::string& id, const bnn::Network& net,
+                      ModelConfig mcfg = {});
+  /// Registers an arbitrary batch handler under `id`.
+  void register_model(const std::string& id, BatchHandler handler,
+                      ModelConfig mcfg = {});
+  /// Registers a mapped crossbar executor under `id` (adapted via
+  /// serve::make_mapped_handler; any factory-built backend works).
+  void register_model(const std::string& id,
+                      std::shared_ptr<const map::MappedExecutor> exec,
+                      std::shared_ptr<const dev::NoiseModel> noise,
+                      ModelConfig mcfg = {});
+  /// Removes `id` from the registry: admission-queue stragglers complete
+  /// with kRejected, in-flight server work is drained (every accepted
+  /// request fulfilled). Returns false when no such model exists.
+  bool unregister_model(const std::string& id);
+  /// Registered model ids, sorted.
+  [[nodiscard]] std::vector<std::string> model_ids() const;
+  [[nodiscard]] bool has_model(const std::string& id) const;
+
+  /// Admits one request for `model` under `cls`. deadline_us == 0 applies
+  /// the class default (end-to-end from admission; 0 there = none). The
+  /// future is always fulfilled: kOk, kDeadlineExceeded, kRejected
+  /// (unknown/unregistered model, class queue full, after shutdown),
+  /// kInvalidArgument (request shape does not match the model's declared
+  /// input_size) or kInternalError.
+  std::future<Result> submit(const std::string& model, bnn::Tensor input,
+                             DeadlineClass cls = DeadlineClass::kInteractive,
+                             std::uint64_t deadline_us = 0);
+  /// Callback flavor (the wire frontend's path): `done` runs exactly once
+  /// with the terminal Result -- inline when rejected at admission, from a
+  /// serving thread otherwise.
+  void submit_async(const std::string& model, bnn::Tensor input,
+                    DeadlineClass cls, std::uint64_t deadline_us,
+                    Completion done);
+
+  /// Stops admissions, drains every admission queue and every model
+  /// server (all accepted requests fulfilled), joins the dispatcher.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Consistent cut of per-class, per-model and aggregate metrics.
+  [[nodiscard]] GatewaySnapshot metrics() const;
+  /// The one pool every model server fans batches into.
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+  /// Configuration the gateway was built with.
+  [[nodiscard]] const GatewayConfig& config() const { return cfg_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ModelEntry;  // registry slot; defined in gateway.cpp
+
+  /// One admitted request waiting in a (model, class) admission queue.
+  struct GwPending {
+    bnn::Tensor input;
+    Clock::time_point enqueue;
+    Clock::time_point deadline;  // Clock::time_point::max() = none
+    DeadlineClass cls = DeadlineClass::kInteractive;
+    Completion done;
+    std::shared_ptr<ModelEntry> entry;
+  };
+
+  void install_entry(
+      const std::string& id, const ModelConfig& mcfg,
+      const std::function<std::unique_ptr<Server>(const ServerConfig&)>&
+          make_server);
+  void dispatcher_loop();
+  void forward(GwPending item);
+  void finish(DeadlineClass cls, Completion& done, Result res);
+
+  GatewayConfig cfg_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;  // registry + admission queues + DRR state
+  std::condition_variable cv_;
+  WeightedDrrQueue<GwPending> drr_;
+  std::map<std::string, std::shared_ptr<ModelEntry>> models_;
+  std::vector<std::shared_ptr<ModelEntry>> slot_entry_;  // DRR handle -> model
+  std::array<std::size_t, kNumClasses> class_depth_{};
+  bool draining_ = false;
+
+  std::array<Metrics, kNumClasses> class_metrics_;
+  std::array<std::atomic<std::size_t>, kNumClasses> class_errors_{};
+
+  std::thread dispatcher_;
+  std::mutex join_mu_;  // serializes shutdown()
+  bool joined_ = false;
+};
+
+}  // namespace eb::serve

@@ -8,17 +8,32 @@
 
 namespace eb::serve {
 
+namespace {
+
+// Nearest-rank index into a sorted sample set of size n (>= 1): the
+// 1-based rank is ceil(pct/100 * n), clamped to [1, n]. The small epsilon
+// counters binary-float round-up (e.g. 0.95 * 20 evaluating to
+// 19.000000000000004, whose ceil would otherwise skip rank 19 for rank
+// 20); the clamp makes every pct -- including p99 of a single-sample
+// window -- land on a valid index instead of reading past the end.
+std::size_t nearest_rank_index(std::size_t n, double pct) {
+  const double rank =
+      std::ceil(pct / 100.0 * static_cast<double>(n) - 1e-9);
+  if (rank <= 1.0) {
+    return 0;
+  }
+  return std::min(n - 1, static_cast<std::size_t>(rank) - 1);
+}
+
+}  // namespace
+
 double percentile(std::vector<double> xs, double pct) {
   EB_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile must be in [0, 100]");
   if (xs.empty()) {
     return 0.0;
   }
   std::sort(xs.begin(), xs.end());
-  const auto n = static_cast<double>(xs.size());
-  const double rank = std::ceil(pct / 100.0 * n);
-  const std::size_t idx =
-      rank < 1.0 ? 0 : std::min(xs.size() - 1, static_cast<std::size_t>(rank) - 1);
-  return xs[idx];
+  return xs[nearest_rank_index(xs.size(), pct)];
 }
 
 std::string MetricsSnapshot::summary() const {
@@ -88,18 +103,14 @@ MetricsSnapshot Metrics::snapshot(std::size_t queue_depth) const {
     // so recorders stall while this runs -- keep it to a single sort).
     std::vector<double> sorted = latencies_us_;
     std::sort(sorted.begin(), sorted.end());
-    const auto n = static_cast<double>(sorted.size());
     const auto rank = [&](double pct) {
-      const double r = std::ceil(pct / 100.0 * n);
-      return sorted[r < 1.0 ? 0
-                            : std::min(sorted.size() - 1,
-                                       static_cast<std::size_t>(r) - 1)];
+      return sorted[nearest_rank_index(sorted.size(), pct)];
     };
     double sum = 0.0;
     for (const double x : sorted) {
       sum += x;
     }
-    s.latency_mean_us = sum / n;
+    s.latency_mean_us = sum / static_cast<double>(sorted.size());
     s.latency_max_us = sorted.back();
     s.latency_p50_us = rank(50.0);
     s.latency_p95_us = rank(95.0);

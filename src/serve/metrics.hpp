@@ -27,7 +27,10 @@
 namespace eb::serve {
 
 /// Nearest-rank percentile (pct in [0, 100]) of an unsorted sample set.
-/// Sorts a copy; empty input -> 0. Exposed for tests and the load bench.
+/// Sorts a copy; empty input -> 0. The rank is clamped to [1, n] with a
+/// small epsilon against binary-float round-up, so every pct of a
+/// single-sample window returns that sample (never an out-of-range
+/// rank). Exposed for tests and the load benches.
 [[nodiscard]] double percentile(std::vector<double> xs, double pct);
 
 /// Consistent cut of everything a Server recorded, ready to print or gate

@@ -1,0 +1,47 @@
+#include "serve/router.hpp"
+
+#include "common/error.hpp"
+
+namespace eb::serve {
+
+const char* to_string(DeadlineClass c) {
+  switch (c) {
+    case DeadlineClass::kInteractive:
+      return "interactive";
+    case DeadlineClass::kBatch:
+      return "batch";
+    case DeadlineClass::kBestEffort:
+      return "besteffort";
+  }
+  EB_UNREACHABLE("unknown serve::DeadlineClass");
+}
+
+DeadlineClass parse_deadline_class(const std::string& name) {
+  if (name == "interactive") {
+    return DeadlineClass::kInteractive;
+  }
+  if (name == "batch") {
+    return DeadlineClass::kBatch;
+  }
+  if (name == "besteffort") {
+    return DeadlineClass::kBestEffort;
+  }
+  EB_REQUIRE(false, "unknown deadline class '" + name +
+                        "' (expected interactive|batch|besteffort)");
+  return DeadlineClass::kBestEffort;  // unreachable
+}
+
+std::array<ClassConfig, kNumClasses> default_class_configs() {
+  std::array<ClassConfig, kNumClasses> cfgs;
+  cfgs[static_cast<std::size_t>(DeadlineClass::kInteractive)] = {
+      /*weight=*/4.0, /*default_deadline_us=*/100'000,
+      /*queue_capacity=*/4096};
+  cfgs[static_cast<std::size_t>(DeadlineClass::kBatch)] = {
+      /*weight=*/2.0, /*default_deadline_us=*/1'000'000,
+      /*queue_capacity=*/8192};
+  cfgs[static_cast<std::size_t>(DeadlineClass::kBestEffort)] = {
+      /*weight=*/1.0, /*default_deadline_us=*/0, /*queue_capacity=*/8192};
+  return cfgs;
+}
+
+}  // namespace eb::serve

@@ -22,34 +22,74 @@ const char* to_string(Status s) {
       return "deadline_exceeded";
     case Status::kRejected:
       return "rejected";
+    case Status::kInternalError:
+      return "internal_error";
+    case Status::kInvalidArgument:
+      return "invalid_argument";
   }
   EB_UNREACHABLE("unknown serve::Status");
 }
 
-Server::Server(const bnn::Network& net, ServerConfig cfg)
-    : cfg_(cfg), pool_(cfg.pool_threads) {
+void Server::validate_config() const {
   EB_REQUIRE(cfg_.max_batch >= 1, "max_batch must be >= 1");
   EB_REQUIRE(cfg_.workers >= 1, "need at least one worker");
   EB_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be >= 1");
+}
+
+Server::Server(const bnn::Network& net, ServerConfig cfg)
+    : cfg_(cfg),
+      owned_pool_(std::make_unique<ThreadPool>(cfg.pool_threads)),
+      pool_(owned_pool_.get()) {
+  validate_config();
   bnn::BatchRunnerConfig rcfg;
   rcfg.batch_size = cfg_.max_batch;  // one GEMM batch per dispatched batch
   runners_.reserve(cfg_.workers);
   for (std::size_t w = 0; w < cfg_.workers; ++w) {
-    runners_.push_back(std::make_unique<bnn::BatchRunner>(net, pool_, rcfg));
+    runners_.push_back(std::make_unique<bnn::BatchRunner>(net, *pool_, rcfg));
   }
   start_workers();
 }
 
 Server::Server(BatchHandler handler, ServerConfig cfg)
-    : cfg_(cfg), pool_(cfg.pool_threads), handler_(std::move(handler)) {
+    : cfg_(cfg),
+      owned_pool_(std::make_unique<ThreadPool>(cfg.pool_threads)),
+      pool_(owned_pool_.get()),
+      handler_(std::move(handler)) {
   EB_REQUIRE(handler_ != nullptr, "handler must be callable");
-  EB_REQUIRE(cfg_.max_batch >= 1, "max_batch must be >= 1");
-  EB_REQUIRE(cfg_.workers >= 1, "need at least one worker");
-  EB_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be >= 1");
+  validate_config();
+  start_workers();
+}
+
+Server::Server(const bnn::Network& net, ThreadPool& shared_pool,
+               ServerConfig cfg)
+    : cfg_(cfg), pool_(&shared_pool) {
+  validate_config();
+  bnn::BatchRunnerConfig rcfg;
+  rcfg.batch_size = cfg_.max_batch;
+  runners_.reserve(cfg_.workers);
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    runners_.push_back(std::make_unique<bnn::BatchRunner>(net, *pool_, rcfg));
+  }
+  start_workers();
+}
+
+Server::Server(BatchHandler handler, ThreadPool& shared_pool,
+               ServerConfig cfg)
+    : cfg_(cfg), pool_(&shared_pool), handler_(std::move(handler)) {
+  EB_REQUIRE(handler_ != nullptr, "handler must be callable");
+  validate_config();
   start_workers();
 }
 
 Server::~Server() { shutdown(); }
+
+void Server::fulfil(Pending& r, Result res) {
+  if (r.done) {
+    r.done(std::move(res));
+  } else {
+    r.promise.set_value(std::move(res));
+  }
+}
 
 void Server::start_workers() {
   workers_.reserve(cfg_.workers);
@@ -64,9 +104,27 @@ std::future<Result> Server::submit(bnn::Tensor input) {
 
 std::future<Result> Server::submit(bnn::Tensor input,
                                    std::uint64_t deadline_us) {
+  return enqueue(std::move(input), deadline_us, nullptr,
+                 /*want_future=*/true);
+}
+
+void Server::submit_async(bnn::Tensor input, std::uint64_t deadline_us,
+                          Completion done) {
+  EB_REQUIRE(done != nullptr, "submit_async needs a completion callback");
+  (void)enqueue(std::move(input), deadline_us, std::move(done),
+                /*want_future=*/false);
+}
+
+std::future<Result> Server::enqueue(bnn::Tensor input,
+                                    std::uint64_t deadline_us,
+                                    Completion done, bool want_future) {
   Pending r;
   r.input = std::move(input);
-  auto fut = r.promise.get_future();
+  r.done = std::move(done);
+  std::future<Result> fut;
+  if (want_future) {
+    fut = r.promise.get_future();
+  }
   bool accepted = false;
   std::size_t depth = 0;
   {
@@ -97,7 +155,7 @@ std::future<Result> Server::submit(bnn::Tensor input,
     metrics_.record_rejected();
     Result res;
     res.status = Status::kRejected;
-    r.promise.set_value(std::move(res));
+    fulfil(r, std::move(res));
   }
   return fut;
 }
@@ -105,6 +163,9 @@ std::future<Result> Server::submit(bnn::Tensor input,
 void Server::worker_loop(std::size_t worker_idx) {
   std::vector<Pending> batch;
   while (form_batch(batch)) {
+    if (cfg_.on_dequeue) {
+      cfg_.on_dequeue();  // queue capacity freed: external feeders may top up
+    }
     serve_batch(worker_idx, std::move(batch));
     batch.clear();
   }
@@ -167,7 +228,7 @@ void Server::serve_batch(std::size_t worker_idx, std::vector<Pending> batch) {
       res.queue_us = to_us(formed - r.enqueue);
       res.total_us = res.queue_us;
       metrics_.record_deadline_exceeded();
-      r.promise.set_value(std::move(res));
+      fulfil(r, std::move(res));
     } else {
       live.push_back(std::move(r));
     }
@@ -186,16 +247,23 @@ void Server::serve_batch(std::size_t worker_idx, std::vector<Pending> batch) {
     if (!runners_.empty()) {
       outputs = runners_[worker_idx]->forward_all(inputs);
     } else {
-      outputs = handler_(std::span<const bnn::Tensor>(inputs), pool_);
+      outputs = handler_(std::span<const bnn::Tensor>(inputs), *pool_);
     }
     EB_ASSERT(outputs.size() == live.size(),
               "batch handler must produce one output per input");
   } catch (...) {
-    // A failing batch fails every request in it; the futures carry the
-    // handler's exception rather than a fabricated status.
+    // A failing batch fails every request in it. Future-mode requests
+    // carry the handler's exception; callback-mode requests (which have
+    // no exception channel) complete with kInternalError.
     const auto err = std::current_exception();
     for (auto& r : live) {
-      r.promise.set_exception(err);
+      if (r.done) {
+        Result res;
+        res.status = Status::kInternalError;
+        r.done(std::move(res));
+      } else {
+        r.promise.set_exception(err);
+      }
     }
     return;
   }
@@ -208,7 +276,7 @@ void Server::serve_batch(std::size_t worker_idx, std::vector<Pending> batch) {
     res.total_us = to_us(done - live[i].enqueue);
     res.batch_size = live.size();
     metrics_.record_completed(res.total_us);
-    live[i].promise.set_value(std::move(res));
+    fulfil(live[i], std::move(res));
   }
 }
 

@@ -69,11 +69,16 @@
 
 namespace eb::serve {
 
-/// Terminal state of a served request.
-enum class Status {
+/// Terminal state of a served request. Values are stable: the wire
+/// protocol (serve/wire.hpp) carries them as a single byte.
+enum class Status : std::uint8_t {
   kOk = 0,            ///< Served; Result::output is valid.
   kDeadlineExceeded,  ///< Expired before its batch was formed.
-  kRejected,          ///< Queue full, or submitted after shutdown.
+  kRejected,          ///< Queue full, submitted after shutdown, or the
+                      ///< target model is not registered (gateway).
+  kInternalError,     ///< The batch handler threw (callback submissions
+                      ///< only -- future submissions carry the exception).
+  kInvalidArgument,   ///< Malformed request (wire frontend decode).
 };
 
 /// Lower-case wire/log name of a Status ("ok", "deadline_exceeded", ...).
@@ -98,6 +103,16 @@ struct Result {
 using BatchHandler = std::function<std::vector<bnn::Tensor>(
     std::span<const bnn::Tensor> inputs, ThreadPool& pool)>;
 
+/// Completion callback alternative to the future API: invoked exactly once
+/// per request with its terminal Result -- from a worker thread (served /
+/// expired / drained), or inline from submit_async when the request is
+/// rejected on admission. Handler exceptions surface as kInternalError
+/// (a callback has no exception channel). Keep callbacks cheap and never
+/// let them throw: they run on worker threads, where an escaping
+/// exception terminates the process. This is the hook the gateway's wire
+/// frontend uses to write responses back to sockets.
+using Completion = std::function<void(Result)>;
+
 /// Tuning knobs of the dynamic-batching policy and the worker fleet.
 struct ServerConfig {
   /// Batch closes as soon as it holds max_batch live requests...
@@ -115,6 +130,11 @@ struct ServerConfig {
   std::size_t queue_capacity = 65536;
   /// Deadline applied to submit(Tensor) without an explicit one; 0 = none.
   std::uint64_t default_deadline_us = 0;
+  /// External-queue hook: invoked (outside the queue lock, from a worker
+  /// thread) every time a batch is popped and queue capacity frees up.
+  /// serve::Gateway uses it to top a shallow server queue back up from its
+  /// weighted admission queues without polling. Leave empty when unused.
+  std::function<void()> on_dequeue;
 };
 
 /// The request queue + dynamic batcher + worker fleet.
@@ -125,6 +145,15 @@ class Server {
   /// Serves an arbitrary batch function (e.g. a mapped-crossbar executor
   /// wrapped by serve::make_mapped_handler).
   Server(BatchHandler handler, ServerConfig cfg = {});
+  /// As above, but all intra-batch work runs on `shared_pool` instead of a
+  /// pool this server owns (cfg.pool_threads is ignored). The pool must
+  /// outlive the server. serve::Gateway hosts every registered model's
+  /// server on one such pool.
+  Server(const bnn::Network& net, ThreadPool& shared_pool,
+         ServerConfig cfg = {});
+  /// Shared-pool custom-handler mode; see above.
+  Server(BatchHandler handler, ThreadPool& shared_pool,
+         ServerConfig cfg = {});
   /// Graceful: shutdown() if still running.
   ~Server();
 
@@ -138,6 +167,11 @@ class Server {
   /// Enqueue one request with an explicit deadline (microseconds from
   /// submission; 0 = none).
   std::future<Result> submit(bnn::Tensor input, std::uint64_t deadline_us);
+  /// Callback flavor of submit: `done` is invoked exactly once with the
+  /// terminal Result (inline when rejected on admission, from a worker
+  /// thread otherwise). Handler exceptions become kInternalError.
+  void submit_async(bnn::Tensor input, std::uint64_t deadline_us,
+                    Completion done);
 
   /// Stop admissions, serve everything already queued, join workers.
   /// Idempotent; called by the destructor.
@@ -149,8 +183,9 @@ class Server {
   [[nodiscard]] std::size_t queue_depth() const;
   /// Configuration the server was built with.
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
-  /// The shared intra-batch pool (mapped handlers run on it).
-  [[nodiscard]] ThreadPool& pool() { return pool_; }
+  /// The intra-batch pool (owned, or the shared pool passed at
+  /// construction); mapped handlers run on it.
+  [[nodiscard]] ThreadPool& pool() { return *pool_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -158,19 +193,25 @@ class Server {
   struct Pending {
     bnn::Tensor input;
     std::promise<Result> promise;
+    Completion done;  // callback mode when set; promise mode otherwise
     Clock::time_point enqueue;
     Clock::time_point deadline;  // Clock::time_point::max() = none
   };
 
+  void validate_config() const;
   void start_workers();
+  static void fulfil(Pending& r, Result res);
   void worker_loop(std::size_t worker_idx);
   // Pops one batch under the dynamic-batching policy. Returns false when
   // draining and the queue is empty (worker exits).
   bool form_batch(std::vector<Pending>& batch);
   void serve_batch(std::size_t worker_idx, std::vector<Pending> batch);
+  std::future<Result> enqueue(bnn::Tensor input, std::uint64_t deadline_us,
+                              Completion done, bool want_future);
 
   ServerConfig cfg_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null in shared-pool mode
+  ThreadPool* pool_;                        // owned_pool_ or the shared one
   BatchHandler handler_;
   // Network mode: one runner per worker, all sharing pool_. Empty in
   // custom-handler mode.

@@ -1,0 +1,303 @@
+#include "serve/tcp_frontend.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "serve/wire.hpp"
+
+namespace eb::serve {
+
+/// Stats shared with completion callbacks, which may outlive the
+/// frontend object itself (a drained gateway fulfils them late).
+struct TcpFrontend::Shared {
+  mutable std::mutex mu;
+  Stats stats;
+};
+
+/// One accepted socket. Writes are serialized by write_mu; `open` gates
+/// them so a completion callback firing after shutdown()/close is a
+/// silent no-op instead of a write to a recycled fd.
+struct TcpFrontend::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  bool open = true;
+  std::atomic<bool> reader_done{false};  // reaped by the accept loop
+
+  // Writes one whole frame; drops it silently once the socket is gone
+  // (client hung up / frontend shut down). A send that exceeds the
+  // socket's SO_SNDTIMEO (client stopped reading) kills the connection:
+  // completion callbacks run on model-server worker threads, which must
+  // never be parked behind one slow client.
+  void send_frame(const std::vector<std::uint8_t>& bytes) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    if (!open) {
+      return;
+    }
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t k = ::send(fd, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (k < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        // EAGAIN/EWOULDBLOCK = send timeout expired; anything else =
+        // peer gone. Either way the reader will observe the shutdown.
+        open = false;
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+      off += static_cast<std::size_t>(k);
+    }
+  }
+
+  // Unblocks a reader stuck in recv(2) without invalidating the fd.
+  void shutdown_io() { ::shutdown(fd, SHUT_RDWR); }
+
+  void close_fd() {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+    open = false;
+  }
+
+  ~Connection() { close_fd(); }
+};
+
+TcpFrontend::TcpFrontend(Gateway& gateway, TcpFrontendConfig cfg)
+    : gateway_(gateway), cfg_(std::move(cfg)),
+      shared_(std::make_shared<Shared>()) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  EB_REQUIRE(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  EB_REQUIRE(::inet_pton(AF_INET, cfg_.bind_address.c_str(),
+                         &addr.sin_addr) == 1,
+             "bad bind address '" + cfg_.bind_address + "'");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, cfg_.backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    EB_REQUIRE(false, "bind/listen on " + cfg_.bind_address + " failed: " +
+                          std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  EB_REQUIRE(::getsockname(listen_fd_,
+                           reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+             "getsockname() failed");
+  port_ = ntohs(bound.sin_port);
+  // The fd travels by value: the accept loop must not read the member,
+  // which shutdown() rewrites from another thread.
+  acceptor_ = std::thread([this, fd = listen_fd_] { accept_loop(fd); });
+}
+
+TcpFrontend::~TcpFrontend() { shutdown(); }
+
+TcpFrontend::Stats TcpFrontend::stats() const {
+  const std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->stats;
+}
+
+void TcpFrontend::accept_loop(int listen_fd) {
+  for (;;) {
+    const int cfd = ::accept(listen_fd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener shut down (or fatal): stop accepting
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(cfd);
+        return;
+      }
+      // Reap finished connections first: joinable reader handles and
+      // dead Connection objects must not accumulate for the frontend's
+      // whole lifetime on short-lived-connection traffic.
+      for (std::size_t i = connections_.size(); i-- > 0;) {
+        if (connections_[i]->reader_done.load(std::memory_order_acquire)) {
+          readers_[i].join();
+          // Fail any in-flight send() first: close_fd() takes write_mu,
+          // and a completion callback could be parked in send() on this
+          // connection -- never wait that out while holding mu_.
+          connections_[i]->shutdown_io();
+          connections_[i]->close_fd();
+          readers_.erase(readers_.begin() + static_cast<std::ptrdiff_t>(i));
+          connections_.erase(connections_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (cfg_.send_timeout_ms > 0) {
+        timeval tv{};
+        tv.tv_sec = cfg_.send_timeout_ms / 1000;
+        tv.tv_usec = static_cast<long>(cfg_.send_timeout_ms % 1000) * 1000;
+        ::setsockopt(cfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->fd = cfd;
+      connections_.push_back(conn);
+      readers_.emplace_back([this, conn] {
+        reader_loop(conn);
+        conn->reader_done.store(true, std::memory_order_release);
+      });
+    }
+    {
+      const std::lock_guard<std::mutex> lock(shared_->mu);
+      ++shared_->stats.connections;
+    }
+  }
+}
+
+void TcpFrontend::reader_loop(std::shared_ptr<Connection> conn) {
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t k = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (k < 0 && errno == EINTR) {
+      continue;
+    }
+    if (k <= 0) {
+      return;  // EOF or error: connection done
+    }
+    buf.insert(buf.end(), chunk, chunk + k);
+    std::size_t pos = 0;
+    bool fatal = false;
+    while (pos < buf.size()) {
+      wire::RequestFrame req;
+      std::size_t consumed = 0;
+      const wire::DecodeStatus st = wire::decode_request(
+          buf.data() + pos, buf.size() - pos, req, consumed);
+      if (st == wire::DecodeStatus::kNeedMoreData) {
+        break;
+      }
+      if (st == wire::DecodeStatus::kOk) {
+        {
+          const std::lock_guard<std::mutex> lock(shared_->mu);
+          ++shared_->stats.requests;
+        }
+        const std::uint64_t id = req.request_id;
+        // The callback owns everything it touches (shared_ptrs), so a
+        // late completion after this frontend is torn down is safe.
+        gateway_.submit_async(
+            req.model_id, std::move(req.tensor), req.cls, req.deadline_us,
+            [conn, shared = shared_, id](Result r) {
+              // This runs on a model-server worker thread: an escaping
+              // exception would terminate the process, so an output the
+              // wire cannot carry (over the frame cap / rank limit)
+              // degrades to a kInternalError response instead.
+              wire::ResponseFrame resp;
+              resp.request_id = id;
+              resp.status = r.status;
+              resp.queue_us = r.queue_us;
+              resp.total_us = r.total_us;
+              if (r.status == Status::kOk) {
+                resp.tensor = std::move(r.output);
+              }
+              std::vector<std::uint8_t> frame;
+              try {
+                frame = wire::encode_response(resp);
+              } catch (const std::exception&) {
+                resp.status = Status::kInternalError;
+                resp.tensor = bnn::Tensor();
+                frame = wire::encode_response(resp);  // no payload: no throw
+              }
+              conn->send_frame(frame);
+              const std::lock_guard<std::mutex> lock(shared->mu);
+              ++shared->stats.responses;
+            });
+        pos += consumed;
+        continue;
+      }
+      // Bad frame: answer with kInvalidArgument. Only a content-malformed
+      // body inside a well-formed envelope (kMalformed, boundary known)
+      // is skippable; bad magic/version/type or a hostile length mean the
+      // byte stream itself cannot be trusted, so close after the error
+      // response.
+      {
+        const std::lock_guard<std::mutex> lock(shared_->mu);
+        ++shared_->stats.malformed;
+      }
+      wire::ResponseFrame err;
+      err.request_id = 0;  // the bad frame's id is not trustworthy
+      err.status = Status::kInvalidArgument;
+      conn->send_frame(wire::encode_response(err));
+      {
+        const std::lock_guard<std::mutex> lock(shared_->mu);
+        ++shared_->stats.responses;
+      }
+      if (st != wire::DecodeStatus::kMalformed || consumed == 0) {
+        fatal = true;
+        break;
+      }
+      pos += consumed;
+    }
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(pos));
+    if (fatal) {
+      conn->shutdown_io();
+      return;
+    }
+  }
+}
+
+void TcpFrontend::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  const std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept(2)
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);  // after the join: nobody else touches the fd
+    listen_fd_ = -1;
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(connections_);
+    readers.swap(readers_);
+  }
+  for (const auto& c : conns) {
+    c->shutdown_io();  // unblocks recv(2)
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+  for (const auto& c : conns) {
+    c->close_fd();
+  }
+  joined_ = true;
+}
+
+}  // namespace eb::serve

@@ -1,0 +1,104 @@
+/// \file
+/// \brief Loopback/LAN socket frontend for serve::Gateway: an accept loop
+/// plus one reader thread per connection, speaking the framed wire
+/// protocol in serve/wire.hpp.
+///
+/// Lifecycle per connection: read bytes into a reassembly buffer, peel
+/// whole frames off the front, decode each with the bounds-checked
+/// wire::decode_request, and hand good requests to
+/// Gateway::submit_async. The completion callback encodes the response
+/// frame and writes it back under the connection's write lock -- worker
+/// threads complete requests out of order, so responses carry the
+/// request's echoed id rather than arriving in request order.
+///
+/// Malformed traffic never crashes the frontend: bad content inside a
+/// well-formed envelope (wire::DecodeStatus::kMalformed with a known
+/// frame boundary) is answered with a kInvalidArgument response and
+/// skipped; anything that desyncs the byte stream (bad magic / version /
+/// type, oversize length) gets the same error response and then the
+/// connection is closed, because nothing after it can be trusted. Either
+/// way the accept loop keeps serving other connections.
+///
+/// Scope: this is the test/bench transport (loopback TCP, a few dozen
+/// connections), not a hardened internet-facing server -- connections are
+/// plain TCP, per-connection threads, no TLS, no auth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/gateway.hpp"
+
+namespace eb::serve {
+
+/// Listener knobs.
+struct TcpFrontendConfig {
+  std::string bind_address = "127.0.0.1";  ///< IPv4 dotted quad.
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port().
+  int backlog = 16;        ///< listen(2) backlog.
+  /// SO_SNDTIMEO on accepted sockets: a response write blocked longer
+  /// than this (client stopped reading, receive window full) marks the
+  /// connection dead and drops its responses, instead of stalling the
+  /// model-server worker thread the completion callback runs on. 0 =
+  /// block forever (not recommended beyond single-client tests).
+  std::uint32_t send_timeout_ms = 2000;
+};
+
+/// The socket frontend. Constructing it binds + listens + starts the
+/// accept loop; the gateway must outlive it.
+class TcpFrontend {
+ public:
+  /// Binds and starts serving `gateway`. Throws eb::Error when the
+  /// socket cannot be created/bound.
+  explicit TcpFrontend(Gateway& gateway, TcpFrontendConfig cfg = {});
+  /// Graceful: shutdown() if still running.
+  ~TcpFrontend();
+
+  TcpFrontend(const TcpFrontend&) = delete;             ///< Owns threads.
+  TcpFrontend& operator=(const TcpFrontend&) = delete;  ///< Owns threads.
+
+  /// The bound TCP port (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Frontend counters (monotonic, internally synchronized).
+  struct Stats {
+    std::size_t connections = 0;  ///< Accepted connections.
+    std::size_t requests = 0;     ///< Well-formed request frames.
+    std::size_t responses = 0;    ///< Response frames written.
+    std::size_t malformed = 0;    ///< Rejected frames (both kinds).
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Stops accepting, unblocks every connection reader and joins all
+  /// threads. In-flight gateway requests still complete; their responses
+  /// are dropped (the socket is gone). Idempotent.
+  void shutdown();
+
+ private:
+  struct Connection;  // defined in tcp_frontend.cpp
+  struct Shared;      // stats block, outlives the frontend via callbacks
+
+  void accept_loop(int listen_fd);
+  void reader_loop(std::shared_ptr<Connection> conn);
+
+  Gateway& gateway_;
+  TcpFrontendConfig cfg_;
+  std::shared_ptr<Shared> shared_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::mutex mu_;  // connection/thread registry
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+  std::thread acceptor_;
+  bool stopping_ = false;
+  std::mutex join_mu_;
+  bool joined_ = false;
+};
+
+}  // namespace eb::serve

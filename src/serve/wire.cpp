@@ -1,0 +1,340 @@
+#include "serve/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace eb::serve::wire {
+
+namespace {
+
+// ---- little-endian append helpers -----------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// ---- bounds-checked reader ------------------------------------------------
+
+// Sequential reader over one frame body. Every get_* checks the remaining
+// byte count; `ok` latches false on the first underrun, and the getters
+// return zeros from then on, so decode code can read linearly and check
+// `ok` at the checkpoints.
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t remaining;
+  bool ok = true;
+
+  bool take(std::size_t n) {
+    if (!ok || remaining < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t get_u8() {
+    if (!take(1)) {
+      return 0;
+    }
+    const std::uint8_t v = p[0];
+    p += 1;
+    remaining -= 1;
+    return v;
+  }
+  std::uint16_t get_u16() {
+    if (!take(2)) {
+      return 0;
+    }
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(p[i])
+                                          << (8 * i)));
+    }
+    p += 2;
+    remaining -= 2;
+    return v;
+  }
+  std::uint32_t get_u32() {
+    if (!take(4)) {
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    }
+    p += 4;
+    remaining -= 4;
+    return v;
+  }
+  std::uint64_t get_u64() {
+    if (!take(8)) {
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    p += 8;
+    remaining -= 8;
+    return v;
+  }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  std::string get_bytes(std::size_t n) {
+    if (!take(n)) {
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    remaining -= n;
+    return s;
+  }
+};
+
+void put_tensor(std::vector<std::uint8_t>& out, const bnn::Tensor& t) {
+  EB_REQUIRE(t.rank() <= kMaxDims, "tensor rank exceeds wire limit");
+  put_u8(out, static_cast<std::uint8_t>(t.rank()));
+  for (std::size_t d = 0; d < t.rank(); ++d) {
+    EB_REQUIRE(t.dim(d) <= UINT32_MAX, "tensor dim exceeds wire limit");
+    put_u32(out, static_cast<std::uint32_t>(t.dim(d)));
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    put_f64(out, t[i]);
+  }
+}
+
+// Reads ndims + dims + payload. Returns false on rank/dims abuse or when
+// the remaining body cannot hold the declared payload.
+bool get_tensor(Reader& r, bnn::Tensor& t) {
+  const std::uint8_t ndims = r.get_u8();
+  if (!r.ok || ndims > kMaxDims) {
+    return false;
+  }
+  std::vector<std::size_t> shape;
+  shape.reserve(ndims);
+  std::size_t elems = ndims == 0 ? 0 : 1;
+  for (std::uint8_t d = 0; d < ndims; ++d) {
+    const std::uint32_t dim = r.get_u32();
+    if (!r.ok || dim == 0) {
+      return false;
+    }
+    // Overflow-safe element count: the payload must fit in the remaining
+    // body anyway, which kMaxFrameBytes bounds, so cap eagerly.
+    if (elems > kMaxFrameBytes / 8 / dim) {
+      return false;
+    }
+    elems *= dim;
+    shape.push_back(dim);
+  }
+  if (!r.ok || r.remaining != elems * 8) {
+    return false;  // payload must use exactly the rest of the body
+  }
+  if (ndims == 0) {
+    t = bnn::Tensor();
+    return true;
+  }
+  bnn::Tensor out(shape);
+  for (std::size_t i = 0; i < elems; ++i) {
+    out[i] = r.get_f64();
+  }
+  t = std::move(out);
+  return r.ok;
+}
+
+// Parses the length prefix + common body header (magic, version, type).
+// On success leaves `r` positioned after the type byte and sets
+// `frame_size` to the whole frame's size.
+DecodeStatus open_frame(const std::uint8_t* data, std::size_t size,
+                        std::uint8_t want_type, Reader& r,
+                        std::size_t& frame_size) {
+  if (size < 4) {
+    return DecodeStatus::kNeedMoreData;
+  }
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    body_len |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  }
+  if (body_len > kMaxFrameBytes) {
+    return DecodeStatus::kTooLarge;
+  }
+  if (size < 4 + static_cast<std::size_t>(body_len)) {
+    return DecodeStatus::kNeedMoreData;
+  }
+  frame_size = 4 + static_cast<std::size_t>(body_len);
+  r = Reader{data + 4, body_len};
+  const std::uint32_t magic = r.get_u32();
+  if (!r.ok || magic != kMagic) {
+    return DecodeStatus::kBadMagic;
+  }
+  const std::uint8_t version = r.get_u8();
+  if (!r.ok || version != kVersion) {
+    return DecodeStatus::kBadVersion;
+  }
+  const std::uint8_t type = r.get_u8();
+  if (!r.ok || type != want_type) {
+    return DecodeStatus::kBadType;
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kNeedMoreData:
+      return "need_more_data";
+    case DecodeStatus::kBadMagic:
+      return "bad_magic";
+    case DecodeStatus::kBadVersion:
+      return "bad_version";
+    case DecodeStatus::kBadType:
+      return "bad_type";
+    case DecodeStatus::kTooLarge:
+      return "too_large";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+  }
+  EB_UNREACHABLE("unknown wire::DecodeStatus");
+}
+
+std::vector<std::uint8_t> encode_request(const RequestFrame& req) {
+  EB_REQUIRE(!req.model_id.empty() && req.model_id.size() <= UINT16_MAX,
+             "model id must be 1..65535 bytes");
+  EB_REQUIRE(static_cast<std::size_t>(req.cls) < kNumClasses,
+             "invalid deadline class");
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + req.model_id.size() + 8 * req.tensor.size());
+  put_u32(out, 0);  // length placeholder
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, kTypeRequest);
+  put_u8(out, static_cast<std::uint8_t>(req.cls));
+  put_u8(out, 0);  // reserved
+  put_u64(out, req.request_id);
+  put_u64(out, req.deadline_us);
+  put_u16(out, static_cast<std::uint16_t>(req.model_id.size()));
+  out.insert(out.end(), req.model_id.begin(), req.model_id.end());
+  put_tensor(out, req.tensor);
+  const std::uint32_t body_len = static_cast<std::uint32_t>(out.size() - 4);
+  EB_REQUIRE(body_len <= kMaxFrameBytes, "request frame exceeds size cap");
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseFrame& resp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + 8 * resp.tensor.size());
+  put_u32(out, 0);  // length placeholder
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, kTypeResponse);
+  put_u8(out, static_cast<std::uint8_t>(resp.status));
+  put_u8(out, 0);  // reserved
+  put_u64(out, resp.request_id);
+  put_f64(out, resp.queue_us);
+  put_f64(out, resp.total_us);
+  if (resp.status == Status::kOk) {
+    put_tensor(out, resp.tensor);
+  } else {
+    put_u8(out, 0);  // ndims = 0: no payload on non-ok responses
+  }
+  const std::uint32_t body_len = static_cast<std::uint32_t>(out.size() - 4);
+  EB_REQUIRE(body_len <= kMaxFrameBytes, "response frame exceeds size cap");
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+  return out;
+}
+
+DecodeStatus decode_request(const std::uint8_t* data, std::size_t size,
+                            RequestFrame& out, std::size_t& consumed) {
+  consumed = 0;
+  Reader r{nullptr, 0};
+  std::size_t frame_size = 0;
+  const DecodeStatus head = open_frame(data, size, kTypeRequest, r,
+                                       frame_size);
+  if (head != DecodeStatus::kOk) {
+    // Header-level failures with a known boundary are still skippable.
+    if (head != DecodeStatus::kNeedMoreData &&
+        head != DecodeStatus::kTooLarge) {
+      consumed = frame_size;
+    }
+    return head;
+  }
+  RequestFrame req;
+  const std::uint8_t cls = r.get_u8();
+  (void)r.get_u8();  // reserved
+  req.request_id = r.get_u64();
+  req.deadline_us = r.get_u64();
+  const std::uint16_t id_len = r.get_u16();
+  req.model_id = r.get_bytes(id_len);
+  if (!r.ok || cls >= kNumClasses || id_len == 0 ||
+      !get_tensor(r, req.tensor)) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;
+  }
+  req.cls = static_cast<DeadlineClass>(cls);
+  out = std::move(req);
+  consumed = frame_size;
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus decode_response(const std::uint8_t* data, std::size_t size,
+                             ResponseFrame& out, std::size_t& consumed) {
+  consumed = 0;
+  Reader r{nullptr, 0};
+  std::size_t frame_size = 0;
+  const DecodeStatus head = open_frame(data, size, kTypeResponse, r,
+                                       frame_size);
+  if (head != DecodeStatus::kOk) {
+    if (head != DecodeStatus::kNeedMoreData &&
+        head != DecodeStatus::kTooLarge) {
+      consumed = frame_size;
+    }
+    return head;
+  }
+  ResponseFrame resp;
+  const std::uint8_t status = r.get_u8();
+  (void)r.get_u8();  // reserved
+  resp.request_id = r.get_u64();
+  resp.queue_us = r.get_f64();
+  resp.total_us = r.get_f64();
+  if (!r.ok || status > static_cast<std::uint8_t>(Status::kInvalidArgument) ||
+      !get_tensor(r, resp.tensor)) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;
+  }
+  resp.status = static_cast<Status>(status);
+  out = std::move(resp);
+  consumed = frame_size;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace eb::serve::wire

@@ -1,0 +1,116 @@
+/// \file
+/// \brief The gateway's framed wire protocol: length-prefixed binary
+/// request/response frames with bounds-checked encode/decode.
+///
+/// Every frame is a 4-byte little-endian body length followed by the body:
+///
+///     ┌────────────┬─────────────────────────────────────────────────┐
+///     │ u32 length │ body (length bytes)                             │
+///     └────────────┴─────────────────────────────────────────────────┘
+///     body (request, type = 1):
+///     ┌───────────┬────────┬──────┬───────┬──────────┬───────────────┐
+///     │ u32 MAGIC │ u8 ver │ u8 1 │ u8 cls│ u8 rsvd  │ u64 request_id│
+///     ├───────────┴───────┬┴──────┴───────┴─┬────────┴──┬────────────┤
+///     │ u64 deadline_us   │ u16 id_len + id │ u8 ndims  │ u32 dims[] │
+///     ├───────────────────┴─────────────────┴───────────┴────────────┤
+///     │ f64 payload[prod(dims)]  (IEEE-754 bit pattern, LE)          │
+///     └──────────────────────────────────────────────────────────────┘
+///     body (response, type = 2):
+///     ┌───────────┬────────┬──────┬───────────┬─────────┬────────────┐
+///     │ u32 MAGIC │ u8 ver │ u8 2 │ u8 status │ u8 rsvd │ u64 req_id │
+///     ├───────────┴────┬───┴──────┴─┬─────────┴─┬───────┴────────────┤
+///     │ f64 queue_us   │ f64 total  │ u8 ndims  │ u32 dims[] + f64[] │
+///     └────────────────┴────────────┴───────────┴────────────────────┘
+///
+/// All integers are little-endian; tensor payloads are raw IEEE-754
+/// doubles, so a wire round trip is *byte-identical* to the in-process
+/// result (the loopback test pins this). Decoding never trusts a length
+/// field it has not bounds-checked: a truncated buffer yields
+/// kNeedMoreData, a body over kMaxFrameBytes yields kTooLarge, and any
+/// internally-inconsistent frame yields kMalformed with the frame's
+/// boundary in `consumed` so a server can skip it and keep the
+/// connection. serve::TcpFrontend is the socket loop behind this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bnn/tensor.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+
+namespace eb::serve::wire {
+
+/// Frame magic ("EBGW" read as a little-endian u32).
+inline constexpr std::uint32_t kMagic = 0x57474245u;
+/// Protocol version this build speaks.
+inline constexpr std::uint8_t kVersion = 1;
+/// Frame-type byte.
+inline constexpr std::uint8_t kTypeRequest = 1;
+/// Frame-type byte.
+inline constexpr std::uint8_t kTypeResponse = 2;
+/// Upper bound on a frame body (16 MiB): anything larger is rejected
+/// before any allocation, so a hostile length field cannot OOM the server.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 24;
+/// Upper bound on tensor rank in a frame.
+inline constexpr std::size_t kMaxDims = 8;
+
+/// A decoded request frame (client -> gateway).
+struct RequestFrame {
+  std::uint64_t request_id = 0;  ///< Echoed verbatim in the response.
+  DeadlineClass cls = DeadlineClass::kInteractive;  ///< Admission class.
+  std::uint64_t deadline_us = 0;  ///< 0 = class default.
+  std::string model_id;           ///< Registry name to route to.
+  bnn::Tensor tensor;             ///< Request payload.
+};
+
+/// A decoded response frame (gateway -> client).
+struct ResponseFrame {
+  std::uint64_t request_id = 0;  ///< Matches the request.
+  Status status = Status::kRejected;  ///< Terminal request status.
+  double queue_us = 0.0;   ///< Result::queue_us.
+  double total_us = 0.0;   ///< Result::total_us (end-to-end).
+  bnn::Tensor tensor;      ///< Output; empty unless status == kOk.
+};
+
+/// Decode outcome. Anything except kOk / kNeedMoreData means the frame is
+/// invalid; `consumed` > 0 additionally means the frame boundary was
+/// still recoverable (the caller may skip it and keep the stream).
+enum class DecodeStatus {
+  kOk = 0,        ///< One whole frame decoded; `consumed` bytes used.
+  kNeedMoreData,  ///< Buffer holds only a frame prefix; read more.
+  kBadMagic,      ///< Body does not start with kMagic (stream desync).
+  kBadVersion,    ///< Version byte != kVersion.
+  kBadType,       ///< Type byte is not the expected frame type.
+  kTooLarge,      ///< Declared body length exceeds kMaxFrameBytes.
+  kMalformed,     ///< Internally inconsistent body (lengths, class,
+                  ///< status, rank, dims/payload mismatch).
+};
+
+/// Lower-case log name of a DecodeStatus.
+[[nodiscard]] const char* to_string(DecodeStatus s);
+
+/// Serializes a request frame (length prefix included).
+[[nodiscard]] std::vector<std::uint8_t> encode_request(
+    const RequestFrame& req);
+/// Serializes a response frame (length prefix included).
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    const ResponseFrame& resp);
+
+/// Decodes one request frame from the front of [data, data + size).
+/// kOk: `out` is filled and `consumed` is the frame's full size.
+/// kNeedMoreData: nothing consumed. Other statuses: the frame is bad;
+/// `consumed` is its boundary when recoverable, else 0.
+[[nodiscard]] DecodeStatus decode_request(const std::uint8_t* data,
+                                          std::size_t size,
+                                          RequestFrame& out,
+                                          std::size_t& consumed);
+/// Decodes one response frame; same contract as decode_request.
+[[nodiscard]] DecodeStatus decode_response(const std::uint8_t* data,
+                                           std::size_t size,
+                                           ResponseFrame& out,
+                                           std::size_t& consumed);
+
+}  // namespace eb::serve::wire

@@ -264,6 +264,31 @@ TEST(Config, RejectsMalformedValues) {
   EXPECT_THROW(Config::from_args(2, argv), Error);
 }
 
+TEST(Config, StrictModeRejectsUnknownKeys) {
+  const std::vector<std::string> allowed = {"mode", "duration_s"};
+  const char* good[] = {"prog", "mode=ci", "--duration_s=2"};
+  const Config cfg = Config::from_args(3, good, allowed);
+  EXPECT_EQ(cfg.get_string("mode", ""), "ci");
+  EXPECT_DOUBLE_EQ(cfg.get_double("duration_s", 0.0), 2.0);
+
+  // A mistyped flag must fail loudly, naming the bad key and the
+  // accepted ones, instead of silently running with defaults.
+  const char* bad[] = {"prog", "--durations_s=2"};
+  try {
+    Config::from_args(2, bad, allowed);
+    FAIL() << "unknown key accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("durations_s"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duration_s"), std::string::npos);
+  }
+  // Skipped token families (--benchmark_*, dashed flags without '=')
+  // stay invisible to strict mode too.
+  const char* skipped[] = {"prog", "--benchmark_filter=x", "--help",
+                           "mode=smoke"};
+  EXPECT_EQ(Config::from_args(4, skipped, allowed).get_string("mode", ""),
+            "smoke");
+}
+
 // ------------------------------------------------------------------ rng --
 
 TEST(Rng, DeterministicAcrossInstances) {

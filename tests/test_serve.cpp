@@ -15,10 +15,16 @@
 //    ThreadSanitizer (the queue is the first real producer/consumer path).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <future>
+#include <mutex>
+#include <span>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bnn/batch_runner.hpp"
@@ -87,6 +93,34 @@ TEST(Percentile, NearestRank) {
   EXPECT_DOUBLE_EQ(serve::percentile(xs, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(serve::percentile({}, 50.0), 0.0);
   EXPECT_DOUBLE_EQ(serve::percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, SingleSampleWindowReturnsThatSample) {
+  // Regression: every percentile of a one-sample window is that sample --
+  // the nearest rank must clamp into [1, n], never index past the end.
+  for (const double pct : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(serve::percentile({42.5}, pct), 42.5) << pct;
+  }
+  // And a Metrics window holding one completed request reports it as
+  // every latency statistic.
+  serve::Metrics m;
+  m.record_completed(123.0);
+  const auto s = m.snapshot(0);
+  EXPECT_DOUBLE_EQ(s.latency_p50_us, 123.0);
+  EXPECT_DOUBLE_EQ(s.latency_p95_us, 123.0);
+  EXPECT_DOUBLE_EQ(s.latency_p99_us, 123.0);
+  EXPECT_DOUBLE_EQ(s.latency_max_us, 123.0);
+}
+
+TEST(Percentile, NearestRankResistsFloatRoundUp) {
+  // 0.95 * 20 evaluates to 19.000000000000004 in binary floating point;
+  // ceil of the raw product would skip rank 19 (sample 19.0) for rank 20.
+  std::vector<double> xs;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(i);
+  }
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 95.0), 19.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 100.0), 20.0);
 }
 
 // ----------------------------------------------------------- basic serve --
@@ -281,6 +315,59 @@ TEST(Server, SubmitAfterShutdownIsRejected) {
   auto fut = server.submit(make_inputs(1)[0]);
   EXPECT_EQ(fut.get().status, Status::kRejected);
   EXPECT_EQ(server.metrics().rejected, 1u);
+}
+
+TEST(Server, SubmitAsyncDeliversCallbackOnExternalSharedPool) {
+  const Network net = make_net();
+  const auto inputs = make_inputs(12);
+  ThreadPool shared_pool(2);
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batching_window_us = 300;
+  cfg.workers = 2;
+  std::atomic<std::size_t> dequeues{0};
+  cfg.on_dequeue = [&] { dequeues.fetch_add(1); };
+  Server server(net, shared_pool, cfg);  // shared-pool ctor
+  EXPECT_EQ(&server.pool(), &shared_pool);
+
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, Result>> got;
+  std::condition_variable cv;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    server.submit_async(inputs[i], /*deadline_us=*/0, [&, i](Result r) {
+      const std::lock_guard<std::mutex> lock(mu);
+      got.emplace_back(i, std::move(r));
+      cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return got.size() == inputs.size(); }));
+  }
+  for (const auto& [i, res] : got) {
+    ASSERT_EQ(res.status, Status::kOk) << "sample " << i;
+    expect_tensors_equal(res.output, net.forward(inputs[i]), i);
+  }
+  EXPECT_GE(dequeues.load(), 1u);  // external-queue hook fired per batch
+}
+
+TEST(Server, CallbackModeHandlerExceptionBecomesInternalError) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.batching_window_us = 0;
+  Server server(
+      [](std::span<const Tensor>, ThreadPool&) -> std::vector<Tensor> {
+        throw std::runtime_error("backend exploded");
+      },
+      cfg);
+  std::promise<Result> done;
+  server.submit_async(make_inputs(1)[0], 0,
+                      [&](Result r) { done.set_value(std::move(r)); });
+  EXPECT_EQ(done.get_future().get().status, Status::kInternalError);
+  // Future mode still carries the exception itself.
+  auto fut = server.submit(make_inputs(1)[0]);
+  EXPECT_THROW(fut.get(), std::runtime_error);
 }
 
 TEST(Server, QueueCapacityAppliesBackpressure) {
