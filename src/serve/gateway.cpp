@@ -32,13 +32,18 @@ ServerConfig default_model_server_config() {
 }
 
 std::string GatewaySnapshot::summary() const {
+  std::size_t invalid_total = 0;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    invalid_total += invalid[c];
+  }
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "gateway: %zu models | served %zu/%zu ok (%zu deadline, "
-                "%zu rejected) | per-class ok i/b/e %zu/%zu/%zu",
+                "%zu rejected, %zu invalid) | per-class ok i/b/e "
+                "%zu/%zu/%zu",
                 models.size(), completed, submitted, deadline_exceeded,
-                rejected, classes[0].completed, classes[1].completed,
-                classes[2].completed);
+                rejected, invalid_total, classes[0].completed,
+                classes[1].completed, classes[2].completed);
   return buf;
 }
 
@@ -322,8 +327,10 @@ void Gateway::finish(DeadlineClass cls, Completion& done, Result res) {
       class_metrics_[c].record_rejected();
       break;
     case Status::kInternalError:
-    case Status::kInvalidArgument:
       class_errors_[c].fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kInvalidArgument:
+      class_invalid_[c].fetch_add(1, std::memory_order_relaxed);
       break;
   }
   done(std::move(res));
@@ -369,6 +376,7 @@ GatewaySnapshot Gateway::metrics() const {
   for (std::size_t c = 0; c < kNumClasses; ++c) {
     s.classes[c] = class_metrics_[c].snapshot(depth[c]);
     s.errors[c] = class_errors_[c].load(std::memory_order_relaxed);
+    s.invalid[c] = class_invalid_[c].load(std::memory_order_relaxed);
     s.submitted += s.classes[c].submitted;
     s.completed += s.classes[c].completed;
     s.deadline_exceeded += s.classes[c].deadline_exceeded;

@@ -119,6 +119,10 @@ struct GatewaySnapshot {
   std::array<MetricsSnapshot, kNumClasses> classes;
   /// Per-class kInternalError completions (handler exceptions).
   std::array<std::size_t, kNumClasses> errors{};
+  /// Per-class kInvalidArgument completions (shape mismatches, bad
+  /// requests) -- client mistakes, counted apart from `errors` so a
+  /// frontend fuzzing run does not trip an internal-error alarm.
+  std::array<std::size_t, kNumClasses> invalid{};
   std::vector<ModelSnapshot> models;  ///< Sorted by model id.
 
   std::size_t submitted = 0;          ///< Sum over classes.
@@ -226,6 +230,7 @@ class Gateway {
 
   std::array<Metrics, kNumClasses> class_metrics_;
   std::array<std::atomic<std::size_t>, kNumClasses> class_errors_{};
+  std::array<std::atomic<std::size_t>, kNumClasses> class_invalid_{};
 
   std::thread dispatcher_;
   std::mutex join_mu_;  // serializes shutdown()

@@ -3,13 +3,17 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
+#include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
@@ -17,85 +21,825 @@
 
 namespace eb::serve {
 
-/// Stats shared with completion callbacks, which may outlive the
-/// frontend object itself (a drained gateway fulfils them late).
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Per-EPOLLIN read budget: level-triggered epoll re-notifies, so one
+/// fire-hose client cannot monopolize its loop.
+constexpr std::size_t kMaxReadPerEvent = 1 << 20;
+/// Bytes gathered into the staging write buffer per refill.
+constexpr std::size_t kFlushChunk = 256 * 1024;
+/// Periodic maintenance cadence (stall kills, eof-idle closes).
+constexpr auto kScanPeriod = std::chrono::milliseconds(100);
+
+}  // namespace
+
+/// Stats + config shared with completion callbacks, which may outlive
+/// the frontend object itself (a drained gateway fulfils them late).
+/// All counters are relaxed atomics: the hot path (one increment per
+/// frame on every loop and worker thread) must not serialize
+/// connections on a mutex.
 struct TcpFrontend::Shared {
-  mutable std::mutex mu;
-  Stats stats;
+  TcpFrontendConfig cfg;
+  std::atomic<std::size_t> connections{0};
+  std::atomic<std::size_t> open_conns{0};
+  std::atomic<std::size_t> requests{0};
+  std::atomic<std::size_t> responses{0};
+  std::atomic<std::size_t> malformed{0};
+  std::atomic<std::size_t> batched_frames{0};
+  std::atomic<std::size_t> chunked_responses{0};
+  std::atomic<std::size_t> bytes_read{0};
+  std::atomic<std::size_t> bytes_written{0};
+  std::atomic<std::size_t> overflow_kills{0};
+  std::atomic<std::size_t> stall_kills{0};
+  std::atomic<std::size_t> dropped_responses{0};
 };
 
-/// One accepted socket. Writes are serialized by write_mu; `open` gates
-/// them so a completion callback firing after shutdown()/close is a
-/// silent no-op instead of a write to a recycled fd.
-struct TcpFrontend::Connection {
-  int fd = -1;
-  std::mutex write_mu;
-  bool open = true;
-  std::atomic<bool> reader_done{false};  // reaped by the accept loop
+/// Wakeup channel of one event loop, shared (via shared_ptr) with every
+/// connection the loop owns so completion callbacks can reach the loop
+/// even after the frontend is torn down. `stopped` flips under `mu` at
+/// shutdown, after which notify() is a no-op -- the eventfd itself is
+/// closed only by the destructor, i.e. when the last connection dies.
+struct TcpFrontend::LoopShared {
+  int wake_fd = -1;
+  std::mutex mu;
+  std::vector<std::weak_ptr<Connection>> arm_queue;
+  bool stopped = false;
 
-  // Writes one whole frame; drops it silently once the socket is gone
-  // (client hung up / frontend shut down). A send that exceeds the
-  // socket's SO_SNDTIMEO (client stopped reading) kills the connection:
-  // completion callbacks run on model-server worker threads, which must
-  // never be parked behind one slow client.
-  void send_frame(const std::vector<std::uint8_t>& bytes) {
-    const std::lock_guard<std::mutex> lock(write_mu);
-    if (!open) {
+  ~LoopShared() {
+    if (wake_fd >= 0) {
+      ::close(wake_fd);
+    }
+  }
+
+  /// Queues `conn` for the loop's attention and pokes the eventfd. The
+  /// write happens under `mu` so it cannot race the fd's close.
+  void notify(const std::weak_ptr<Connection>& conn) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (stopped) {
       return;
     }
-    std::size_t off = 0;
-    while (off < bytes.size()) {
-      const ssize_t k = ::send(fd, bytes.data() + off, bytes.size() - off,
-                               MSG_NOSIGNAL);
-      if (k < 0) {
+    arm_queue.push_back(conn);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+};
+
+/// One accepted socket. Reader-side state (`rbuf`, `rpos`, `reading`,
+/// `close_after_flush`, `want_write`) is touched only by the owning
+/// loop thread; writer-side state lives under `mu` because completion
+/// callbacks append to the outbound queue from worker threads.
+struct TcpFrontend::Connection
+    : std::enable_shared_from_this<TcpFrontend::Connection> {
+  int fd = -1;
+  std::shared_ptr<LoopShared> loop;
+  std::shared_ptr<Shared> shared;
+
+  // -- owning-loop-thread only ----------------------------------------
+  std::vector<std::uint8_t> rbuf;  ///< Reassembly buffer.
+  std::size_t rpos = 0;            ///< Read cursor into rbuf.
+  bool reading = true;             ///< EPOLLIN armed.
+  bool close_after_flush = false;  ///< Fatal frame seen: drain then close.
+
+  // -- capability latches / lifecycle flags ---------------------------
+  std::atomic<bool> batch_ok{false};   ///< Client sent kFlagAcceptBatch.
+  std::atomic<bool> stream_ok{false};  ///< Client sent kFlagAcceptStream.
+  std::atomic<bool> read_eof{false};   ///< Peer half-closed its side.
+  std::atomic<std::size_t> in_flight{0};  ///< Requests inside the gateway.
+
+  // -- write side, under mu -------------------------------------------
+  /// `body` entries are bare response bodies the flusher may coalesce
+  /// into one type-3 batched frame; raw entries (error frames, chunk
+  /// frames, plain responses) are sent verbatim.
+  struct OutEntry {
+    bool body = false;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::mutex mu;
+  bool open = true;
+  bool arm_requested = false;  ///< Already queued on the loop's eventfd.
+  bool want_write = false;     ///< EPOLLOUT armed (loop thread writes).
+  bool kill = false;           ///< Write-queue overflow: close asap.
+  std::deque<OutEntry> outq;
+  std::vector<std::uint8_t> wbuf;  ///< Staged bytes mid-send.
+  std::size_t woff = 0;
+  std::size_t out_bytes = 0;  ///< outq bytes + unsent wbuf bytes.
+  Clock::time_point last_progress{};  ///< Last byte the socket took.
+
+  /// Appends encoded entries to the outbound queue and wakes the owning
+  /// loop when it is not already pending. Returns false once the
+  /// connection is closed (the caller counts a dropped response).
+  /// All entries land under one lock, so a chunked response's frames
+  /// stay contiguous even with concurrent completions on the socket.
+  bool enqueue(std::vector<OutEntry> entries) {
+    bool need_notify = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!open) {
+        return false;
+      }
+      const bool was_idle = out_bytes == 0;
+      for (auto& e : entries) {
+        out_bytes += e.bytes.size();
+        outq.push_back(std::move(e));
+      }
+      if (was_idle && out_bytes > 0) {
+        last_progress = Clock::now();
+      }
+      if (!kill && out_bytes > shared->cfg.max_write_queue_bytes) {
+        kill = true;
+        shared->overflow_kills.fetch_add(1, std::memory_order_relaxed);
+      }
+      // An armed EPOLLOUT already guarantees a flush; otherwise the
+      // loop must be poked (and always for a kill, which EPOLLOUT on a
+      // jammed socket would never deliver).
+      if (!arm_requested && (!want_write || kill)) {
+        arm_requested = true;
+        need_notify = true;
+      }
+    }
+    if (need_notify) {
+      loop->notify(weak_from_this());
+    }
+    return true;
+  }
+
+  /// Asks the owning loop to look at this connection (used by the last
+  /// in-flight completion on a half-closed connection, so the close is
+  /// prompt instead of waiting for the next maintenance scan).
+  void request_attention() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!open || arm_requested) {
+        return;
+      }
+      arm_requested = true;
+    }
+    loop->notify(weak_from_this());
+  }
+};
+
+/// One epoll event loop: an fd-keyed connection registry plus the
+/// thread body. Loop 0 additionally owns the listening socket and
+/// deals accepted connections round-robin across all loops.
+class TcpFrontend::Loop {
+ public:
+  Loop(Gateway& gateway, std::shared_ptr<Shared> shared, int listen_fd)
+      : gateway_(gateway), shared_(std::move(shared)),
+        listen_fd_(listen_fd), ls_(std::make_shared<LoopShared>()) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    EB_REQUIRE(epoll_fd_ >= 0, "epoll_create1() failed");
+    ls_->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    EB_REQUIRE(ls_->wake_fd >= 0, "eventfd() failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = ls_->wake_fd;
+    EB_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, ls_->wake_fd, &ev) == 0,
+               "epoll_ctl(wake fd) failed");
+    if (listen_fd_ >= 0) {
+      ev.data.fd = listen_fd_;
+      EB_REQUIRE(
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+          "epoll_ctl(listen fd) failed");
+    }
+  }
+
+  ~Loop() {
+    if (epoll_fd_ >= 0) {
+      ::close(epoll_fd_);
+    }
+  }
+
+  Loop(const Loop&) = delete;
+  Loop& operator=(const Loop&) = delete;
+
+  /// Accept targets for round-robin assignment (set on loop 0 only,
+  /// before any thread starts; includes loop 0 itself).
+  void set_targets(std::vector<Loop*> targets) {
+    targets_ = std::move(targets);
+  }
+
+  void stop() {
+    stopping_.store(true, std::memory_order_release);
+    const std::lock_guard<std::mutex> lock(ls_->mu);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(ls_->wake_fd, &one, sizeof(one));
+  }
+
+  /// Closes every registered connection, failing its queued responses.
+  /// Called after the loop thread has been joined.
+  void close_all() {
+    std::unordered_map<int, std::shared_ptr<Connection>> conns;
+    {
+      const std::lock_guard<std::mutex> lock(reg_mu_);
+      conns.swap(conns_);
+    }
+    for (auto& [fd, conn] : conns) {
+      std::size_t dropped = 0;
+      {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->open) {
+          continue;
+        }
+        conn->open = false;
+        dropped = conn->outq.size();
+        conn->outq.clear();
+        conn->wbuf.clear();
+        conn->woff = 0;
+        conn->out_bytes = 0;
+      }
+      shared_->dropped_responses.fetch_add(dropped,
+                                           std::memory_order_relaxed);
+      shared_->open_conns.fetch_sub(1, std::memory_order_relaxed);
+      ::close(fd);
+    }
+    const std::lock_guard<std::mutex> lock(ls_->mu);
+    ls_->stopped = true;
+    ls_->arm_queue.clear();
+  }
+
+  void run() {
+    epoll_event evs[64];
+    auto last_scan = Clock::now();
+    while (!stopping_.load(std::memory_order_acquire)) {
+      const int n = ::epoll_wait(
+          epoll_fd_, evs, 64,
+          static_cast<int>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  kScanPeriod)
+                  .count()));
+      if (n < 0) {
         if (errno == EINTR) {
           continue;
         }
-        // EAGAIN/EWOULDBLOCK = send timeout expired; anything else =
-        // peer gone. Either way the reader will observe the shutdown.
-        open = false;
-        ::shutdown(fd, SHUT_RDWR);
+        return;  // epoll fd gone: fatal, stop serving this loop
+      }
+      for (int i = 0; i < n; ++i) {
+        if (stopping_.load(std::memory_order_acquire)) {
+          return;
+        }
+        const int fd = evs[i].data.fd;
+        if (fd == ls_->wake_fd) {
+          drain_wake();
+        } else if (listen_fd_ >= 0 && fd == listen_fd_) {
+          accept_ready();
+        } else {
+          handle_conn_event(fd, evs[i].events);
+        }
+      }
+      const auto now = Clock::now();
+      if (now - last_scan >= kScanPeriod) {
+        last_scan = now;
+        scan(now);
+      }
+    }
+  }
+
+  /// Registers an accepted connection with THIS loop (callable from the
+  /// accepting loop's thread: epoll_ctl is thread-safe and the registry
+  /// mutex publishes the Connection to the owning thread).
+  void adopt(const std::shared_ptr<Connection>& conn) {
+    conn->loop = ls_;
+    conn->last_progress = Clock::now();
+    {
+      const std::lock_guard<std::mutex> lock(reg_mu_);
+      conns_[conn->fd] = conn;
+    }
+    shared_->open_conns.fetch_add(1, std::memory_order_relaxed);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+      {
+        const std::lock_guard<std::mutex> lock(reg_mu_);
+        conns_.erase(conn->fd);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        conn->open = false;
+      }
+      shared_->open_conns.fetch_sub(1, std::memory_order_relaxed);
+      ::close(conn->fd);
+    }
+  }
+
+  [[nodiscard]] std::size_t registered() const {
+    const std::lock_guard<std::mutex> lock(reg_mu_);
+    return conns_.size();
+  }
+
+ private:
+  std::shared_ptr<Connection> lookup(int fd) {
+    const std::lock_guard<std::mutex> lock(reg_mu_);
+    const auto it = conns_.find(fd);
+    return it == conns_.end() ? nullptr : it->second;
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (cfd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        // EAGAIN: drained. EMFILE/ENFILE and friends: back off until
+        // the next level-triggered notification instead of spinning.
         return;
       }
-      off += static_cast<std::size_t>(k);
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      shared_->connections.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_shared<Connection>();
+      conn->fd = cfd;
+      conn->shared = shared_;
+      Loop* target = targets_[rr_next_++ % targets_.size()];
+      target->adopt(conn);
     }
   }
 
-  // Unblocks a reader stuck in recv(2) without invalidating the fd.
-  void shutdown_io() { ::shutdown(fd, SHUT_RDWR); }
-
-  void close_fd() {
-    const std::lock_guard<std::mutex> lock(write_mu);
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
+  void drain_wake() {
+    std::uint64_t v = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::read(ls_->wake_fd, &v, sizeof(v));
+    std::vector<std::weak_ptr<Connection>> q;
+    {
+      const std::lock_guard<std::mutex> lock(ls_->mu);
+      q.swap(ls_->arm_queue);
     }
-    open = false;
+    for (const auto& w : q) {
+      const auto conn = w.lock();
+      if (!conn) {
+        continue;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        conn->arm_requested = false;
+        if (!conn->open) {
+          continue;
+        }
+      }
+      try_flush(conn);
+    }
   }
 
-  ~Connection() { close_fd(); }
+  void handle_conn_event(int fd, std::uint32_t events) {
+    const auto conn = lookup(fd);
+    if (!conn) {
+      return;  // closed earlier in this epoll batch
+    }
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      close_conn(conn);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0 && !try_flush(conn)) {
+      return;
+    }
+    if ((events & EPOLLIN) != 0) {
+      handle_readable(conn);
+    }
+  }
+
+  void handle_readable(const std::shared_ptr<Connection>& conn) {
+    bool fatal = false;
+    std::size_t total = 0;
+    for (;;) {
+      const std::size_t old = conn->rbuf.size();
+      conn->rbuf.resize(old + kReadChunk);
+      const ssize_t k =
+          ::recv(conn->fd, conn->rbuf.data() + old, kReadChunk, 0);
+      if (k < 0) {
+        conn->rbuf.resize(old);
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        close_conn(conn);
+        return;
+      }
+      if (k == 0) {
+        conn->rbuf.resize(old);
+        conn->read_eof.store(true, std::memory_order_release);
+        stop_reading(conn);
+        break;
+      }
+      conn->rbuf.resize(old + static_cast<std::size_t>(k));
+      shared_->bytes_read.fetch_add(static_cast<std::size_t>(k),
+                                    std::memory_order_relaxed);
+      fatal = parse_frames(conn);
+      if (fatal) {
+        stop_reading(conn);
+        break;
+      }
+      total += static_cast<std::size_t>(k);
+      if (total >= kMaxReadPerEvent) {
+        break;  // level-triggered: epoll re-notifies for the rest
+      }
+    }
+    compact(*conn);
+    if (fatal || conn->read_eof.load(std::memory_order_acquire)) {
+      try_flush(conn);  // closes once drained and eligible
+    }
+  }
+
+  /// Peels whole frames off conn->rbuf from the read cursor. Returns
+  /// true when a fatal (stream-desyncing) frame was hit: the caller
+  /// stops reading, the error response flushes, then the socket closes.
+  bool parse_frames(const std::shared_ptr<Connection>& conn) {
+    auto& buf = conn->rbuf;
+    while (conn->rpos < buf.size()) {
+      wire::RequestFrame req;
+      std::size_t consumed = 0;
+      const wire::DecodeStatus st = wire::decode_request(
+          buf.data() + conn->rpos, buf.size() - conn->rpos, req, consumed);
+      if (st == wire::DecodeStatus::kNeedMoreData) {
+        return false;
+      }
+      if (st == wire::DecodeStatus::kOk) {
+        if ((req.flags & wire::kFlagAcceptBatch) != 0) {
+          conn->batch_ok.store(true, std::memory_order_relaxed);
+        }
+        if ((req.flags & wire::kFlagAcceptStream) != 0) {
+          conn->stream_ok.store(true, std::memory_order_relaxed);
+        }
+        shared_->requests.fetch_add(1, std::memory_order_relaxed);
+        conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+        submit(conn, std::move(req));
+        conn->rpos += consumed;
+        continue;
+      }
+      // Bad frame. Only a content-malformed body inside a well-formed
+      // envelope (kMalformed, boundary known) is skippable -- and its
+      // error response echoes the frame's id whenever the envelope
+      // decoded through the id field (decode_request's contract), so a
+      // pipelined client can match the rejection to its request. Bad
+      // magic/version/type or a hostile length desync the stream: the
+      // id 0 error response is flushed and the connection closed.
+      shared_->malformed.fetch_add(1, std::memory_order_relaxed);
+      const bool skippable =
+          st == wire::DecodeStatus::kMalformed && consumed > 0;
+      wire::ResponseFrame err;
+      err.request_id = skippable ? req.request_id : 0;
+      err.status = Status::kInvalidArgument;
+      send_response(conn, err);
+      if (!skippable) {
+        conn->close_after_flush = true;
+        return true;
+      }
+      conn->rpos += consumed;
+    }
+    return false;
+  }
+
+  /// Hands one decoded request to the gateway. The completion callback
+  /// owns everything it touches (shared_ptrs), so a late completion
+  /// after this frontend is torn down is safe -- it counts a dropped
+  /// response and vanishes.
+  void submit(const std::shared_ptr<Connection>& conn,
+              wire::RequestFrame req) {
+    const std::uint64_t id = req.request_id;
+    auto shared = shared_;
+    gateway_.submit_async(
+        req.model_id, std::move(req.tensor), req.cls, req.deadline_us,
+        [conn, shared, id](Result r) {
+          // Runs on a model-server worker thread: an escaping exception
+          // would terminate the process, so an output the wire cannot
+          // carry (over the frame cap / rank limit) degrades to a
+          // kInternalError response instead.
+          wire::ResponseFrame resp;
+          resp.request_id = id;
+          resp.status = r.status;
+          resp.queue_us = r.queue_us;
+          resp.total_us = r.total_us;
+          if (r.status == Status::kOk) {
+            resp.tensor = std::move(r.output);
+          }
+          bool queued = false;
+          try {
+            const std::size_t payload = 8 * resp.tensor.size();
+            if (resp.status == Status::kOk &&
+                conn->stream_ok.load(std::memory_order_relaxed) &&
+                payload > shared->cfg.stream_chunk_bytes) {
+              auto frames = wire::encode_response_chunks(
+                  resp, shared->cfg.stream_chunk_bytes);
+              std::vector<Connection::OutEntry> entries;
+              entries.reserve(frames.size());
+              for (auto& f : frames) {
+                entries.push_back({false, std::move(f)});
+              }
+              queued = conn->enqueue(std::move(entries));
+              if (queued) {
+                shared->chunked_responses.fetch_add(
+                    1, std::memory_order_relaxed);
+              }
+            } else if (conn->batch_ok.load(std::memory_order_relaxed)) {
+              std::vector<Connection::OutEntry> one;
+              one.push_back({true, wire::encode_response_body(resp)});
+              queued = conn->enqueue(std::move(one));
+            } else {
+              std::vector<Connection::OutEntry> one;
+              one.push_back({false, wire::encode_response(resp)});
+              queued = conn->enqueue(std::move(one));
+            }
+          } catch (const std::exception&) {
+            resp.status = Status::kInternalError;
+            resp.tensor = bnn::Tensor();
+            std::vector<Connection::OutEntry> one;
+            one.push_back({false, wire::encode_response(resp)});
+            queued = conn->enqueue(std::move(one));  // no payload: no throw
+          }
+          if (queued) {
+            shared->responses.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            shared->dropped_responses.fetch_add(1,
+                                                std::memory_order_relaxed);
+          }
+          // Decrement strictly after the enqueue: a half-closed
+          // connection may be reaped the instant in_flight hits 0 with
+          // an empty queue, and the response must be inside by then.
+          if (conn->in_flight.fetch_sub(1, std::memory_order_acq_rel) ==
+                  1 &&
+              conn->read_eof.load(std::memory_order_acquire)) {
+            conn->request_attention();
+          }
+        });
+  }
+
+  /// Encodes + queues a frontend-originated response (error frames).
+  void send_response(const std::shared_ptr<Connection>& conn,
+                     const wire::ResponseFrame& resp) {
+    std::vector<Connection::OutEntry> one;
+    if (conn->batch_ok.load(std::memory_order_relaxed)) {
+      one.push_back({true, wire::encode_response_body(resp)});
+    } else {
+      one.push_back({false, wire::encode_response(resp)});
+    }
+    if (conn->enqueue(std::move(one))) {
+      shared_->responses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shared_->dropped_responses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Read-cursor compaction: only when the consumed prefix is both
+  /// large and at least half the buffer, so a client streaming many
+  /// small pipelined frames pays O(1) amortized instead of the old
+  /// erase-per-recv O(n^2).
+  static void compact(Connection& c) {
+    if (c.rpos == c.rbuf.size()) {
+      c.rpos = 0;
+      c.rbuf.clear();
+      if (c.rbuf.capacity() > (std::size_t{4} << 20)) {
+        c.rbuf.shrink_to_fit();  // drop a one-off giant frame's slab
+      }
+      return;
+    }
+    if (c.rpos >= 4096 && c.rpos >= c.rbuf.size() / 2) {
+      c.rbuf.erase(c.rbuf.begin(),
+                   c.rbuf.begin() + static_cast<std::ptrdiff_t>(c.rpos));
+      c.rpos = 0;
+    }
+  }
+
+  /// Rewrites the epoll interest mask from `reading` x `want_write`.
+  /// Both flags are written only by the owning loop thread.
+  void rearm(const Connection& c, bool want_write) {
+    epoll_event ev{};
+    ev.events = (c.reading ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  void stop_reading(const std::shared_ptr<Connection>& conn) {
+    if (!conn->reading) {
+      return;
+    }
+    conn->reading = false;
+    bool ww = false;
+    {
+      const std::lock_guard<std::mutex> lock(conn->mu);
+      ww = conn->want_write;
+    }
+    rearm(*conn, ww);
+  }
+
+  /// Drains the outbound queue into the socket with nonblocking sends.
+  /// Arms EPOLLOUT only while the socket refuses bytes. Returns false
+  /// when the connection was closed (kill, error, or drained-and-done).
+  bool try_flush(const std::shared_ptr<Connection>& conn) {
+    bool should_close = false;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      if (!conn->open) {
+        return false;
+      }
+      if (conn->kill) {
+        lock.unlock();
+        close_conn(conn);
+        return false;
+      }
+      for (;;) {
+        if (conn->woff == conn->wbuf.size()) {
+          conn->wbuf.clear();
+          conn->woff = 0;
+          refill_wbuf(*conn);
+          if (conn->wbuf.empty()) {
+            break;  // fully drained
+          }
+        }
+        const ssize_t k =
+            ::send(conn->fd, conn->wbuf.data() + conn->woff,
+                   conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
+        if (k < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!conn->want_write) {
+              conn->want_write = true;
+              rearm(*conn, true);
+            }
+            return true;  // EPOLLOUT will resume the flush
+          }
+          lock.unlock();
+          close_conn(conn);
+          return false;
+        }
+        conn->woff += static_cast<std::size_t>(k);
+        conn->out_bytes -= static_cast<std::size_t>(k);
+        conn->last_progress = Clock::now();
+        shared_->bytes_written.fetch_add(static_cast<std::size_t>(k),
+                                         std::memory_order_relaxed);
+      }
+      if (conn->want_write) {
+        conn->want_write = false;
+        rearm(*conn, false);
+      }
+      should_close =
+          conn->close_after_flush ||
+          (conn->read_eof.load(std::memory_order_acquire) &&
+           conn->in_flight.load(std::memory_order_acquire) == 0);
+    }
+    if (should_close) {
+      close_conn(conn);
+      return false;
+    }
+    return true;
+  }
+
+  /// Moves queued entries into the staging buffer (under conn->mu).
+  /// Consecutive `body` entries coalesce into one type-3 batched frame
+  /// when the client opted in and two or more are waiting -- the
+  /// pipelining win: one syscall-sized burst carries many completions.
+  void refill_wbuf(Connection& c) {
+    while (!c.outq.empty() && c.wbuf.size() < kFlushChunk) {
+      if (!c.outq.front().body) {
+        c.wbuf.insert(c.wbuf.end(), c.outq.front().bytes.begin(),
+                      c.outq.front().bytes.end());
+        c.outq.pop_front();
+        continue;
+      }
+      std::vector<std::vector<std::uint8_t>> run;
+      std::size_t run_bytes = 0;
+      // Batch frame body: 8 fixed bytes + u16 count + (4 + len) each;
+      // stay under the frame cap with room to spare.
+      while (!c.outq.empty() && c.outq.front().body &&
+             run.size() < 65535 &&
+             10 + run_bytes + 4 * (run.size() + 1) +
+                     c.outq.front().bytes.size() <=
+                 wire::kMaxFrameBytes &&
+             (run.empty() || c.wbuf.size() + run_bytes < kFlushChunk)) {
+        run_bytes += c.outq.front().bytes.size();
+        c.out_bytes -= c.outq.front().bytes.size();
+        run.push_back(std::move(c.outq.front().bytes));
+        c.outq.pop_front();
+      }
+      std::vector<std::uint8_t> frame;
+      if (run.size() == 1) {
+        frame = wire::frame_body(run[0]);
+      } else {
+        frame = wire::encode_response_batch(run);
+        shared_->batched_frames.fetch_add(1, std::memory_order_relaxed);
+      }
+      c.out_bytes += frame.size();
+      c.wbuf.insert(c.wbuf.end(), frame.begin(), frame.end());
+    }
+  }
+
+  /// Periodic maintenance: write-stall kills and eof-idle closes (the
+  /// backstop for completions whose wakeup raced shutdown of interest).
+  void scan(Clock::time_point now) {
+    std::vector<std::shared_ptr<Connection>> snapshot;
+    {
+      const std::lock_guard<std::mutex> lock(reg_mu_);
+      snapshot.reserve(conns_.size());
+      for (const auto& [fd, conn] : conns_) {
+        snapshot.push_back(conn);
+      }
+    }
+    const auto stall_timeout = std::chrono::milliseconds(
+        shared_->cfg.write_stall_timeout_ms);
+    for (const auto& conn : snapshot) {
+      bool close_now = false;
+      bool stalled = false;
+      {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->open) {
+          continue;
+        }
+        const bool pending = conn->out_bytes > 0;
+        if (conn->kill) {
+          close_now = true;
+        } else if (pending && shared_->cfg.write_stall_timeout_ms > 0 &&
+                   now - conn->last_progress > stall_timeout) {
+          stalled = true;
+          close_now = true;
+        } else if (!pending &&
+                   (conn->close_after_flush ||
+                    (conn->read_eof.load(std::memory_order_acquire) &&
+                     conn->in_flight.load(std::memory_order_acquire) ==
+                         0))) {
+          close_now = true;
+        }
+      }
+      if (stalled) {
+        shared_->stall_kills.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (close_now) {
+        close_conn(conn);
+      }
+    }
+  }
+
+  /// Tears one connection down: marks it closed (failing queued
+  /// responses), unregisters it and closes the fd. Only the owning
+  /// loop thread (or close_all after the join) gets here.
+  void close_conn(const std::shared_ptr<Connection>& conn) {
+    std::size_t dropped = 0;
+    {
+      const std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->open) {
+        return;
+      }
+      conn->open = false;
+      dropped = conn->outq.size();
+      conn->outq.clear();
+      conn->wbuf.clear();
+      conn->woff = 0;
+      conn->out_bytes = 0;
+    }
+    shared_->dropped_responses.fetch_add(dropped,
+                                         std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(reg_mu_);
+      conns_.erase(conn->fd);
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    shared_->open_conns.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  Gateway& gateway_;
+  std::shared_ptr<Shared> shared_;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;  ///< -1 on every loop but loop 0.
+  std::shared_ptr<LoopShared> ls_;
+  std::vector<Loop*> targets_;  ///< Round-robin accept targets (loop 0).
+  std::size_t rr_next_ = 0;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex reg_mu_;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
 };
 
 TcpFrontend::TcpFrontend(Gateway& gateway, TcpFrontendConfig cfg)
-    : gateway_(gateway), cfg_(std::move(cfg)),
-      shared_(std::make_shared<Shared>()) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    : gateway_(gateway), shared_(std::make_shared<Shared>()) {
+  if (cfg.event_loops == 0) {
+    cfg.event_loops = 1;
+  }
+  shared_->cfg = cfg;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
   EB_REQUIRE(listen_fd_ >= 0, "socket() failed");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(cfg_.port);
-  EB_REQUIRE(::inet_pton(AF_INET, cfg_.bind_address.c_str(),
+  addr.sin_port = htons(cfg.port);
+  EB_REQUIRE(::inet_pton(AF_INET, cfg.bind_address.c_str(),
                          &addr.sin_addr) == 1,
-             "bad bind address '" + cfg_.bind_address + "'");
+             "bad bind address '" + cfg.bind_address + "'");
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, cfg_.backlog) != 0) {
+      ::listen(listen_fd_, cfg.backlog) != 0) {
     const int err = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
-    EB_REQUIRE(false, "bind/listen on " + cfg_.bind_address + " failed: " +
+    EB_REQUIRE(false, "bind/listen on " + cfg.bind_address + " failed: " +
                           std::strerror(err));
   }
   sockaddr_in bound{};
@@ -104,198 +848,69 @@ TcpFrontend::TcpFrontend(Gateway& gateway, TcpFrontendConfig cfg)
                            reinterpret_cast<sockaddr*>(&bound), &len) == 0,
              "getsockname() failed");
   port_ = ntohs(bound.sin_port);
-  // The fd travels by value: the accept loop must not read the member,
-  // which shutdown() rewrites from another thread.
-  acceptor_ = std::thread([this, fd = listen_fd_] { accept_loop(fd); });
+
+  loops_.reserve(cfg.event_loops);
+  for (std::size_t i = 0; i < cfg.event_loops; ++i) {
+    loops_.push_back(std::make_unique<Loop>(gateway_, shared_,
+                                            i == 0 ? listen_fd_ : -1));
+  }
+  std::vector<Loop*> targets;
+  targets.reserve(loops_.size());
+  for (const auto& l : loops_) {
+    targets.push_back(l.get());
+  }
+  loops_[0]->set_targets(std::move(targets));
+  threads_.reserve(loops_.size());
+  for (const auto& l : loops_) {
+    threads_.emplace_back([loop = l.get()] { loop->run(); });
+  }
 }
 
 TcpFrontend::~TcpFrontend() { shutdown(); }
 
 TcpFrontend::Stats TcpFrontend::stats() const {
-  const std::lock_guard<std::mutex> lock(shared_->mu);
-  return shared_->stats;
+  Stats s;
+  s.connections = shared_->connections.load(std::memory_order_relaxed);
+  s.requests = shared_->requests.load(std::memory_order_relaxed);
+  s.responses = shared_->responses.load(std::memory_order_relaxed);
+  s.malformed = shared_->malformed.load(std::memory_order_relaxed);
+  s.batched_frames =
+      shared_->batched_frames.load(std::memory_order_relaxed);
+  s.chunked_responses =
+      shared_->chunked_responses.load(std::memory_order_relaxed);
+  s.bytes_read = shared_->bytes_read.load(std::memory_order_relaxed);
+  s.bytes_written = shared_->bytes_written.load(std::memory_order_relaxed);
+  s.overflow_kills =
+      shared_->overflow_kills.load(std::memory_order_relaxed);
+  s.stall_kills = shared_->stall_kills.load(std::memory_order_relaxed);
+  s.dropped_responses =
+      shared_->dropped_responses.load(std::memory_order_relaxed);
+  return s;
 }
 
-void TcpFrontend::accept_loop(int listen_fd) {
-  for (;;) {
-    const int cfd = ::accept(listen_fd, nullptr, nullptr);
-    if (cfd < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return;  // listener shut down (or fatal): stop accepting
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      if (stopping_) {
-        ::close(cfd);
-        return;
-      }
-      // Reap finished connections first: joinable reader handles and
-      // dead Connection objects must not accumulate for the frontend's
-      // whole lifetime on short-lived-connection traffic.
-      for (std::size_t i = connections_.size(); i-- > 0;) {
-        if (connections_[i]->reader_done.load(std::memory_order_acquire)) {
-          readers_[i].join();
-          // Fail any in-flight send() first: close_fd() takes write_mu,
-          // and a completion callback could be parked in send() on this
-          // connection -- never wait that out while holding mu_.
-          connections_[i]->shutdown_io();
-          connections_[i]->close_fd();
-          readers_.erase(readers_.begin() + static_cast<std::ptrdiff_t>(i));
-          connections_.erase(connections_.begin() +
-                             static_cast<std::ptrdiff_t>(i));
-        }
-      }
-      const int one = 1;
-      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      if (cfg_.send_timeout_ms > 0) {
-        timeval tv{};
-        tv.tv_sec = cfg_.send_timeout_ms / 1000;
-        tv.tv_usec = static_cast<long>(cfg_.send_timeout_ms % 1000) * 1000;
-        ::setsockopt(cfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-      }
-      auto conn = std::make_shared<Connection>();
-      conn->fd = cfd;
-      connections_.push_back(conn);
-      readers_.emplace_back([this, conn] {
-        reader_loop(conn);
-        conn->reader_done.store(true, std::memory_order_release);
-      });
-    }
-    {
-      const std::lock_guard<std::mutex> lock(shared_->mu);
-      ++shared_->stats.connections;
-    }
-  }
-}
-
-void TcpFrontend::reader_loop(std::shared_ptr<Connection> conn) {
-  std::vector<std::uint8_t> buf;
-  std::uint8_t chunk[4096];
-  for (;;) {
-    const ssize_t k = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-    if (k < 0 && errno == EINTR) {
-      continue;
-    }
-    if (k <= 0) {
-      return;  // EOF or error: connection done
-    }
-    buf.insert(buf.end(), chunk, chunk + k);
-    std::size_t pos = 0;
-    bool fatal = false;
-    while (pos < buf.size()) {
-      wire::RequestFrame req;
-      std::size_t consumed = 0;
-      const wire::DecodeStatus st = wire::decode_request(
-          buf.data() + pos, buf.size() - pos, req, consumed);
-      if (st == wire::DecodeStatus::kNeedMoreData) {
-        break;
-      }
-      if (st == wire::DecodeStatus::kOk) {
-        {
-          const std::lock_guard<std::mutex> lock(shared_->mu);
-          ++shared_->stats.requests;
-        }
-        const std::uint64_t id = req.request_id;
-        // The callback owns everything it touches (shared_ptrs), so a
-        // late completion after this frontend is torn down is safe.
-        gateway_.submit_async(
-            req.model_id, std::move(req.tensor), req.cls, req.deadline_us,
-            [conn, shared = shared_, id](Result r) {
-              // This runs on a model-server worker thread: an escaping
-              // exception would terminate the process, so an output the
-              // wire cannot carry (over the frame cap / rank limit)
-              // degrades to a kInternalError response instead.
-              wire::ResponseFrame resp;
-              resp.request_id = id;
-              resp.status = r.status;
-              resp.queue_us = r.queue_us;
-              resp.total_us = r.total_us;
-              if (r.status == Status::kOk) {
-                resp.tensor = std::move(r.output);
-              }
-              std::vector<std::uint8_t> frame;
-              try {
-                frame = wire::encode_response(resp);
-              } catch (const std::exception&) {
-                resp.status = Status::kInternalError;
-                resp.tensor = bnn::Tensor();
-                frame = wire::encode_response(resp);  // no payload: no throw
-              }
-              conn->send_frame(frame);
-              const std::lock_guard<std::mutex> lock(shared->mu);
-              ++shared->stats.responses;
-            });
-        pos += consumed;
-        continue;
-      }
-      // Bad frame: answer with kInvalidArgument. Only a content-malformed
-      // body inside a well-formed envelope (kMalformed, boundary known)
-      // is skippable; bad magic/version/type or a hostile length mean the
-      // byte stream itself cannot be trusted, so close after the error
-      // response.
-      {
-        const std::lock_guard<std::mutex> lock(shared_->mu);
-        ++shared_->stats.malformed;
-      }
-      wire::ResponseFrame err;
-      err.request_id = 0;  // the bad frame's id is not trustworthy
-      err.status = Status::kInvalidArgument;
-      conn->send_frame(wire::encode_response(err));
-      {
-        const std::lock_guard<std::mutex> lock(shared_->mu);
-        ++shared_->stats.responses;
-      }
-      if (st != wire::DecodeStatus::kMalformed || consumed == 0) {
-        fatal = true;
-        break;
-      }
-      pos += consumed;
-    }
-    buf.erase(buf.begin(),
-              buf.begin() + static_cast<std::ptrdiff_t>(pos));
-    if (fatal) {
-      conn->shutdown_io();
-      return;
-    }
-  }
+std::size_t TcpFrontend::open_connections() const {
+  return shared_->open_conns.load(std::memory_order_relaxed);
 }
 
 void TcpFrontend::shutdown() {
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
   const std::lock_guard<std::mutex> join_lock(join_mu_);
   if (joined_) {
     return;
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept(2)
+  for (const auto& l : loops_) {
+    l->stop();
   }
-  if (acceptor_.joinable()) {
-    acceptor_.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  for (const auto& l : loops_) {
+    l->close_all();
   }
   if (listen_fd_ >= 0) {
-    ::close(listen_fd_);  // after the join: nobody else touches the fd
+    ::close(listen_fd_);
     listen_fd_ = -1;
-  }
-  std::vector<std::shared_ptr<Connection>> conns;
-  std::vector<std::thread> readers;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    conns.swap(connections_);
-    readers.swap(readers_);
-  }
-  for (const auto& c : conns) {
-    c->shutdown_io();  // unblocks recv(2)
-  }
-  for (auto& t : readers) {
-    t.join();
-  }
-  for (const auto& c : conns) {
-    c->close_fd();
   }
   joined_ = true;
 }

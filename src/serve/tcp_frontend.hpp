@@ -1,27 +1,42 @@
 /// \file
-/// \brief Loopback/LAN socket frontend for serve::Gateway: an accept loop
-/// plus one reader thread per connection, speaking the framed wire
-/// protocol in serve/wire.hpp.
+/// \brief Event-driven socket frontend for serve::Gateway: epoll loops
+/// over nonblocking sockets, speaking the framed wire protocol in
+/// serve/wire.hpp with full request pipelining.
 ///
-/// Lifecycle per connection: read bytes into a reassembly buffer, peel
-/// whole frames off the front, decode each with the bounds-checked
-/// wire::decode_request, and hand good requests to
-/// Gateway::submit_async. The completion callback encodes the response
-/// frame and writes it back under the connection's write lock -- worker
-/// threads complete requests out of order, so responses carry the
-/// request's echoed id rather than arriving in request order.
+/// Architecture: `cfg.event_loops` threads each run an epoll(7) loop.
+/// Loop 0 owns the listening socket and accepts until EAGAIN; accepted
+/// connections are set nonblocking and assigned round-robin across the
+/// loops. Reads happen on the owning loop thread into a per-connection
+/// reassembly buffer with a read cursor (compacted periodically, not
+/// per-recv), whole frames are peeled off and decoded with the
+/// bounds-checked wire::decode_request, and good requests go to
+/// Gateway::submit_async. The completion callback -- running on a
+/// model-server worker thread, possibly out of request order -- encodes
+/// the response and appends it to the connection's outbound queue, then
+/// wakes the owning loop via an eventfd; the loop flushes with
+/// nonblocking send(2), arming EPOLLOUT only while the socket's buffer
+/// is full. Responses therefore carry the request's echoed id and a
+/// pipelined client matches them solely by that id (see the pipelining
+/// contract in serve/wire.hpp).
+///
+/// Backpressure replaces the old blocking send + SO_SNDTIMEO: a client
+/// that stops reading accumulates bytes in its outbound queue until
+/// `max_write_queue_bytes` (connection killed, `overflow_kills`) or
+/// until no byte leaves the socket for `write_stall_timeout_ms`
+/// (connection killed, `stall_kills`). Worker threads never block on a
+/// slow client either way.
 ///
 /// Malformed traffic never crashes the frontend: bad content inside a
 /// well-formed envelope (wire::DecodeStatus::kMalformed with a known
-/// frame boundary) is answered with a kInvalidArgument response and
-/// skipped; anything that desyncs the byte stream (bad magic / version /
-/// type, oversize length) gets the same error response and then the
-/// connection is closed, because nothing after it can be trusted. Either
-/// way the accept loop keeps serving other connections.
+/// frame boundary) is answered with a kInvalidArgument response --
+/// echoing the offending frame's id whenever the envelope decoded
+/// through the id field -- and skipped; anything that desyncs the byte
+/// stream (bad magic / version / type, oversize length) gets an error
+/// response with id 0 and then the connection is flushed and closed,
+/// because nothing after it can be trusted.
 ///
-/// Scope: this is the test/bench transport (loopback TCP, a few dozen
-/// connections), not a hardened internet-facing server -- connections are
-/// plain TCP, per-connection threads, no TLS, no auth.
+/// Scope: loopback/LAN transport for tests and benches (now C10K-capable
+/// -- see bench/frontend_load.cpp), still plain TCP, no TLS, no auth.
 #pragma once
 
 #include <cstddef>
@@ -40,17 +55,25 @@ namespace eb::serve {
 struct TcpFrontendConfig {
   std::string bind_address = "127.0.0.1";  ///< IPv4 dotted quad.
   std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port().
-  int backlog = 16;        ///< listen(2) backlog.
-  /// SO_SNDTIMEO on accepted sockets: a response write blocked longer
-  /// than this (client stopped reading, receive window full) marks the
-  /// connection dead and drops its responses, instead of stalling the
-  /// model-server worker thread the completion callback runs on. 0 =
-  /// block forever (not recommended beyond single-client tests).
-  std::uint32_t send_timeout_ms = 2000;
+  int backlog = 128;       ///< listen(2) backlog.
+  /// Number of epoll event-loop threads. Loop 0 also accepts; accepted
+  /// connections are spread round-robin. 1 is right for loopback tests;
+  /// bump for multi-NIC / many-core fan-in.
+  std::size_t event_loops = 1;
+  /// Kill a connection once its outbound queue (encoded, unsent
+  /// response bytes) exceeds this. Bounds memory per slow client.
+  std::size_t max_write_queue_bytes = std::size_t{32} << 20;
+  /// Kill a connection when it has pending outbound bytes but the
+  /// socket has accepted none of them for this long (client stopped
+  /// reading and its receive window is full). 0 = never.
+  std::uint32_t write_stall_timeout_ms = 2000;
+  /// Payload bytes per type-4 chunk when streaming large responses to
+  /// kFlagAcceptStream clients (responses above this size are chunked).
+  std::size_t stream_chunk_bytes = std::size_t{256} << 10;
 };
 
 /// The socket frontend. Constructing it binds + listens + starts the
-/// accept loop; the gateway must outlive it.
+/// event loops; the gateway must outlive it.
 class TcpFrontend {
  public:
   /// Binds and starts serving `gateway`. Throws eb::Error when the
@@ -65,38 +88,48 @@ class TcpFrontend {
   /// The bound TCP port (resolves an ephemeral request).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
-  /// Frontend counters (monotonic, internally synchronized).
+  /// Frontend counters (monotonic; relaxed atomics snapshotted, so one
+  /// snapshot may be skewed by in-flight increments but each counter is
+  /// exact once traffic quiesces).
   struct Stats {
-    std::size_t connections = 0;  ///< Accepted connections.
+    std::size_t connections = 0;  ///< Accepted connections (lifetime).
     std::size_t requests = 0;     ///< Well-formed request frames.
-    std::size_t responses = 0;    ///< Response frames written.
+    std::size_t responses = 0;    ///< Response frames written or queued.
     std::size_t malformed = 0;    ///< Rejected frames (both kinds).
+    std::size_t batched_frames = 0;   ///< Type-3 frames flushed.
+    std::size_t chunked_responses = 0;  ///< Responses streamed as chunks.
+    std::size_t bytes_read = 0;       ///< Raw bytes received.
+    std::size_t bytes_written = 0;    ///< Raw bytes sent.
+    std::size_t overflow_kills = 0;   ///< Connections killed: queue cap.
+    std::size_t stall_kills = 0;      ///< Connections killed: write stall.
+    std::size_t dropped_responses = 0;  ///< Completions after close.
   };
   [[nodiscard]] Stats stats() const;
 
-  /// Stops accepting, unblocks every connection reader and joins all
-  /// threads. In-flight gateway requests still complete; their responses
-  /// are dropped (the socket is gone). Idempotent.
+  /// Connections currently registered with the event loops. Closed
+  /// connections leave this count on close (not lazily on the next
+  /// accept), so an idle listener with churned clients returns to 0.
+  [[nodiscard]] std::size_t open_connections() const;
+
+  /// Stops accepting, closes every connection (failing its queued
+  /// responses -- counted in `dropped_responses`) and joins the loop
+  /// threads. In-flight gateway requests still complete; their late
+  /// completions are dropped the same way. Idempotent.
   void shutdown();
 
  private:
+  struct Shared;      // stats + config, outlives the frontend via callbacks
   struct Connection;  // defined in tcp_frontend.cpp
-  struct Shared;      // stats block, outlives the frontend via callbacks
-
-  void accept_loop(int listen_fd);
-  void reader_loop(std::shared_ptr<Connection> conn);
+  struct LoopShared;  // per-loop wakeup state shared with callbacks
+  class Loop;         // one epoll loop: fd registry + thread body
 
   Gateway& gateway_;
-  TcpFrontendConfig cfg_;
   std::shared_ptr<Shared> shared_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
 
-  std::mutex mu_;  // connection/thread registry
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> readers_;
-  std::thread acceptor_;
-  bool stopping_ = false;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<std::thread> threads_;
   std::mutex join_mu_;
   bool joined_ = false;
 };

@@ -584,22 +584,28 @@ TEST(Wire, MalformedAndTruncatedFramesAreRejected) {
             serve::wire::DecodeStatus::kTooLarge);
   EXPECT_EQ(consumed, 0u);  // stream desync: not skippable
 
-  // Invalid deadline class byte.
+  // Invalid deadline class byte. The envelope decoded through the id
+  // field, so kMalformed must echo the id (a pipelined client matches
+  // the error response to its request by it).
   bad = good;
   bad[10] = 7;
+  out.request_id = 0;
   EXPECT_EQ(serve::wire::decode_request(bad.data(), bad.size(), out,
                                         consumed),
             serve::wire::DecodeStatus::kMalformed);
   EXPECT_EQ(consumed, bad.size());
+  EXPECT_EQ(out.request_id, req.request_id);
 
   // Declared dims that disagree with the payload bytes actually present.
   bad = good;
   const std::size_t ndims_off = 4 + 4 + 1 + 1 + 1 + 1 + 8 + 8 + 2 + 1;
   ASSERT_EQ(bad[ndims_off], 1u);          // rank-1 tensor...
   bad[ndims_off + 1] = 200;               // ...now claims 200 elements
+  out.request_id = 0;
   EXPECT_EQ(serve::wire::decode_request(bad.data(), bad.size(), out,
                                         consumed),
             serve::wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(out.request_id, req.request_id);
 
   // Empty model id.
   bad = good;
@@ -746,6 +752,9 @@ TEST(TcpFrontend, MalformedFramesGetErrorResponsesWithoutCrashing) {
     wire::ResponseFrame resp;
     ASSERT_TRUE(client.read_response(resp));
     EXPECT_EQ(resp.status, Status::kInvalidArgument);
+    // The envelope (through the id field) decoded cleanly, so the error
+    // echoes the offending frame's id -- a pipelined client can match it.
+    EXPECT_EQ(resp.request_id, 7u);
 
     client.send_bytes(serve::wire::encode_request(req));  // still alive?
     ASSERT_TRUE(client.read_response(resp));
@@ -763,6 +772,7 @@ TEST(TcpFrontend, MalformedFramesGetErrorResponsesWithoutCrashing) {
     wire::ResponseFrame resp;
     ASSERT_TRUE(client.read_response(resp));
     EXPECT_EQ(resp.status, Status::kInvalidArgument);
+    EXPECT_EQ(resp.request_id, 0u);  // envelope garbage: no id to trust
     EXPECT_FALSE(client.read_response(resp));  // closed by the frontend
   }
 
