@@ -8,15 +8,21 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "bnn/autotune.hpp"
 #include "bnn/batch_runner.hpp"
 #include "bnn/binarize.hpp"
+#include "bnn/kernels.hpp"
 #include "bnn/layers.hpp"
 #include "bnn/packed.hpp"
 #include "common/bitvec.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "device/noise.hpp"
@@ -346,9 +352,157 @@ void report_sharded_mapping_speedup() {
   }
 }
 
-}  // namespace
+// -- kernel-matrix report -------------------------------------------------
+//
+// mode=matrix times every supported registry candidate on a shape grid
+// (1024 weight rows; 256/1024/4096 cols; batch 1/8/64) plus the
+// autotuner's pick per shape, prints the matrix and optionally writes it
+// as a JSON artifact (json=path). mode=ci is the CI smoke: only the gate
+// shape (1024x1024, batch 64), asserting the tuned pick is at least
+// 1.15x the forced-portable kernel -- the empirical dispatch must never
+// regress below the floor a portable build would deliver. tune_cache=path
+// additionally saves the tuned table (the EB_TUNE_CACHE format) so CI can
+// upload it next to the matrix.
 
-int main(int argc, char** argv) {
+constexpr std::size_t kMatrixRows = 1024;
+constexpr double kCiMinSpeedup = 1.15;
+
+// Min-of-reps time of one full batched sweep (all x rows against all
+// weight rows), with a calibrated inner iteration count so small shapes
+// are not noise-bound.
+double time_sweep_ns(eb::bnn::SweepXnorFn sweep, const eb::bnn::PackedMatrix& x,
+                     const eb::bnn::PackedMatrix& w) {
+  const std::size_t nw = w.words_per_row();
+  std::vector<std::uint32_t> out(w.rows());
+  const auto unit = [&] {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      sweep(x.row_words(i), w.row_words(0), w.rows(), nw, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  };
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  unit();  // warmup + calibration probe
+  const double once =
+      std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+  const auto iters = static_cast<std::size_t>(
+      std::clamp(2e6 / std::max(once, 1.0), 1.0, 4096.0));
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto r0 = Clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      unit();
+    }
+    best = std::min(best, std::chrono::duration<double, std::nano>(
+                              Clock::now() - r0)
+                              .count() /
+                              static_cast<double>(iters));
+  }
+  return best;
+}
+
+int run_kernel_matrix(const std::string& mode, const std::string& json_path,
+                      const std::string& tune_cache_path) {
+  const bool ci = mode == "ci";
+  const std::vector<std::size_t> cols_grid =
+      ci ? std::vector<std::size_t>{1024}
+         : std::vector<std::size_t>{256, 1024, 4096};
+  const std::vector<std::size_t> batch_grid =
+      ci ? std::vector<std::size_t>{64} : std::vector<std::size_t>{1, 8, 64};
+
+  std::string json = "{\n  \"rows\": " + std::to_string(kMatrixRows) +
+                     ",\n  \"shapes\": [";
+  bool first_shape = true;
+  bool gate_ok = true;
+  double gate_speedup = 0.0;
+
+  for (const std::size_t cols : cols_grid) {
+    eb::Rng rng(0x3A7 + cols);
+    eb::bnn::PackedMatrix w(kMatrixRows, cols);
+    for (std::size_t r = 0; r < kMatrixRows; ++r) {
+      w.set_row(r, eb::BitVec::random(cols, rng));
+    }
+    for (const std::size_t batch : batch_grid) {
+      eb::bnn::PackedMatrix x(batch, cols);
+      for (std::size_t r = 0; r < batch; ++r) {
+        x.set_row(r, eb::BitVec::random(cols, rng));
+      }
+      const double bitops =
+          static_cast<double>(batch) * static_cast<double>(kMatrixRows) *
+          static_cast<double>(cols);
+      const eb::bnn::Kernel& tuned = eb::bnn::Autotuner::instance().pick_xnor(
+          kMatrixRows, w.words_per_row(), batch);
+
+      std::printf("\n== kernel matrix: %zux%zu weights, batch %zu (tuned: %s) ==\n",
+                  kMatrixRows, cols, batch, tuned.name);
+      json += first_shape ? "\n" : ",\n";
+      first_shape = false;
+      json += "    {\"cols\": " + std::to_string(cols) +
+              ", \"batch\": " + std::to_string(batch) + ", \"tuned\": \"" +
+              tuned.name + "\", \"candidates\": [";
+
+      double tuned_ns = 0.0;
+      double portable_ns = 0.0;
+      bool first_cand = true;
+      for (const auto& k : eb::bnn::kernel_registry()) {
+        if (!k.supported) {
+          continue;
+        }
+        const double ns = time_sweep_ns(k.sweep, x, w);
+        if (std::string_view(k.name) == tuned.name) {
+          tuned_ns = ns;
+        }
+        if (std::string_view(k.name) == "portable") {
+          portable_ns = ns;
+        }
+        std::printf("  %-16s %12.0f ns   %7.1f Gbitop/s%s\n", k.name, ns,
+                    bitops / ns, std::string_view(k.name) == tuned.name
+                                     ? "   <- tuned pick"
+                                     : "");
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n      {\"name\": \"%s\", \"ns\": %.1f, "
+                      "\"gbitops\": %.2f}",
+                      first_cand ? "" : ",", k.name, ns, bitops / ns);
+        first_cand = false;
+        json += buf;
+      }
+      json += "\n    ]}";
+
+      if (ci && cols == 1024 && batch == 64) {
+        gate_speedup = portable_ns / tuned_ns;
+        gate_ok = gate_speedup >= kCiMinSpeedup;
+      }
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json;
+    if (!out.good()) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote kernel matrix to %s\n", json_path.c_str());
+  }
+  if (!tune_cache_path.empty()) {
+    eb::bnn::Autotuner::instance().save_cache_file(tune_cache_path);
+    std::printf("wrote tuning cache to %s\n", tune_cache_path.c_str());
+  }
+  if (ci) {
+    std::printf(
+        "\nCI gate: tuned dispatch vs forced-portable at 1024x1024 batch 64: "
+        "%.2fx (floor %.2fx) -- %s\n",
+        gate_speedup, kCiMinSpeedup, gate_ok ? "PASS" : "FAIL");
+    if (!gate_ok) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int run_google_benchmarks(int argc, char** argv) {
   // Skip the (deliberately slow) acceptance timing when the user filtered
   // to benchmarks unrelated to the engine comparison pair, and always for
   // introspection-only invocations. Tracked as separate conditions so flag
@@ -396,4 +550,30 @@ int main(int argc, char** argv) {
     report_sharded_mapping_speedup();
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Kernel-matrix modes bypass google-benchmark entirely: mode=matrix for
+  // the full candidate x shape report, mode=ci for the tuned-vs-portable
+  // smoke gate. json= and tune_cache= name the artifacts to write.
+  try {
+    const eb::Config cfg =
+        eb::Config::from_args(argc, argv, {"mode", "json", "tune_cache"});
+    const std::string mode = cfg.get_string("mode", "");
+    if (mode == "matrix" || mode == "ci") {
+      return run_kernel_matrix(mode, cfg.get_string("json", ""),
+                               cfg.get_string("tune_cache", ""));
+    }
+    if (!mode.empty()) {
+      std::fprintf(stderr, "unknown mode '%s' (accepted: matrix, ci)\n",
+                   mode.c_str());
+      return 1;
+    }
+  } catch (const eb::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return run_google_benchmarks(argc, argv);
 }

@@ -3,9 +3,38 @@
 #include <chrono>
 #include <span>
 
+#include "bnn/autotune.hpp"
 #include "common/error.hpp"
 
 namespace eb::bnn {
+
+namespace {
+
+// Eagerly tunes the kernel pick for every binary GEMM shape this network
+// will hit at the configured batch size, so the Autotuner's first-use
+// timing run happens at model-registration time (BatchRunner construction
+// -- which serve::Gateway::register_model goes through), never inside a
+// live request.
+void warm_autotuner(const Network& net, std::size_t batch_size) {
+  Autotuner& tuner = Autotuner::instance();
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const LayerSpec spec = net.layer(i).spec();
+    if (spec.precision != Precision::Binary) {
+      continue;
+    }
+    if (spec.kind == LayerKind::Dense) {
+      tuner.warmup_xnor(spec.out_features, spec.in_features, batch_size);
+    } else if (spec.kind == LayerKind::Conv2d) {
+      // The im2col lowering sweeps out_ch weight rows of kernel^2 * in_ch
+      // bits, one x row per output pixel.
+      tuner.warmup_xnor(spec.conv.out_ch,
+                        spec.conv.kernel * spec.conv.kernel * spec.conv.in_ch,
+                        batch_size * spec.conv.out_h() * spec.conv.out_w());
+    }
+  }
+}
+
+}  // namespace
 
 BatchRunner::BatchRunner(const Network& net, BatchRunnerConfig cfg)
     : net_(&net),
@@ -13,12 +42,14 @@ BatchRunner::BatchRunner(const Network& net, BatchRunnerConfig cfg)
       owned_pool_(std::make_unique<ThreadPool>(cfg.threads)),
       pool_(owned_pool_.get()) {
   EB_REQUIRE(cfg_.batch_size >= 1, "batch size must be >= 1");
+  warm_autotuner(net, cfg_.batch_size);
 }
 
 BatchRunner::BatchRunner(const Network& net, ThreadPool& pool,
                          BatchRunnerConfig cfg)
     : net_(&net), cfg_(cfg), pool_(&pool) {
   EB_REQUIRE(cfg_.batch_size >= 1, "batch size must be >= 1");
+  warm_autotuner(net, cfg_.batch_size);
 }
 
 BatchStats BatchRunner::last_stats() const {

@@ -1,0 +1,398 @@
+#include "bnn/kernels.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define EB_KERNELS_X86 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define EB_KERNELS_NEON 1
+#endif
+
+namespace eb::bnn {
+
+namespace {
+
+// All variants return raw popcounts including padding matches (callers
+// subtract pad_bits). Sweep kernels block several weight rows per pass so
+// each x load is reused from registers and the per-row reduces run as
+// independent dependency chains; the 2-/4-/8-row block variants trade the
+// two off (short sweeps want narrow blocks whose accumulators all stay
+// live, tall sweeps want wide blocks that amortize the x stream) -- which
+// of them wins is exactly what the autotuner measures per shape.
+
+std::size_t pop_xnor_generic(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t nw) {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  for (; k + 4 <= nw; k += 4) {
+    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k]))) +
+         static_cast<std::size_t>(std::popcount(~(a[k + 1] ^ b[k + 1]))) +
+         static_cast<std::size_t>(std::popcount(~(a[k + 2] ^ b[k + 2]))) +
+         static_cast<std::size_t>(std::popcount(~(a[k + 3] ^ b[k + 3])));
+  }
+  for (; k < nw; ++k) {
+    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k])));
+  }
+  return n;
+}
+
+void sweep_xnor_generic(const std::uint64_t* x, const std::uint64_t* w,
+                        std::size_t wn, std::size_t nw, std::uint32_t* out) {
+  for (std::size_t j = 0; j < wn; ++j) {
+    out[j] = static_cast<std::uint32_t>(pop_xnor_generic(x, w + j * nw, nw));
+  }
+}
+
+#ifdef EB_KERNELS_X86
+
+__attribute__((target("popcnt"))) std::size_t pop_xnor_popcnt(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t nw) {
+  return pop_xnor_generic(a, b, nw);
+}
+
+__attribute__((target("popcnt"))) void sweep_xnor_popcnt(
+    const std::uint64_t* x, const std::uint64_t* w, std::size_t wn,
+    std::size_t nw, std::uint32_t* out) {
+  sweep_xnor_generic(x, w, wn, nw, out);
+}
+
+// AVX2 byte-LUT popcount (Mula): 4 words per vector step, byte counts
+// folded into 64-bit lanes with SAD.
+__attribute__((target("avx2,popcnt"))) std::size_t pop_xnor_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t nw) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t k = 0;
+  for (; k + 4 <= nw; k += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k));
+    const __m256i v = _mm256_xor_si256(_mm256_xor_si256(va, vb), ones);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t n = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; k < nw; ++k) {
+    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k])));
+  }
+  return n;
+}
+
+// Byte-LUT popcount of one 256-bit vector (per-byte counts, not reduced).
+__attribute__((target("avx2,popcnt"), always_inline)) inline __m256i
+count256_avx2(__m256i v, __m256i lut, __m256i low_mask) {
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+__attribute__((target("avx2,popcnt"), always_inline)) inline std::uint64_t
+hsum256_avx2(__m256i acc) {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+__attribute__((target("popcnt"), always_inline)) inline std::size_t
+tail_pop_xnor(const std::uint64_t* a, const std::uint64_t* b,
+              std::size_t from, std::size_t nw) {
+  std::size_t n = 0;
+  for (std::size_t k = from; k < nw; ++k) {
+    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k])));
+  }
+  return n;
+}
+
+// Row sweep with an R-wide weight-row block: each x vector is loaded once
+// per block and the R SAD accumulators run independent dependency chains.
+// Stamped as a macro (not a template) because GCC does not reliably honor
+// target attributes on function templates; R is a literal so the r-loops
+// fully unroll.
+#define EB_DEFINE_SWEEP_AVX2(NAME, R)                                        \
+  __attribute__((target("avx2,popcnt"))) void NAME(                          \
+      const std::uint64_t* x, const std::uint64_t* w, std::size_t wn,        \
+      std::size_t nw, std::uint32_t* out) {                                  \
+    const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2,    \
+                                         3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2,    \
+                                         2, 3, 1, 2, 2, 3, 2, 3, 3, 4);      \
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);                         \
+    const __m256i ones = _mm256_set1_epi64x(-1);                             \
+    const __m256i zero = _mm256_setzero_si256();                             \
+    const std::size_t nv = nw / 4; /* full 4-word vectors per row */         \
+    std::size_t j = 0;                                                       \
+    for (; j + (R) <= wn; j += (R)) {                                        \
+      const std::uint64_t* wr[(R)];                                          \
+      __m256i acc[(R)];                                                      \
+      for (std::size_t r = 0; r < (R); ++r) {                                \
+        wr[r] = w + (j + r) * nw;                                            \
+        acc[r] = zero;                                                       \
+      }                                                                      \
+      for (std::size_t v = 0; v < nv; ++v) {                                 \
+        const __m256i vx = _mm256_xor_si256(                                 \
+            _mm256_loadu_si256(                                              \
+                reinterpret_cast<const __m256i*>(x + v * 4)),                \
+            ones); /* fold the XNOR complement into the x operand */         \
+        for (std::size_t r = 0; r < (R); ++r) {                              \
+          const __m256i c = count256_avx2(                                   \
+              _mm256_xor_si256(                                              \
+                  vx, _mm256_loadu_si256(                                    \
+                          reinterpret_cast<const __m256i*>(wr[r] + v * 4))), \
+              lut, low_mask);                                                \
+          acc[r] = _mm256_add_epi64(acc[r], _mm256_sad_epu8(c, zero));       \
+        }                                                                    \
+      }                                                                      \
+      for (std::size_t r = 0; r < (R); ++r) {                                \
+        out[j + r] = static_cast<std::uint32_t>(                             \
+            hsum256_avx2(acc[r]) + tail_pop_xnor(x, wr[r], nv * 4, nw));     \
+      }                                                                      \
+    }                                                                        \
+    for (; j < wn; ++j) {                                                    \
+      out[j] = static_cast<std::uint32_t>(pop_xnor_avx2(x, w + j * nw, nw)); \
+    }                                                                        \
+  }
+
+EB_DEFINE_SWEEP_AVX2(sweep_xnor_avx2_r2, 2)
+EB_DEFINE_SWEEP_AVX2(sweep_xnor_avx2_r4, 4)
+EB_DEFINE_SWEEP_AVX2(sweep_xnor_avx2_r8, 8)
+#undef EB_DEFINE_SWEEP_AVX2
+
+// AVX-512BW row sweep: same byte-LUT popcount at 8 words per vector (the
+// in-lane shuffle makes the 16-byte LUT replicate per lane), same R-wide
+// weight-row block.
+//
+// GCC 12's avx512 headers expand maskless intrinsics through their masked
+// forms with an undefined pass-through operand, tripping a false-positive
+// -Wmaybe-uninitialized (GCC PR105593); silence it for this block only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f,avx512bw,popcnt"), always_inline)) inline
+__m512i count512_avx512(__m512i v, __m512i lut, __m512i low_mask) {
+  const __m512i lo = _mm512_and_si512(v, low_mask);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi32(v, 4), low_mask);
+  return _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                         _mm512_shuffle_epi8(lut, hi));
+}
+
+#define EB_DEFINE_SWEEP_AVX512(NAME, R)                                      \
+  __attribute__((target("avx512f,avx512bw,popcnt"))) void NAME(              \
+      const std::uint64_t* x, const std::uint64_t* w, std::size_t wn,        \
+      std::size_t nw, std::uint32_t* out) {                                  \
+    const __m512i lut = _mm512_broadcast_i32x4(                              \
+        _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));     \
+    const __m512i low_mask = _mm512_set1_epi8(0x0f);                         \
+    const __m512i ones = _mm512_set1_epi64(-1);                              \
+    const __m512i zero = _mm512_setzero_si512();                             \
+    const std::size_t nv = nw / 8; /* full 8-word vectors per row */         \
+    std::size_t j = 0;                                                       \
+    for (; j + (R) <= wn; j += (R)) {                                        \
+      const std::uint64_t* wr[(R)];                                          \
+      __m512i acc[(R)];                                                      \
+      for (std::size_t r = 0; r < (R); ++r) {                                \
+        wr[r] = w + (j + r) * nw;                                            \
+        acc[r] = zero;                                                       \
+      }                                                                      \
+      for (std::size_t v = 0; v < nv; ++v) {                                 \
+        const __m512i vx =                                                   \
+            _mm512_xor_si512(_mm512_loadu_si512(x + v * 8), ones);           \
+        for (std::size_t r = 0; r < (R); ++r) {                              \
+          const __m512i c = count512_avx512(                                 \
+              _mm512_xor_si512(vx, _mm512_loadu_si512(wr[r] + v * 8)), lut,  \
+              low_mask);                                                     \
+          acc[r] = _mm512_add_epi64(acc[r], _mm512_sad_epu8(c, zero));       \
+        }                                                                    \
+      }                                                                      \
+      for (std::size_t r = 0; r < (R); ++r) {                                \
+        out[j + r] = static_cast<std::uint32_t>(                             \
+            _mm512_reduce_add_epi64(acc[r]) +                                \
+            tail_pop_xnor(x, wr[r], nv * 8, nw));                            \
+      }                                                                      \
+    }                                                                        \
+    for (; j < wn; ++j) {                                                    \
+      out[j] = static_cast<std::uint32_t>(pop_xnor_avx2(x, w + j * nw, nw)); \
+    }                                                                        \
+  }
+
+EB_DEFINE_SWEEP_AVX512(sweep_xnor_avx512_r2, 2)
+EB_DEFINE_SWEEP_AVX512(sweep_xnor_avx512_r4, 4)
+EB_DEFINE_SWEEP_AVX512(sweep_xnor_avx512_r8, 8)
+#undef EB_DEFINE_SWEEP_AVX512
+
+// AVX-512 VPOPCNTDQ: the hardware popcount of eight 64-bit lanes per
+// instruction replaces the whole byte-LUT + SAD dance. Runtime-detected;
+// Ice Lake+ and Zen 4+ have it.
+__attribute__((target("avx512f,avx512bw,avx512vpopcntdq,popcnt")))
+std::size_t pop_xnor_vpopcnt(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t nw) {
+  const __m512i ones = _mm512_set1_epi64(-1);
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t k = 0;
+  for (; k + 8 <= nw; k += 8) {
+    const __m512i v = _mm512_xor_si512(
+        _mm512_xor_si512(_mm512_loadu_si512(a + k), _mm512_loadu_si512(b + k)),
+        ones);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::size_t n = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; k < nw; ++k) {
+    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k])));
+  }
+  return n;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vpopcntdq,popcnt")))
+void sweep_xnor_vpopcnt(const std::uint64_t* x, const std::uint64_t* w,
+                        std::size_t wn, std::size_t nw, std::uint32_t* out) {
+  const __m512i ones = _mm512_set1_epi64(-1);
+  const __m512i zero = _mm512_setzero_si512();
+  const std::size_t nv = nw / 8;
+  std::size_t j = 0;
+  for (; j + 4 <= wn; j += 4) {
+    const std::uint64_t* wr[4];
+    __m512i acc[4];
+    for (std::size_t r = 0; r < 4; ++r) {
+      wr[r] = w + (j + r) * nw;
+      acc[r] = zero;
+    }
+    for (std::size_t v = 0; v < nv; ++v) {
+      const __m512i vx = _mm512_xor_si512(_mm512_loadu_si512(x + v * 8), ones);
+      for (std::size_t r = 0; r < 4; ++r) {
+        acc[r] = _mm512_add_epi64(
+            acc[r], _mm512_popcnt_epi64(_mm512_xor_si512(
+                        vx, _mm512_loadu_si512(wr[r] + v * 8))));
+      }
+    }
+    for (std::size_t r = 0; r < 4; ++r) {
+      out[j + r] = static_cast<std::uint32_t>(
+          _mm512_reduce_add_epi64(acc[r]) + tail_pop_xnor(x, wr[r], nv * 8, nw));
+    }
+  }
+  for (; j < wn; ++j) {
+    out[j] = static_cast<std::uint32_t>(pop_xnor_vpopcnt(x, w + j * nw, nw));
+  }
+}
+#pragma GCC diagnostic pop
+
+#endif  // EB_KERNELS_X86
+
+#ifdef EB_KERNELS_NEON
+
+// AArch64 NEON: vcntq_u8 counts bits per byte; widen-and-accumulate up to
+// 64-bit lanes. Keeps the tree building and tuning on ARM hosts.
+std::size_t pop_xnor_neon(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t nw) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t k = 0;
+  for (; k + 2 <= nw; k += 2) {
+    const uint8x16_t va = vreinterpretq_u8_u64(vld1q_u64(a + k));
+    const uint8x16_t vb = vreinterpretq_u8_u64(vld1q_u64(b + k));
+    const uint8x16_t v = vmvnq_u8(veorq_u8(va, vb));
+    acc = vaddq_u64(acc,
+                    vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v)))));
+  }
+  std::size_t n = static_cast<std::size_t>(vgetq_lane_u64(acc, 0) +
+                                           vgetq_lane_u64(acc, 1));
+  for (; k < nw; ++k) {
+    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k])));
+  }
+  return n;
+}
+
+void sweep_xnor_neon(const std::uint64_t* x, const std::uint64_t* w,
+                     std::size_t wn, std::size_t nw, std::uint32_t* out) {
+  for (std::size_t j = 0; j < wn; ++j) {
+    out[j] = static_cast<std::uint32_t>(pop_xnor_neon(x, w + j * nw, nw));
+  }
+}
+
+#endif  // EB_KERNELS_NEON
+
+}  // namespace
+
+const std::vector<Kernel>& kernel_registry() {
+  static const std::vector<Kernel> registry = [] {
+    std::vector<Kernel> r;
+#ifdef EB_KERNELS_X86
+    const bool has_popcnt = __builtin_cpu_supports("popcnt") != 0;
+    const bool has_avx2 = __builtin_cpu_supports("avx2") != 0;
+    const bool has_bw = __builtin_cpu_supports("avx512bw") != 0;
+    const bool has_vpop =
+        has_bw && __builtin_cpu_supports("avx512vpopcntdq") != 0;
+    r.push_back({"avx512vpopcnt", sweep_xnor_vpopcnt, pop_xnor_vpopcnt,
+                 has_vpop});
+    r.push_back({"avx512bw", sweep_xnor_avx512_r4, pop_xnor_avx2, has_bw});
+    r.push_back({"avx512bw_r2", sweep_xnor_avx512_r2, pop_xnor_avx2, has_bw});
+    r.push_back({"avx512bw_r8", sweep_xnor_avx512_r8, pop_xnor_avx2, has_bw});
+    r.push_back({"avx2", sweep_xnor_avx2_r4, pop_xnor_avx2, has_avx2});
+    r.push_back({"avx2_r2", sweep_xnor_avx2_r2, pop_xnor_avx2, has_avx2});
+    r.push_back({"avx2_r8", sweep_xnor_avx2_r8, pop_xnor_avx2, has_avx2});
+    r.push_back({"popcnt", sweep_xnor_popcnt, pop_xnor_popcnt, has_popcnt});
+#elif defined(EB_KERNELS_NEON)
+    r.push_back({"neon", sweep_xnor_neon, pop_xnor_neon, true});
+#endif
+    r.push_back({"portable", sweep_xnor_generic, pop_xnor_generic, true});
+    return r;
+  }();
+  return registry;
+}
+
+std::vector<std::string> kernel_names() {
+  std::vector<std::string> names;
+  for (const Kernel& k : kernel_registry()) {
+    names.emplace_back(k.name);
+  }
+  return names;
+}
+
+std::vector<std::string> supported_kernel_names() {
+  std::vector<std::string> names;
+  for (const Kernel& k : kernel_registry()) {
+    if (k.supported) {
+      names.emplace_back(k.name);
+    }
+  }
+  return names;
+}
+
+const Kernel& kernel_by_name(const std::string& name) {
+  for (const Kernel& k : kernel_registry()) {
+    if (name == k.name) {
+      EB_REQUIRE(k.supported, "kernel '" + name +
+                                  "' is not supported on this CPU");
+      return k;
+    }
+  }
+  std::string accepted;
+  for (const Kernel& k : kernel_registry()) {
+    accepted += accepted.empty() ? k.name : std::string(", ") + k.name;
+  }
+  EB_REQUIRE(false,
+             "unknown kernel '" + name + "' (accepted: " + accepted + ")");
+  return kernel_registry().front();  // unreachable
+}
+
+const Kernel& default_kernel() {
+  for (const Kernel& k : kernel_registry()) {
+    if (k.supported) {
+      return k;
+    }
+  }
+  return kernel_registry().back();  // portable is always supported
+}
+
+}  // namespace eb::bnn

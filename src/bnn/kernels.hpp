@@ -1,0 +1,69 @@
+// Registry of named XNOR+Popcount kernel candidates.
+//
+// The fused GEMM in packed.cpp used to resolve one sweep/pop function
+// pair once per process (AVX-512BW > AVX2 > popcnt > portable). That is a
+// one-size-fits-all choice: the best kernel depends on the *shape* of the
+// call -- a short weight sweep wants a narrow row block that keeps all
+// accumulators live, a tall one wants a wide block that reuses each x
+// load more, and CPUs with AVX512-VPOPCNTDQ skip the byte-LUT popcount
+// entirely. This header names every candidate compiled into the build so
+// the per-shape autotuner (bnn/autotune.hpp) can time them empirically
+// and so EB_KERNEL=<name> can force one for CI determinism and A/B runs.
+//
+// Contract: every candidate computes the exact same integer popcounts --
+// raw matches including padding bits -- so kernel choice can never change
+// a result, only its latency. tests/test_kernels.cpp enforces this
+// cross-kernel bit-identity on adversarial shapes for every candidate the
+// host CPU supports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eb::bnn {
+
+/// popcount(a XNOR b) over `nw` words (raw count, padding included).
+using PopXnorFn = std::size_t (*)(const std::uint64_t*, const std::uint64_t*,
+                                  std::size_t);
+/// Row sweep: one x row of `nw` words against `wn` contiguous weight rows;
+/// out[j] = raw popcount(x XNOR w_j) including padding matches.
+using SweepXnorFn = void (*)(const std::uint64_t*, const std::uint64_t*,
+                             std::size_t, std::size_t, std::uint32_t*);
+
+/// One registry candidate: a named (sweep, pop) implementation pair plus
+/// its runtime availability on the host CPU.
+struct Kernel {
+  const char* name;   ///< Registry key (stable; accepted by EB_KERNEL).
+  SweepXnorFn sweep;  ///< GEMM inner kernel.
+  PopXnorFn pop;      ///< Single-pair kernel (property tests, odd paths).
+  bool supported;     ///< Host CPU can execute it.
+};
+
+/// Every candidate compiled into this build, in static preference order
+/// (expected-fastest first; the autotuner overrides the order with
+/// measurements, ties resolve to the earlier entry). x86-64 builds carry
+/// the AVX-512 VPOPCNTDQ / AVX-512BW / AVX2 families (each BW/AVX2 sweep
+/// in 2-, 4- and 8-row weight blocks) plus popcnt and portable; AArch64
+/// builds carry a NEON (vcntq_u8) variant plus portable. "portable" is
+/// present and supported everywhere.
+[[nodiscard]] const std::vector<Kernel>& kernel_registry();
+
+/// Names of every compiled candidate, registry order (the accepted-value
+/// list for EB_KERNEL).
+[[nodiscard]] std::vector<std::string> kernel_names();
+
+/// Names of the candidates the host CPU can run, registry order.
+[[nodiscard]] std::vector<std::string> supported_kernel_names();
+
+/// Lookup by registry name. Throws eb::Error naming the accepted list for
+/// an unknown name, or a "not supported on this CPU" Error for a known
+/// candidate the host cannot execute.
+[[nodiscard]] const Kernel& kernel_by_name(const std::string& name);
+
+/// First supported registry entry: the untuned default (identical to the
+/// old once-per-process dispatch choice).
+[[nodiscard]] const Kernel& default_kernel();
+
+}  // namespace eb::bnn

@@ -1,14 +1,10 @@
 #include "bnn/packed.hpp"
 
 #include <algorithm>
-#include <bit>
 
+#include "bnn/autotune.hpp"
+#include "bnn/kernels.hpp"
 #include "common/error.hpp"
-
-#if defined(__x86_64__) && defined(__GNUC__)
-#include <immintrin.h>
-#define EB_PACKED_X86 1
-#endif
 
 namespace eb::bnn {
 
@@ -16,289 +12,17 @@ namespace {
 
 std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
 
-// ------------------------------------------------- popcount(a XNOR b) --
-// Two dispatch granularities, both resolved once per process:
-//  * pop_xnor      -- one (a, b) word-array pair (single-vector paths);
-//  * sweep_xnor    -- one x row against `wn` contiguous weight rows of
-//    `nw` words each. This is the GEMM inner kernel: hoisting the SIMD
-//    constants and blocking four weight rows per pass amortizes the
-//    per-pair reduce that dominates short rows (a 1024-bit row is only
-//    16 words).
-// All variants return raw popcounts including padding matches (callers
-// subtract pad_bits).
-
-using PopXnorFn = std::size_t (*)(const std::uint64_t*, const std::uint64_t*,
-                                  std::size_t);
-using SweepXnorFn = void (*)(const std::uint64_t*, const std::uint64_t*,
-                             std::size_t, std::size_t, std::uint32_t*);
-
-std::size_t pop_xnor_generic(const std::uint64_t* a, const std::uint64_t* b,
-                             std::size_t nw) {
-  std::size_t n = 0;
-  std::size_t k = 0;
-  for (; k + 4 <= nw; k += 4) {
-    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k]))) +
-         static_cast<std::size_t>(std::popcount(~(a[k + 1] ^ b[k + 1]))) +
-         static_cast<std::size_t>(std::popcount(~(a[k + 2] ^ b[k + 2]))) +
-         static_cast<std::size_t>(std::popcount(~(a[k + 3] ^ b[k + 3])));
-  }
-  for (; k < nw; ++k) {
-    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k])));
-  }
-  return n;
-}
-
-void sweep_xnor_generic(const std::uint64_t* x, const std::uint64_t* w,
-                        std::size_t wn, std::size_t nw, std::uint32_t* out) {
-  for (std::size_t j = 0; j < wn; ++j) {
-    out[j] = static_cast<std::uint32_t>(pop_xnor_generic(x, w + j * nw, nw));
-  }
-}
-
-#ifdef EB_PACKED_X86
-
-__attribute__((target("popcnt"))) std::size_t pop_xnor_popcnt(
-    const std::uint64_t* a, const std::uint64_t* b, std::size_t nw) {
-  return pop_xnor_generic(a, b, nw);
-}
-
-__attribute__((target("popcnt"))) void sweep_xnor_popcnt(
-    const std::uint64_t* x, const std::uint64_t* w, std::size_t wn,
-    std::size_t nw, std::uint32_t* out) {
-  sweep_xnor_generic(x, w, wn, nw, out);
-}
-
-// AVX2 byte-LUT popcount (Mula): 4 words per vector step, byte counts
-// folded into 64-bit lanes with SAD.
-__attribute__((target("avx2,popcnt"))) std::size_t pop_xnor_avx2(
-    const std::uint64_t* a, const std::uint64_t* b, std::size_t nw) {
-  const __m256i lut =
-      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
-                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
-  const __m256i low_mask = _mm256_set1_epi8(0x0f);
-  const __m256i ones = _mm256_set1_epi64x(-1);
-  __m256i acc = _mm256_setzero_si256();
-  std::size_t k = 0;
-  for (; k + 4 <= nw; k += 4) {
-    const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
-    const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k));
-    const __m256i v = _mm256_xor_si256(_mm256_xor_si256(va, vb), ones);
-    const __m256i lo = _mm256_and_si256(v, low_mask);
-    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
-    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
-                                        _mm256_shuffle_epi8(lut, hi));
-    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
-  }
-  alignas(32) std::uint64_t lanes[4];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
-  std::size_t n = lanes[0] + lanes[1] + lanes[2] + lanes[3];
-  for (; k < nw; ++k) {
-    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k])));
-  }
-  return n;
-}
-
-// Byte-LUT popcount of one 256-bit vector (per-byte counts, not reduced).
-__attribute__((target("avx2,popcnt"), always_inline)) inline __m256i
-count256_avx2(__m256i v, __m256i lut, __m256i low_mask) {
-  const __m256i lo = _mm256_and_si256(v, low_mask);
-  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
-  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
-                         _mm256_shuffle_epi8(lut, hi));
-}
-
-__attribute__((target("avx2,popcnt"), always_inline)) inline std::uint64_t
-hsum256_avx2(__m256i acc) {
-  alignas(32) std::uint64_t lanes[4];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
-  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
-}
-
-__attribute__((target("popcnt"), always_inline)) inline std::size_t
-tail_pop_xnor(const std::uint64_t* a, const std::uint64_t* b,
-              std::size_t from, std::size_t nw) {
-  std::size_t n = 0;
-  for (std::size_t k = from; k < nw; ++k) {
-    n += static_cast<std::size_t>(std::popcount(~(a[k] ^ b[k])));
-  }
-  return n;
-}
-
-// Row sweep with a 4-wide weight-row block: each x vector is loaded once
-// per block and the four SAD accumulators run independent dependency
-// chains, which is what keeps the port-5 shuffles saturated on short rows.
-__attribute__((target("avx2,popcnt"))) void sweep_xnor_avx2(
-    const std::uint64_t* x, const std::uint64_t* w, std::size_t wn,
-    std::size_t nw, std::uint32_t* out) {
-  const __m256i lut =
-      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
-                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
-  const __m256i low_mask = _mm256_set1_epi8(0x0f);
-  const __m256i ones = _mm256_set1_epi64x(-1);
-  const __m256i zero = _mm256_setzero_si256();
-  const std::size_t nv = nw / 4;  // full 4-word vectors per row
-
-  std::size_t j = 0;
-  for (; j + 4 <= wn; j += 4) {
-    const std::uint64_t* w0 = w + j * nw;
-    const std::uint64_t* w1 = w0 + nw;
-    const std::uint64_t* w2 = w1 + nw;
-    const std::uint64_t* w3 = w2 + nw;
-    __m256i acc0 = zero;
-    __m256i acc1 = zero;
-    __m256i acc2 = zero;
-    __m256i acc3 = zero;
-    for (std::size_t v = 0; v < nv; ++v) {
-      const __m256i vx = _mm256_xor_si256(
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + v * 4)),
-          ones);  // fold the XNOR complement into the x operand
-      const __m256i c0 = count256_avx2(
-          _mm256_xor_si256(vx, _mm256_loadu_si256(
-                                   reinterpret_cast<const __m256i*>(w0 + v * 4))),
-          lut, low_mask);
-      const __m256i c1 = count256_avx2(
-          _mm256_xor_si256(vx, _mm256_loadu_si256(
-                                   reinterpret_cast<const __m256i*>(w1 + v * 4))),
-          lut, low_mask);
-      const __m256i c2 = count256_avx2(
-          _mm256_xor_si256(vx, _mm256_loadu_si256(
-                                   reinterpret_cast<const __m256i*>(w2 + v * 4))),
-          lut, low_mask);
-      const __m256i c3 = count256_avx2(
-          _mm256_xor_si256(vx, _mm256_loadu_si256(
-                                   reinterpret_cast<const __m256i*>(w3 + v * 4))),
-          lut, low_mask);
-      acc0 = _mm256_add_epi64(acc0, _mm256_sad_epu8(c0, zero));
-      acc1 = _mm256_add_epi64(acc1, _mm256_sad_epu8(c1, zero));
-      acc2 = _mm256_add_epi64(acc2, _mm256_sad_epu8(c2, zero));
-      acc3 = _mm256_add_epi64(acc3, _mm256_sad_epu8(c3, zero));
-    }
-    out[j] =
-        static_cast<std::uint32_t>(hsum256_avx2(acc0) +
-                                   tail_pop_xnor(x, w0, nv * 4, nw));
-    out[j + 1] =
-        static_cast<std::uint32_t>(hsum256_avx2(acc1) +
-                                   tail_pop_xnor(x, w1, nv * 4, nw));
-    out[j + 2] =
-        static_cast<std::uint32_t>(hsum256_avx2(acc2) +
-                                   tail_pop_xnor(x, w2, nv * 4, nw));
-    out[j + 3] =
-        static_cast<std::uint32_t>(hsum256_avx2(acc3) +
-                                   tail_pop_xnor(x, w3, nv * 4, nw));
-  }
-  for (; j < wn; ++j) {
-    out[j] = static_cast<std::uint32_t>(pop_xnor_avx2(x, w + j * nw, nw));
-  }
-}
-
-// AVX-512BW row sweep: same byte-LUT popcount at 8 words per vector (the
-// in-lane shuffle makes the 16-byte LUT replicate per lane), same 4-wide
-// weight-row block.
-//
-// GCC 12's avx512 headers expand maskless intrinsics through their masked
-// forms with an undefined pass-through operand, tripping a false-positive
-// -Wmaybe-uninitialized (GCC PR105593); silence it for this block only.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wuninitialized"
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-__attribute__((target("avx512f,avx512bw,popcnt"), always_inline)) inline
-__m512i count512_avx512(__m512i v, __m512i lut, __m512i low_mask) {
-  const __m512i lo = _mm512_and_si512(v, low_mask);
-  const __m512i hi = _mm512_and_si512(_mm512_srli_epi32(v, 4), low_mask);
-  return _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
-                         _mm512_shuffle_epi8(lut, hi));
-}
-
-__attribute__((target("avx512f,avx512bw,popcnt"))) void sweep_xnor_avx512(
-    const std::uint64_t* x, const std::uint64_t* w, std::size_t wn,
-    std::size_t nw, std::uint32_t* out) {
-  const __m512i lut = _mm512_broadcast_i32x4(
-      _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
-  const __m512i low_mask = _mm512_set1_epi8(0x0f);
-  const __m512i ones = _mm512_set1_epi64(-1);
-  const __m512i zero = _mm512_setzero_si512();
-  const std::size_t nv = nw / 8;  // full 8-word vectors per row
-
-  std::size_t j = 0;
-  for (; j + 4 <= wn; j += 4) {
-    const std::uint64_t* w0 = w + j * nw;
-    const std::uint64_t* w1 = w0 + nw;
-    const std::uint64_t* w2 = w1 + nw;
-    const std::uint64_t* w3 = w2 + nw;
-    __m512i acc0 = zero;
-    __m512i acc1 = zero;
-    __m512i acc2 = zero;
-    __m512i acc3 = zero;
-    for (std::size_t v = 0; v < nv; ++v) {
-      const __m512i vx = _mm512_xor_si512(
-          _mm512_loadu_si512(x + v * 8), ones);
-      const __m512i c0 = count512_avx512(
-          _mm512_xor_si512(vx, _mm512_loadu_si512(w0 + v * 8)), lut, low_mask);
-      const __m512i c1 = count512_avx512(
-          _mm512_xor_si512(vx, _mm512_loadu_si512(w1 + v * 8)), lut, low_mask);
-      const __m512i c2 = count512_avx512(
-          _mm512_xor_si512(vx, _mm512_loadu_si512(w2 + v * 8)), lut, low_mask);
-      const __m512i c3 = count512_avx512(
-          _mm512_xor_si512(vx, _mm512_loadu_si512(w3 + v * 8)), lut, low_mask);
-      acc0 = _mm512_add_epi64(acc0, _mm512_sad_epu8(c0, zero));
-      acc1 = _mm512_add_epi64(acc1, _mm512_sad_epu8(c1, zero));
-      acc2 = _mm512_add_epi64(acc2, _mm512_sad_epu8(c2, zero));
-      acc3 = _mm512_add_epi64(acc3, _mm512_sad_epu8(c3, zero));
-    }
-    out[j] = static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc0) +
-                                        tail_pop_xnor(x, w0, nv * 8, nw));
-    out[j + 1] = static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc1) +
-                                            tail_pop_xnor(x, w1, nv * 8, nw));
-    out[j + 2] = static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc2) +
-                                            tail_pop_xnor(x, w2, nv * 8, nw));
-    out[j + 3] = static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc3) +
-                                            tail_pop_xnor(x, w3, nv * 8, nw));
-  }
-  for (; j < wn; ++j) {
-    out[j] = static_cast<std::uint32_t>(pop_xnor_avx2(x, w + j * nw, nw));
-  }
-}
-#pragma GCC diagnostic pop
-
-#endif  // EB_PACKED_X86
-
-PopXnorFn resolve_pop_xnor() {
-#ifdef EB_PACKED_X86
-  if (__builtin_cpu_supports("avx2")) {
-    return pop_xnor_avx2;
-  }
-  if (__builtin_cpu_supports("popcnt")) {
-    return pop_xnor_popcnt;
-  }
-#endif
-  return pop_xnor_generic;
-}
-
-SweepXnorFn resolve_sweep_xnor() {
-#ifdef EB_PACKED_X86
-  if (__builtin_cpu_supports("avx512bw")) {
-    return sweep_xnor_avx512;
-  }
-  if (__builtin_cpu_supports("avx2")) {
-    return sweep_xnor_avx2;
-  }
-  if (__builtin_cpu_supports("popcnt")) {
-    return sweep_xnor_popcnt;
-  }
-#endif
-  return sweep_xnor_generic;
-}
-
-const PopXnorFn pop_xnor = resolve_pop_xnor();
-const SweepXnorFn sweep_xnor = resolve_sweep_xnor();
-
 }  // namespace
+
+// The XNOR+popcount kernels themselves live in bnn/kernels.cpp (a named
+// registry of candidates); which candidate runs a given call is decided
+// per shape class by the Autotuner (bnn/autotune.hpp). All candidates are
+// bit-identical, so these entry points only pick and forward.
 
 std::size_t xnor_popcount_words(const std::uint64_t* a, const std::uint64_t* b,
                                 std::size_t words, std::size_t pad_bits) {
-  const std::size_t raw = pop_xnor(a, b, words);
+  const std::size_t raw =
+      Autotuner::instance().pick_xnor(1, words, 1).pop(a, b, words);
   EB_ASSERT(raw >= pad_bits, "padding must be zeroed in both operands");
   return raw - pad_bits;
 }
@@ -429,10 +153,15 @@ void gemm_driver(const PackedMatrix& x, const PackedMatrix& w,
     return;
   }
   const std::uint64_t* wbase = w.row_words(0);
+  // One registry pick per GEMM call (not per row): every worker chunk of
+  // this call runs the same candidate, and a first-use tuning run happens
+  // before the pool fans out.
+  const SweepXnorFn sweep =
+      Autotuner::instance().pick_xnor(wn, nw, x.rows()).sweep;
   auto run_rows = [&](std::size_t begin, std::size_t end) {
     std::vector<std::uint32_t> scratch(wn);
     for (std::size_t i = begin; i < end; ++i) {
-      sweep_xnor(x.row_words(i), wbase, wn, nw, scratch.data());
+      sweep(x.row_words(i), wbase, wn, nw, scratch.data());
       emit(i, scratch.data(), wn);
     }
   };
@@ -499,8 +228,10 @@ std::vector<std::size_t> xnor_popcount_rows(const PackedMatrix& w,
   }
   const std::size_t pad = w.pad_bits();
   std::vector<std::uint32_t> raw(w.rows());
-  sweep_xnor(x.words().data(), w.row_words(0), w.rows(), w.words_per_row(),
-             raw.data());
+  const Kernel& k =
+      Autotuner::instance().pick_xnor(w.rows(), w.words_per_row(), 1);
+  k.sweep(x.words().data(), w.row_words(0), w.rows(), w.words_per_row(),
+          raw.data());
   std::vector<std::size_t> out(w.rows());
   for (std::size_t j = 0; j < w.rows(); ++j) {
     out[j] = raw[j] - pad;

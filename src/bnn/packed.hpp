@@ -11,9 +11,11 @@
 //
 // The kernels are exact integer popcounts -- the packed engine produces
 // bit-identical results to the per-sample reference path; only the
-// schedule (batched, word-parallel, multi-threaded) changes. Runtime
-// dispatch picks an AVX2 byte-LUT popcount when the CPU supports it and
-// falls back to portable std::popcount otherwise.
+// schedule (batched, word-parallel, multi-threaded) changes. The kernel
+// implementations live in bnn/kernels.hpp as a registry of named
+// candidates (AVX-512 VPOPCNTDQ, AVX-512BW / AVX2 byte-LUT row blocks,
+// POPCNT, NEON, portable); which candidate runs is chosen per shape
+// class by the empirical Autotuner in bnn/autotune.hpp.
 #pragma once
 
 #include <cstddef>

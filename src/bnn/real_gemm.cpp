@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bnn/autotune.hpp"
 #include "common/error.hpp"
 
 namespace eb::bnn {
@@ -10,14 +11,14 @@ namespace {
 
 // Batch rows accumulated per weight-row pass. Each row keeps its own
 // k-ascending accumulator chain (bit-identity with the per-sample loop),
-// but the kRowBlock chains are mutually independent, so the CPU can keep
+// but the block's chains are mutually independent, so the CPU can keep
 // that many FMAs in flight instead of serializing on one chain's latency
-// -- and every weight load is reused kRowBlock times from registers. This
-// is where batch amortization actually comes from: at m == 1 the kernel
-// degenerates to the single-chain per-sample speed, and the serving
-// layer's dynamic batching window is what turns request streams into
-// m > 1 calls.
-constexpr std::size_t kRowBlock = 8;
+// -- and every weight load is reused block-many times from registers.
+// This is where batch amortization actually comes from: at m == 1 the
+// kernel degenerates to the single-chain per-sample speed, and the
+// serving layer's dynamic batching window is what turns request streams
+// into m > 1 calls. The width (2/4/8) is picked per shape class by the
+// Autotuner; see real_gemm.hpp.
 
 // Fixed-width block so the row loops fully unroll: R accumulator chains,
 // each bias-first then k ascending -- exactly the per-sample order, so
@@ -51,10 +52,14 @@ void gemm_row_block(std::size_t i0, std::size_t n, std::size_t k,
 
 void gemm_rows(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
                const double* x, const double* w, const double* bias,
-               double* out) {
+               double* out, std::size_t block) {
   std::size_t i0 = r0;
-  for (; i0 + kRowBlock <= r1; i0 += kRowBlock) {
-    gemm_row_block<kRowBlock>(i0, n, k, x, w, bias, out);
+  for (; i0 + block <= r1; i0 += block) {
+    switch (block) {  // validated by the entry points: 2, 4 or 8
+      case 2: gemm_row_block<2>(i0, n, k, x, w, bias, out); break;
+      case 4: gemm_row_block<4>(i0, n, k, x, w, bias, out); break;
+      default: gemm_row_block<8>(i0, n, k, x, w, bias, out); break;
+    }
   }
   switch (r1 - i0) {  // remainder rows, still fixed-width specializations
     case 1: gemm_row_block<1>(i0, n, k, x, w, bias, out); break;
@@ -70,22 +75,35 @@ void gemm_rows(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
 
 }  // namespace
 
+void real_gemm_bias_blocked(std::size_t m, std::size_t n, std::size_t k,
+                            const double* x, const double* w,
+                            const double* bias, double* out, std::size_t block,
+                            ThreadPool* pool) {
+  if (m == 0 || n == 0) {
+    return;  // empty batch / empty layer: nothing to write
+  }
+  EB_REQUIRE(block == 2 || block == 4 || block == 8,
+             "real GEMM row-block width must be 2, 4 or 8");
+  EB_REQUIRE(w != nullptr && out != nullptr, "real_gemm_bias needs w, out");
+  EB_REQUIRE(k == 0 || x != nullptr, "real_gemm_bias needs x when k > 0");
+  auto body = [&](std::size_t r0, std::size_t r1) {
+    gemm_rows(r0, r1, n, k, x, w, bias, out, block);
+  };
+  if (pool != nullptr && m > block) {
+    pool->parallel_for(0, m, block, body);
+  } else {
+    body(0, m);
+  }
+}
+
 void real_gemm_bias(std::size_t m, std::size_t n, std::size_t k,
                     const double* x, const double* w, const double* bias,
                     double* out, ThreadPool* pool) {
   if (m == 0 || n == 0) {
-    return;  // empty batch / empty layer: nothing to write
+    return;
   }
-  EB_REQUIRE(w != nullptr && out != nullptr, "real_gemm_bias needs w, out");
-  EB_REQUIRE(k == 0 || x != nullptr, "real_gemm_bias needs x when k > 0");
-  auto body = [&](std::size_t r0, std::size_t r1) {
-    gemm_rows(r0, r1, n, k, x, w, bias, out);
-  };
-  if (pool != nullptr && m > kRowBlock) {
-    pool->parallel_for(0, m, kRowBlock, body);
-  } else {
-    body(0, m);
-  }
+  real_gemm_bias_blocked(m, n, k, x, w, bias, out,
+                         Autotuner::instance().pick_real_block(m, n, k), pool);
 }
 
 }  // namespace eb::bnn

@@ -6,18 +6,27 @@
 //
 //   out[i][j] = bias[j] + sum_k x[i][k] * w[j][k]        (W row-major)
 //
-// blocked over batch rows: up to 8 rows accumulate against one weight
-// row per pass, so every weight load is reused 8 times from registers
-// and the 8 mutually independent accumulator chains hide FMA latency
-// that a single chain serializes on. This is the batch-amortization the
-// serving layer's dynamic batching window harvests (~2.5x at batch 64
-// over batch 1 on a 1024-wide layer); at m == 1 the kernel degenerates
-// to the per-sample speed. Rows also go parallel over the thread pool.
+// blocked over batch rows: a block of rows accumulates against one
+// weight row per pass, so every weight load is reused block-many times
+// from registers and the mutually independent accumulator chains hide
+// FMA latency that a single chain serializes on. This is the
+// batch-amortization the serving layer's dynamic batching window
+// harvests (~2.5x at batch 64 over batch 1 on a 1024-wide layer); at
+// m == 1 the kernel degenerates to the per-sample speed. Rows also go
+// parallel over the thread pool.
+//
+// The block width (2, 4 or 8) is a tuning knob, not a semantics knob:
+// which width wins depends on m/n/k (tall-k shapes want more chains in
+// flight, tiny layers want less loop overhead), so real_gemm_bias asks
+// the per-shape Autotuner (bnn/autotune.hpp, family "real") and
+// real_gemm_bias_blocked exposes a forced width for the tuner's own
+// timing probes, benches and tests.
 //
 // Determinism: each (i, j) accumulation runs bias-first then k ascending
 // -- exactly the order of the per-sample reference loops -- and rows
 // never share accumulators, so results are bit-identical to the
-// per-sample path and independent of thread count or batch shape.
+// per-sample path and independent of thread count, batch shape, or the
+// chosen row-block width.
 #pragma once
 
 #include <cstddef>
@@ -28,8 +37,18 @@ namespace eb::bnn {
 
 // x: m rows of k values; w: n rows of k values; bias: n values (may be
 // nullptr for none); out: m x n row-major. `pool` may be nullptr (serial).
+// Row-block width comes from the Autotuner's pinned pick for this shape
+// class (timed on first use).
 void real_gemm_bias(std::size_t m, std::size_t n, std::size_t k,
                     const double* x, const double* w, const double* bias,
                     double* out, ThreadPool* pool = nullptr);
+
+// As real_gemm_bias, but with a caller-forced row-block width. `block`
+// must be 2, 4 or 8 (eb::Error otherwise). Results are bit-identical
+// across widths.
+void real_gemm_bias_blocked(std::size_t m, std::size_t n, std::size_t k,
+                            const double* x, const double* w,
+                            const double* bias, double* out, std::size_t block,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace eb::bnn

@@ -102,6 +102,29 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
   return fallback;
 }
 
+std::string Config::env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+std::string Config::env_choice(const char* name,
+                               const std::vector<std::string>& allowed,
+                               const std::string& fallback) {
+  const std::string value = env_string(name, fallback);
+  if (value == fallback ||
+      std::find(allowed.begin(), allowed.end(), value) != allowed.end()) {
+    return value;
+  }
+  std::string accepted;
+  for (const auto& a : allowed) {
+    accepted += accepted.empty() ? a : ", " + a;
+  }
+  EB_REQUIRE(false, std::string(name) + "='" + value +
+                        "' is not a recognized value (accepted: " + accepted +
+                        ")");
+  return fallback;
+}
+
 std::vector<std::string> Config::keys() const {
   std::vector<std::string> out;
   out.reserve(values_.size());

@@ -40,6 +40,26 @@ class Config {
   // Sorted list of keys (for help / dump output).
   [[nodiscard]] std::vector<std::string> keys() const;
 
+  // ----- environment knobs (EB_*) -------------------------------------
+  // The EB_* environment variables (EB_THREADS, EB_KERNEL, EB_TUNE_CACHE)
+  // are the process-wide counterparts of key=value flags; these helpers
+  // give them the same strictness from_args has.
+
+  // Value of environment variable `name`, or `fallback` when unset or
+  // empty (empty-set is treated as unset so `EB_KERNEL= ./bin` clears an
+  // exported value).
+  [[nodiscard]] static std::string env_string(const char* name,
+                                              const std::string& fallback);
+
+  // Strict-choice environment variable, mirroring from_args strict mode:
+  // unset/empty returns `fallback`; a set value must be one of `allowed`
+  // or an eb::Error is raised naming the variable, the bad value and the
+  // accepted list. A mistyped EB_KERNEL must fail loudly instead of
+  // silently running the default kernel.
+  [[nodiscard]] static std::string env_choice(
+      const char* name, const std::vector<std::string>& allowed,
+      const std::string& fallback);
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/bitvec.hpp"
 #include "common/config.hpp"
@@ -287,6 +288,42 @@ TEST(Config, StrictModeRejectsUnknownKeys) {
                            "mode=smoke"};
   EXPECT_EQ(Config::from_args(4, skipped, allowed).get_string("mode", ""),
             "smoke");
+}
+
+TEST(Config, EnvStringFallsBackOnUnsetAndEmpty) {
+  ASSERT_EQ(unsetenv("EB_TEST_ENV_STRING"), 0);
+  EXPECT_EQ(Config::env_string("EB_TEST_ENV_STRING", "dflt"), "dflt");
+  ASSERT_EQ(setenv("EB_TEST_ENV_STRING", "", 1), 0);
+  EXPECT_EQ(Config::env_string("EB_TEST_ENV_STRING", "dflt"), "dflt");
+  ASSERT_EQ(setenv("EB_TEST_ENV_STRING", "value", 1), 0);
+  EXPECT_EQ(Config::env_string("EB_TEST_ENV_STRING", "dflt"), "value");
+  ASSERT_EQ(unsetenv("EB_TEST_ENV_STRING"), 0);
+}
+
+TEST(Config, EnvChoiceAcceptsListedValuesAndFallsBack) {
+  const std::vector<std::string> allowed = {"alpha", "beta"};
+  ASSERT_EQ(unsetenv("EB_TEST_ENV_CHOICE"), 0);
+  EXPECT_EQ(Config::env_choice("EB_TEST_ENV_CHOICE", allowed, ""), "");
+  ASSERT_EQ(setenv("EB_TEST_ENV_CHOICE", "beta", 1), 0);
+  EXPECT_EQ(Config::env_choice("EB_TEST_ENV_CHOICE", allowed, ""), "beta");
+  ASSERT_EQ(unsetenv("EB_TEST_ENV_CHOICE"), 0);
+}
+
+TEST(Config, EnvChoiceRejectsUnknownValueNamingTheAcceptedList) {
+  // Mirrors from_args strict mode: a mistyped EB_* value must fail
+  // loudly, naming the variable, the bad value and the accepted list.
+  const std::vector<std::string> allowed = {"alpha", "beta"};
+  ASSERT_EQ(setenv("EB_TEST_ENV_CHOICE", "gamma", 1), 0);
+  try {
+    static_cast<void>(Config::env_choice("EB_TEST_ENV_CHOICE", allowed, ""));
+    FAIL() << "unknown env value accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("EB_TEST_ENV_CHOICE"), std::string::npos) << what;
+    EXPECT_NE(what.find("gamma"), std::string::npos) << what;
+    EXPECT_NE(what.find("alpha, beta"), std::string::npos) << what;
+  }
+  ASSERT_EQ(unsetenv("EB_TEST_ENV_CHOICE"), 0);
 }
 
 // ------------------------------------------------------------------ rng --
