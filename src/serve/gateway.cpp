@@ -384,7 +384,8 @@ GatewaySnapshot Gateway::metrics() const {
   }
   s.models.reserve(entries.size());
   for (const auto& e : entries) {
-    s.models.push_back(ModelSnapshot{e->id, e->weight, e->server->metrics()});
+    s.models.push_back(
+        ModelSnapshot{e->id, e->weight, e->input_size, e->server->metrics()});
   }
   return s;
 }

@@ -107,6 +107,10 @@ struct GatewayConfig {
 struct ModelSnapshot {
   std::string id;                 ///< Registry name.
   double weight = 1.0;            ///< ModelConfig::weight.
+  /// ModelConfig::input_size after auto-derivation (0 = unchecked).
+  /// Exported over the wire stats frame so a balancer can run the
+  /// admission-time shape gate before picking a replica.
+  std::size_t input_size = 0;
   MetricsSnapshot server;         ///< The model server's own metrics.
 };
 

@@ -1,0 +1,112 @@
+// gateway_replica: one runnable gateway replica process.
+//
+// Serves the demo model pair ("mlp-a" 128->128->10, "mlp-b" 96->96->8,
+// both built deterministically from RngStream(seed)) behind a Gateway +
+// TcpFrontend, so N spawned copies with the same seed are byte-identical
+// replicas -- the unit serve::Balancer fans out over, and what the
+// fork/exec integration test (tests/test_balancer.cpp) and
+// bench/balancer_load spawn.
+//
+// Flags (key=value):
+//   port=N        TCP port; 0 (default) picks an ephemeral port.
+//   port_file=P   Write the bound port to P (atomic tmp+rename), so a
+//                 spawner using port=0 can discover it without races.
+//   seed=N        Model-weight seed (default 17; all replicas must match).
+//   threads=N     Gateway pool threads (0 = EB_THREADS / hw concurrency).
+//   event_loops=N Frontend epoll loops (default 1).
+//
+// Prints "LISTENING <port>" on stdout once serving, then waits for
+// SIGTERM/SIGINT and shuts down gracefully (draining the gateway).
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "bnn/model_zoo.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "serve/gateway.hpp"
+#include "serve/tcp_frontend.hpp"
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+namespace {
+
+// Atomic port publication: write to a temp file, then rename into
+// place, so a polling spawner never reads a half-written file.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return;
+  }
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eb::Config cfg;
+  try {
+    cfg = eb::Config::from_args(
+        argc, argv, {"port", "port_file", "seed", "threads", "event_loops"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gateway_replica: %s\n", e.what());
+    return 2;
+  }
+
+  // Block the shutdown signals before any thread starts, so every
+  // gateway/frontend thread inherits the mask and sigwait() below is
+  // the only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+#ifdef __linux__
+  // Die with the spawner: an integration test or bench that crashes
+  // must not leak orphan replicas into the CI runner.
+  ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+#endif
+
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 17));
+  eb::RngStream model_rng(seed);
+  // Construction order matters: both nets draw from one stream, so any
+  // in-process reference must build them in this exact order.
+  const eb::bnn::Network net_a =
+      eb::bnn::build_mlp("replica-mlp-a", {128, 128, 10}, model_rng);
+  const eb::bnn::Network net_b =
+      eb::bnn::build_mlp("replica-mlp-b", {96, 96, 8}, model_rng);
+
+  eb::serve::GatewayConfig gcfg;
+  gcfg.pool_threads =
+      static_cast<std::size_t>(cfg.get_int("threads", 0));
+  eb::serve::Gateway gateway(gcfg);
+  gateway.register_model("mlp-a", net_a);
+  gateway.register_model("mlp-b", net_b);
+
+  eb::serve::TcpFrontendConfig fcfg;
+  fcfg.port = static_cast<std::uint16_t>(cfg.get_int("port", 0));
+  fcfg.event_loops =
+      static_cast<std::size_t>(cfg.get_int("event_loops", 1));
+  eb::serve::TcpFrontend frontend(gateway, fcfg);
+
+  const std::string port_file = cfg.get_string("port_file", "");
+  if (!port_file.empty()) {
+    write_port_file(port_file, frontend.port());
+  }
+  std::printf("LISTENING %u\n", static_cast<unsigned>(frontend.port()));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("SHUTDOWN signal=%d\n", sig);
+  std::fflush(stdout);
+  frontend.shutdown();
+  gateway.shutdown();
+  return 0;
+}

@@ -1,0 +1,155 @@
+/// \file
+/// \brief Pipelined nonblocking wire client for one gateway replica:
+/// the connection half of serve::Balancer.
+///
+/// One ReplicaClient owns one TCP connection to one replica process
+/// (a Gateway behind a TcpFrontend) and a background I/O thread that
+/// drives it with poll(2): outbound request frames drain from a queue
+/// fed by submit(), inbound bytes reassemble into frames demultiplexed
+/// by wire::peek_type -- type-2 responses matched to their callbacks by
+/// the echoed request id (ids are assigned internally, so any number of
+/// requests pipeline on the one connection), pongs feeding the health
+/// check, stats responses cached for the balancer's load scoring.
+///
+/// Health + death semantics: the thread pings every `ping_interval_ms`
+/// and polls stats on the same cadence; a connection with no pong for
+/// `ping_timeout_ms`, a failed read/write, a peer close or any
+/// stream-desyncing frame is torn down. Teardown fails every in-flight
+/// request through its death handler (the balancer's retry hook) --
+/// exactly once, in submission order -- and, when `reconnect` is set,
+/// the thread dials again after `reconnect_backoff_ms`. submit() on a
+/// disconnected client returns false immediately, so callers never
+/// queue into a dead socket.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/wire.hpp"
+
+namespace eb::serve {
+
+/// Where a replica listens (IPv4).
+struct ReplicaAddress {
+  std::string host = "127.0.0.1";  ///< Dotted quad.
+  std::uint16_t port = 0;          ///< TcpFrontend::port() of the replica.
+};
+
+/// ReplicaClient knobs.
+struct ReplicaClientConfig {
+  ReplicaAddress address;  ///< The replica to dial.
+  /// connect(2) give-up time per dial attempt.
+  std::uint32_t connect_timeout_ms = 1000;
+  /// Pause between dial attempts while disconnected.
+  std::uint32_t reconnect_backoff_ms = 200;
+  /// Ping + stats-poll cadence while connected.
+  std::uint32_t ping_interval_ms = 100;
+  /// No pong for this long marks the replica dead (0 = never).
+  std::uint32_t ping_timeout_ms = 1000;
+  /// Dial again after a lost connection. false = stay dead (tests).
+  bool reconnect = true;
+};
+
+/// One pipelined connection to one gateway replica. Thread-safe:
+/// submit() may be called from any thread; handlers run on the
+/// client's I/O thread and must not block it for long.
+class ReplicaClient {
+ public:
+  /// Receives the decoded response for one submitted request.
+  using ResponseHandler = std::function<void(wire::ResponseFrame)>;
+  /// Runs instead of the ResponseHandler when the connection died with
+  /// the request still in flight (the balancer's retry hook).
+  using DeathHandler = std::function<void()>;
+
+  /// Starts the I/O thread (dialing begins immediately).
+  explicit ReplicaClient(ReplicaClientConfig cfg);
+  /// shutdown() if still running.
+  ~ReplicaClient();
+
+  ReplicaClient(const ReplicaClient&) = delete;             ///< Owns a thread.
+  ReplicaClient& operator=(const ReplicaClient&) = delete;  ///< Owns a thread.
+
+  /// Queues one request frame (req.request_id is overwritten with an
+  /// internally-assigned id). Returns true when the request is on the
+  /// wire queue -- exactly one of `on_response` / `on_death` will then
+  /// run later, on the I/O thread. Returns false (neither handler runs)
+  /// when the client is disconnected or shut down.
+  bool submit(wire::RequestFrame req, ResponseHandler on_response,
+              DeathHandler on_death);
+
+  /// True while the connection is established and healthy.
+  [[nodiscard]] bool alive() const;
+  /// Requests submitted but not yet answered or failed.
+  [[nodiscard]] std::size_t in_flight() const;
+  /// Latest stats response from the replica (value-initialized until
+  /// has_stats()); the balancer's load + shape-gate signal.
+  [[nodiscard]] wire::StatsFrame stats() const;
+  /// True once at least one stats response arrived.
+  [[nodiscard]] bool has_stats() const;
+  /// The address this client dials.
+  [[nodiscard]] const ReplicaAddress& address() const {
+    return cfg_.address;
+  }
+
+  /// Lifetime counters (monotonic, exact once traffic quiesces).
+  struct Counters {
+    std::size_t connects = 0;   ///< Successful dials.
+    std::size_t deaths = 0;     ///< Connection teardowns.
+    std::size_t requests = 0;   ///< Frames accepted by submit().
+    std::size_t responses = 0;  ///< Type-2 responses delivered.
+    std::size_t failed = 0;     ///< In-flight requests failed by a death.
+    std::size_t pongs = 0;      ///< Health-check pongs received.
+  };
+  /// Snapshot of the lifetime counters.
+  [[nodiscard]] Counters counters() const;
+
+  /// Tears the connection down (failing in-flight requests through
+  /// their death handlers) and joins the I/O thread. Idempotent.
+  void shutdown();
+
+ private:
+  struct Pending {
+    ResponseHandler on_response;
+    DeathHandler on_death;
+  };
+
+  void thread_main();
+  bool dial();
+  void io_loop();
+  void teardown();
+  void wake();
+
+  ReplicaClientConfig cfg_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  bool connected_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  std::deque<std::vector<std::uint8_t>> outq_;
+  wire::StatsFrame last_stats_;
+  bool have_stats_ = false;
+
+  int wake_fd_ = -1;  // eventfd; created once, lives as long as the client
+
+  std::atomic<std::size_t> connects_{0};
+  std::atomic<std::size_t> deaths_{0};
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> responses_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::atomic<std::size_t> pongs_{0};
+
+  std::thread thread_;
+  std::mutex join_mu_;
+  bool joined_ = false;
+};
+
+}  // namespace eb::serve

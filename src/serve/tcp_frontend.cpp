@@ -36,6 +36,36 @@ constexpr auto kScanPeriod = std::chrono::milliseconds(100);
 
 }  // namespace
 
+void GatewayWireService::submit_async(const std::string& model,
+                                      bnn::Tensor input, DeadlineClass cls,
+                                      std::uint64_t deadline_us,
+                                      Completion done) {
+  gateway_.submit_async(model, std::move(input), cls, deadline_us,
+                        std::move(done));
+}
+
+void GatewayWireService::fill_stats(wire::StatsFrame& out) {
+  const GatewaySnapshot s = gateway_.metrics();
+  out.submitted = s.submitted;
+  out.completed = s.completed;
+  out.rejected = s.rejected;
+  out.deadline_exceeded = s.deadline_exceeded;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    out.errors += s.errors[c];
+    out.invalid += s.invalid[c];
+    out.queue_depth += s.classes[c].queue_depth;
+  }
+  out.models.reserve(s.models.size());
+  for (const auto& m : s.models) {
+    wire::StatsModel sm;
+    sm.id = m.id;
+    sm.input_size = m.input_size;
+    sm.queue_depth = m.server.queue_depth;
+    sm.completed = m.server.completed;
+    out.models.push_back(std::move(sm));
+  }
+}
+
 /// Stats + config shared with completion callbacks, which may outlive
 /// the frontend object itself (a drained gateway fulfils them late).
 /// All counters are relaxed atomics: the hot path (one increment per
@@ -48,6 +78,8 @@ struct TcpFrontend::Shared {
   std::atomic<std::size_t> requests{0};
   std::atomic<std::size_t> responses{0};
   std::atomic<std::size_t> malformed{0};
+  std::atomic<std::size_t> pings{0};
+  std::atomic<std::size_t> stats_requests{0};
   std::atomic<std::size_t> batched_frames{0};
   std::atomic<std::size_t> chunked_responses{0};
   std::atomic<std::size_t> bytes_read{0};
@@ -186,8 +218,8 @@ struct TcpFrontend::Connection
 /// deals accepted connections round-robin across all loops.
 class TcpFrontend::Loop {
  public:
-  Loop(Gateway& gateway, std::shared_ptr<Shared> shared, int listen_fd)
-      : gateway_(gateway), shared_(std::move(shared)),
+  Loop(WireService& service, std::shared_ptr<Shared> shared, int listen_fd)
+      : service_(service), shared_(std::move(shared)),
         listen_fd_(listen_fd), ls_(std::make_shared<LoopShared>()) {
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
     EB_REQUIRE(epoll_fd_ >= 0, "epoll_create1() failed");
@@ -453,6 +485,24 @@ class TcpFrontend::Loop {
   bool parse_frames(const std::shared_ptr<Connection>& conn) {
     auto& buf = conn->rbuf;
     while (conn->rpos < buf.size()) {
+      // Demultiplex by peeked type first: ping and stats frames are
+      // served inline on the loop thread (they never enter the gateway),
+      // everything else -- including garbage peek_type rejects, which
+      // decode_request re-classifies with the same status -- takes the
+      // request path below.
+      std::uint8_t type = 0;
+      const wire::DecodeStatus pk = wire::peek_type(
+          buf.data() + conn->rpos, buf.size() - conn->rpos, type);
+      if (pk == wire::DecodeStatus::kNeedMoreData) {
+        return false;
+      }
+      if (pk == wire::DecodeStatus::kOk &&
+          (type == wire::kTypePing || type == wire::kTypeStats)) {
+        if (!handle_control_frame(conn, type)) {
+          return false;  // frame still incomplete
+        }
+        continue;
+      }
       wire::RequestFrame req;
       std::size_t consumed = 0;
       const wire::DecodeStatus st = wire::decode_request(
@@ -496,6 +546,76 @@ class TcpFrontend::Loop {
     return false;
   }
 
+  /// Decodes + answers one type-5/type-6 frame at conn->rpos (the type
+  /// was already peeked). Returns false when the frame is still
+  /// incomplete (kNeedMoreData); otherwise advances the read cursor --
+  /// a malformed body is answered with an id-0 error response and
+  /// skipped, exactly like a content-malformed request, since peek_type
+  /// already proved the envelope (and thus the boundary) is sound.
+  bool handle_control_frame(const std::shared_ptr<Connection>& conn,
+                            std::uint8_t type) {
+    auto& buf = conn->rbuf;
+    const std::uint8_t* p = buf.data() + conn->rpos;
+    const std::size_t avail = buf.size() - conn->rpos;
+    std::size_t consumed = 0;
+    bool ok = false;
+    std::uint64_t echo_id = 0;
+    std::vector<std::uint8_t> reply;
+    if (type == wire::kTypePing) {
+      wire::PingFrame ping;
+      const wire::DecodeStatus st = wire::decode_ping(p, avail, ping,
+                                                      consumed);
+      if (st == wire::DecodeStatus::kNeedMoreData) {
+        return false;
+      }
+      // A pong sent at the server is answered too (harmless echo), so
+      // a misdirected health probe still proves liveness.
+      if (st == wire::DecodeStatus::kOk) {
+        ok = true;
+        ping.pong = true;
+        reply = wire::encode_ping(ping);
+        shared_->pings.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      wire::StatsFrame stats;
+      const wire::DecodeStatus st = wire::decode_stats(p, avail, stats,
+                                                       consumed);
+      if (st == wire::DecodeStatus::kNeedMoreData) {
+        return false;
+      }
+      // A server-bound stats *response* is well-formed but nonsensical
+      // here; reject it like a malformed body (id still echoable).
+      if (st == wire::DecodeStatus::kOk && !stats.response) {
+        ok = true;
+        wire::StatsFrame out;
+        out.response = true;
+        out.request_id = stats.request_id;
+        service_.fill_stats(out);
+        reply = wire::encode_stats(out);
+        shared_->stats_requests.fetch_add(1, std::memory_order_relaxed);
+      } else if (st == wire::DecodeStatus::kOk) {
+        echo_id = stats.request_id;
+      }
+    }
+    if (ok) {
+      std::vector<Connection::OutEntry> one;
+      one.push_back({false, std::move(reply)});
+      if (conn->enqueue(std::move(one))) {
+        shared_->responses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shared_->dropped_responses.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      shared_->malformed.fetch_add(1, std::memory_order_relaxed);
+      wire::ResponseFrame err;
+      err.request_id = echo_id;
+      err.status = Status::kInvalidArgument;
+      send_response(conn, err);
+    }
+    conn->rpos += consumed;
+    return true;
+  }
+
   /// Hands one decoded request to the gateway. The completion callback
   /// owns everything it touches (shared_ptrs), so a late completion
   /// after this frontend is torn down is safe -- it counts a dropped
@@ -504,7 +624,7 @@ class TcpFrontend::Loop {
               wire::RequestFrame req) {
     const std::uint64_t id = req.request_id;
     auto shared = shared_;
-    gateway_.submit_async(
+    service_.submit_async(
         req.model_id, std::move(req.tensor), req.cls, req.deadline_us,
         [conn, shared, id](Result r) {
           // Runs on a model-server worker thread: an escaping exception
@@ -804,7 +924,7 @@ class TcpFrontend::Loop {
     shared_->open_conns.fetch_sub(1, std::memory_order_relaxed);
   }
 
-  Gateway& gateway_;
+  WireService& service_;
   std::shared_ptr<Shared> shared_;
   int epoll_fd_ = -1;
   int listen_fd_ = -1;  ///< -1 on every loop but loop 0.
@@ -817,7 +937,17 @@ class TcpFrontend::Loop {
 };
 
 TcpFrontend::TcpFrontend(Gateway& gateway, TcpFrontendConfig cfg)
-    : gateway_(gateway), shared_(std::make_shared<Shared>()) {
+    : owned_service_(std::make_unique<GatewayWireService>(gateway)),
+      service_(*owned_service_), shared_(std::make_shared<Shared>()) {
+  start(std::move(cfg));
+}
+
+TcpFrontend::TcpFrontend(WireService& service, TcpFrontendConfig cfg)
+    : service_(service), shared_(std::make_shared<Shared>()) {
+  start(std::move(cfg));
+}
+
+void TcpFrontend::start(TcpFrontendConfig cfg) {
   if (cfg.event_loops == 0) {
     cfg.event_loops = 1;
   }
@@ -851,7 +981,7 @@ TcpFrontend::TcpFrontend(Gateway& gateway, TcpFrontendConfig cfg)
 
   loops_.reserve(cfg.event_loops);
   for (std::size_t i = 0; i < cfg.event_loops; ++i) {
-    loops_.push_back(std::make_unique<Loop>(gateway_, shared_,
+    loops_.push_back(std::make_unique<Loop>(service_, shared_,
                                             i == 0 ? listen_fd_ : -1));
   }
   std::vector<Loop*> targets;
@@ -874,6 +1004,9 @@ TcpFrontend::Stats TcpFrontend::stats() const {
   s.requests = shared_->requests.load(std::memory_order_relaxed);
   s.responses = shared_->responses.load(std::memory_order_relaxed);
   s.malformed = shared_->malformed.load(std::memory_order_relaxed);
+  s.pings = shared_->pings.load(std::memory_order_relaxed);
+  s.stats_requests =
+      shared_->stats_requests.load(std::memory_order_relaxed);
   s.batched_frames =
       shared_->batched_frames.load(std::memory_order_relaxed);
   s.chunked_responses =

@@ -1,7 +1,8 @@
 /// \file
-/// \brief Event-driven socket frontend for serve::Gateway: epoll loops
-/// over nonblocking sockets, speaking the framed wire protocol in
-/// serve/wire.hpp with full request pipelining.
+/// \brief Event-driven socket frontend for serve::Gateway (or any
+/// WireService): epoll loops over nonblocking sockets, speaking the
+/// framed wire protocol in serve/wire.hpp with full request pipelining,
+/// ping health checks and stats export.
 ///
 /// Architecture: `cfg.event_loops` threads each run an epoll(7) loop.
 /// Loop 0 owns the listening socket and accepts until EAGAIN; accepted
@@ -10,7 +11,8 @@
 /// reassembly buffer with a read cursor (compacted periodically, not
 /// per-recv), whole frames are peeled off and decoded with the
 /// bounds-checked wire::decode_request, and good requests go to
-/// Gateway::submit_async. The completion callback -- running on a
+/// WireService::submit_async (a Gateway, via the adapter, or a
+/// Balancer). The completion callback -- running on a
 /// model-server worker thread, possibly out of request order -- encodes
 /// the response and appends it to the connection's outbound queue, then
 /// wakes the owning loop via an eventfd; the loop flushes with
@@ -35,6 +37,13 @@
 /// response with id 0 and then the connection is flushed and closed,
 /// because nothing after it can be trusted.
 ///
+/// Besides type-1 requests a connection may interleave type-5 pings
+/// (answered inline on the loop thread with a pong echoing the nonce --
+/// the health probe serve::Balancer uses to mark replicas dead) and
+/// type-6 stats requests (answered with the service's stats digest).
+/// Both are served even while the gateway is saturated, since neither
+/// enters the admission queues.
+///
 /// Scope: loopback/LAN transport for tests and benches (now C10K-capable
 /// -- see bench/frontend_load.cpp), still plain TCP, no TLS, no auth.
 #pragma once
@@ -48,8 +57,42 @@
 #include <vector>
 
 #include "serve/gateway.hpp"
+#include "serve/wire.hpp"
 
 namespace eb::serve {
+
+/// What a TcpFrontend serves: anything that can take an async request
+/// and describe itself in a stats frame. Gateway is the canonical
+/// implementation (via the adapting TcpFrontend constructor);
+/// serve::Balancer implements it too, so a balancer tier is fronted by
+/// the exact same socket machinery as a replica.
+class WireService {
+ public:
+  virtual ~WireService() = default;
+  /// Submits one request; `done` must run exactly once with the
+  /// terminal Result (same contract as Gateway::submit_async).
+  virtual void submit_async(const std::string& model, bnn::Tensor input,
+                            DeadlineClass cls, std::uint64_t deadline_us,
+                            Completion done) = 0;
+  /// Fills `out` with the service's current counters + model list. The
+  /// caller has already set `out.request_id` and `out.response`.
+  virtual void fill_stats(wire::StatsFrame& out) = 0;
+};
+
+/// Adapts a Gateway to the WireService interface: submit_async forwards
+/// verbatim, fill_stats digests Gateway::metrics() into a wire frame.
+class GatewayWireService final : public WireService {
+ public:
+  /// The gateway must outlive the adapter.
+  explicit GatewayWireService(Gateway& gateway) : gateway_(gateway) {}
+  void submit_async(const std::string& model, bnn::Tensor input,
+                    DeadlineClass cls, std::uint64_t deadline_us,
+                    Completion done) override;
+  void fill_stats(wire::StatsFrame& out) override;
+
+ private:
+  Gateway& gateway_;
+};
 
 /// Listener knobs.
 struct TcpFrontendConfig {
@@ -73,12 +116,16 @@ struct TcpFrontendConfig {
 };
 
 /// The socket frontend. Constructing it binds + listens + starts the
-/// event loops; the gateway must outlive it.
+/// event loops; the gateway (or service) must outlive it.
 class TcpFrontend {
  public:
-  /// Binds and starts serving `gateway`. Throws eb::Error when the
-  /// socket cannot be created/bound.
+  /// Binds and starts serving `gateway` (via an internally-owned
+  /// GatewayWireService). Throws eb::Error when the socket cannot be
+  /// created/bound.
   explicit TcpFrontend(Gateway& gateway, TcpFrontendConfig cfg = {});
+  /// Binds and starts serving an arbitrary WireService (how a
+  /// serve::Balancer exposes itself over the wire).
+  explicit TcpFrontend(WireService& service, TcpFrontendConfig cfg = {});
   /// Graceful: shutdown() if still running.
   ~TcpFrontend();
 
@@ -96,6 +143,8 @@ class TcpFrontend {
     std::size_t requests = 0;     ///< Well-formed request frames.
     std::size_t responses = 0;    ///< Response frames written or queued.
     std::size_t malformed = 0;    ///< Rejected frames (both kinds).
+    std::size_t pings = 0;        ///< Type-5 pings answered with pongs.
+    std::size_t stats_requests = 0;  ///< Type-6 stats requests answered.
     std::size_t batched_frames = 0;   ///< Type-3 frames flushed.
     std::size_t chunked_responses = 0;  ///< Responses streamed as chunks.
     std::size_t bytes_read = 0;       ///< Raw bytes received.
@@ -123,7 +172,12 @@ class TcpFrontend {
   struct LoopShared;  // per-loop wakeup state shared with callbacks
   class Loop;         // one epoll loop: fd registry + thread body
 
-  Gateway& gateway_;
+  /// Shared ctor body: bind + listen + start the event loops.
+  void start(TcpFrontendConfig cfg);
+
+  /// Set (and owned) only by the Gateway convenience constructor.
+  std::unique_ptr<WireService> owned_service_;
+  WireService& service_;
   std::shared_ptr<Shared> shared_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -565,6 +565,148 @@ DecodeStatus decode_response_chunk(const std::uint8_t* data,
   return DecodeStatus::kOk;
 }
 
+std::vector<std::uint8_t> encode_ping(const PingFrame& ping) {
+  std::vector<std::uint8_t> out;
+  out.reserve(20);
+  put_u32(out, 0);  // length placeholder
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, kTypePing);
+  put_u8(out, ping.pong ? 1 : 0);
+  put_u8(out, 0);  // reserved
+  put_u64(out, ping.nonce);
+  seal_frame(out);
+  return out;
+}
+
+DecodeStatus decode_ping(const std::uint8_t* data, std::size_t size,
+                         PingFrame& out, std::size_t& consumed) {
+  consumed = 0;
+  Reader r{nullptr, 0};
+  std::size_t frame_size = 0;
+  const DecodeStatus head = open_frame(data, size, kTypePing, r, frame_size);
+  if (head != DecodeStatus::kOk) {
+    if (head != DecodeStatus::kNeedMoreData &&
+        head != DecodeStatus::kTooLarge) {
+      consumed = frame_size;
+    }
+    return head;
+  }
+  PingFrame p;
+  const std::uint8_t kind = r.get_u8();
+  (void)r.get_u8();  // reserved
+  p.nonce = r.get_u64();
+  if (!r.ok || kind > 1 || r.remaining != 0) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;
+  }
+  p.pong = kind == 1;
+  out = p;
+  consumed = frame_size;
+  return DecodeStatus::kOk;
+}
+
+std::vector<std::uint8_t> encode_stats(const StatsFrame& stats) {
+  std::vector<std::uint8_t> out;
+  out.reserve(96 + 48 * stats.models.size());
+  put_u32(out, 0);  // length placeholder
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, kTypeStats);
+  put_u8(out, stats.response ? 1 : 0);
+  put_u8(out, 0);  // reserved
+  put_u64(out, stats.request_id);
+  if (stats.response) {
+    put_u64(out, stats.submitted);
+    put_u64(out, stats.completed);
+    put_u64(out, stats.rejected);
+    put_u64(out, stats.deadline_exceeded);
+    put_u64(out, stats.errors);
+    put_u64(out, stats.invalid);
+    put_u64(out, stats.queue_depth);
+    EB_REQUIRE(stats.models.size() <= UINT16_MAX,
+               "stats frame must hold <= 65535 models");
+    put_u16(out, static_cast<std::uint16_t>(stats.models.size()));
+    for (const auto& m : stats.models) {
+      EB_REQUIRE(!m.id.empty() && m.id.size() <= UINT16_MAX,
+                 "model id must be 1..65535 bytes");
+      put_u16(out, static_cast<std::uint16_t>(m.id.size()));
+      out.insert(out.end(), m.id.begin(), m.id.end());
+      put_u64(out, m.input_size);
+      put_u64(out, m.queue_depth);
+      put_u64(out, m.completed);
+    }
+  }
+  seal_frame(out);
+  return out;
+}
+
+DecodeStatus decode_stats(const std::uint8_t* data, std::size_t size,
+                          StatsFrame& out, std::size_t& consumed) {
+  consumed = 0;
+  Reader r{nullptr, 0};
+  std::size_t frame_size = 0;
+  const DecodeStatus head = open_frame(data, size, kTypeStats, r, frame_size);
+  if (head != DecodeStatus::kOk) {
+    if (head != DecodeStatus::kNeedMoreData &&
+        head != DecodeStatus::kTooLarge) {
+      consumed = frame_size;
+    }
+    return head;
+  }
+  StatsFrame s;
+  const std::uint8_t kind = r.get_u8();
+  (void)r.get_u8();  // reserved
+  s.request_id = r.get_u64();
+  if (!r.ok || kind > 1) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;
+  }
+  if (kind == 0) {
+    if (r.remaining != 0) {
+      consumed = frame_size;
+      return DecodeStatus::kMalformed;  // a request body ends after the id
+    }
+    out = std::move(s);
+    consumed = frame_size;
+    return DecodeStatus::kOk;
+  }
+  s.response = true;
+  s.submitted = r.get_u64();
+  s.completed = r.get_u64();
+  s.rejected = r.get_u64();
+  s.deadline_exceeded = r.get_u64();
+  s.errors = r.get_u64();
+  s.invalid = r.get_u64();
+  s.queue_depth = r.get_u64();
+  const std::uint16_t count = r.get_u16();
+  if (!r.ok) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;
+  }
+  s.models.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    StatsModel m;
+    const std::uint16_t id_len = r.get_u16();
+    m.id = r.get_bytes(id_len);
+    m.input_size = r.get_u64();
+    m.queue_depth = r.get_u64();
+    m.completed = r.get_u64();
+    if (!r.ok || id_len == 0) {
+      consumed = frame_size;
+      return DecodeStatus::kMalformed;
+    }
+    s.models.push_back(std::move(m));
+  }
+  if (r.remaining != 0) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;  // trailing bytes after last model
+  }
+  out = std::move(s);
+  consumed = frame_size;
+  return DecodeStatus::kOk;
+}
+
 DecodeStatus peek_type(const std::uint8_t* data, std::size_t size,
                        std::uint8_t& type_out) {
   if (size < 10) {  // prefix + magic + version + type

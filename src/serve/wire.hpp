@@ -35,6 +35,25 @@
 ///     └──────────────┴───────────┴───────────────────────────────────┘
 ///     *header (seq == 0 only): f64 queue_us | f64 total_us | u8 ndims
 ///      | u32 dims[];  chunk flags: bit 0 = last chunk of the response.
+///     body (ping, type = 5; v2+):
+///     ┌───────────┬────────┬──────┬─────────┬─────────┬───────────────┐
+///     │ u32 MAGIC │ u8 ver │ u8 5 │ u8 kind │ u8 rsvd │ u64 nonce     │
+///     └───────────┴────────┴──────┴─────────┴─────────┴───────────────┘
+///     kind: 0 = ping, 1 = pong. A server answers a ping with a pong
+///     carrying the same nonce; the sender matches pongs by nonce.
+///     body (stats, type = 6; v2+):
+///     ┌───────────┬────────┬──────┬─────────┬─────────┬───────────────┐
+///     │ u32 MAGIC │ u8 ver │ u8 6 │ u8 kind │ u8 rsvd │ u64 request_id│
+///     ├───────────┴────────┴──────┴─────────┴─────────┴───────────────┤
+///     │ kind 1 (response) only:  u64 submitted | completed | rejected │
+///     │  | deadline_exceeded | errors | invalid | queue_depth         │
+///     │  | u16 model_count | per model: u16 id_len + id               │
+///     │  | u64 input_size | u64 queue_depth | u64 completed           │
+///     └───────────────────────────────────────────────────────────────┘
+///     kind: 0 = request (body ends after request_id), 1 = response. The
+///     response echoes the request's id; a balancer uses the per-model
+///     input_size to run the admission-time shape gate client-side and
+///     the queue depths as its load signal.
 ///
 /// ## Pipelining contract
 ///
@@ -81,8 +100,8 @@ namespace eb::serve::wire {
 
 /// Frame magic ("EBGW" read as a little-endian u32).
 inline constexpr std::uint32_t kMagic = 0x57474245u;
-/// Protocol version this build speaks.
-inline constexpr std::uint8_t kVersion = 1;
+/// Protocol version this build speaks (v2 added ping + stats frames).
+inline constexpr std::uint8_t kVersion = 2;
 /// Frame-type byte.
 inline constexpr std::uint8_t kTypeRequest = 1;
 /// Frame-type byte.
@@ -91,6 +110,10 @@ inline constexpr std::uint8_t kTypeResponse = 2;
 inline constexpr std::uint8_t kTypeResponseBatch = 3;
 /// Frame-type byte: one slice of a chunked (streaming) response.
 inline constexpr std::uint8_t kTypeResponseChunk = 4;
+/// Frame-type byte: health-check ping/pong (nonce echo).
+inline constexpr std::uint8_t kTypePing = 5;
+/// Frame-type byte: gateway metrics request/response.
+inline constexpr std::uint8_t kTypeStats = 6;
 /// Request flag: the client understands type-3 batched response frames.
 inline constexpr std::uint8_t kFlagAcceptBatch = 0x01;
 /// Request flag: the client understands type-4 chunked response frames.
@@ -135,6 +158,39 @@ struct ChunkFrame {
   double total_us = 0.0;  ///< Valid on seq 0 only.
   std::vector<std::size_t> shape;      ///< Valid on seq 0 only.
   std::vector<std::uint8_t> payload;   ///< Raw little-endian f64 bytes.
+};
+
+/// A decoded type-5 health-check frame. A ping (`pong == false`) is
+/// answered with a pong carrying the same nonce; the sender matches
+/// pongs to pings solely by that echoed nonce.
+struct PingFrame {
+  std::uint64_t nonce = 0;  ///< Echoed verbatim in the pong.
+  bool pong = false;        ///< false = ping (query), true = pong (reply).
+};
+
+/// One model's slice of a type-6 stats response.
+struct StatsModel {
+  std::string id;                 ///< Registry name.
+  std::uint64_t input_size = 0;   ///< Declared request width; 0 = unchecked.
+  std::uint64_t queue_depth = 0;  ///< The model server's current backlog.
+  std::uint64_t completed = 0;    ///< Requests the model completed.
+};
+
+/// A decoded type-6 stats frame. The request carries only an id; the
+/// response echoes it plus a digest of the gateway's GatewaySnapshot --
+/// enough for a balancer to weight replicas (queue depths) and to run
+/// the admission-time shape gate client-side (per-model input_size).
+struct StatsFrame {
+  bool response = false;          ///< false = request, true = response.
+  std::uint64_t request_id = 0;   ///< Echoed verbatim in the response.
+  std::uint64_t submitted = 0;    ///< GatewaySnapshot::submitted.
+  std::uint64_t completed = 0;    ///< GatewaySnapshot::completed.
+  std::uint64_t rejected = 0;     ///< GatewaySnapshot::rejected.
+  std::uint64_t deadline_exceeded = 0;  ///< Sum over classes.
+  std::uint64_t errors = 0;       ///< kInternalError completions, summed.
+  std::uint64_t invalid = 0;      ///< kInvalidArgument completions, summed.
+  std::uint64_t queue_depth = 0;  ///< Admission-queue population, summed.
+  std::vector<StatsModel> models;  ///< Response only; sorted by id.
 };
 
 /// Decode outcome. Anything except kOk / kNeedMoreData means the frame is
@@ -204,12 +260,28 @@ enum class DecodeStatus {
                                                  std::size_t size,
                                                  ChunkFrame& out,
                                                  std::size_t& consumed);
+/// Serializes a ping/pong frame (length prefix included).
+[[nodiscard]] std::vector<std::uint8_t> encode_ping(const PingFrame& ping);
+/// Decodes one type-5 ping/pong frame; same contract as decode_request.
+[[nodiscard]] DecodeStatus decode_ping(const std::uint8_t* data,
+                                       std::size_t size, PingFrame& out,
+                                       std::size_t& consumed);
+/// Serializes a stats request or response (length prefix included). A
+/// request (`stats.response == false`) carries only the id; the model
+/// list and counters ride on responses.
+[[nodiscard]] std::vector<std::uint8_t> encode_stats(const StatsFrame& stats);
+/// Decodes one type-6 stats frame (either kind -- `out.response` tells
+/// which); same contract as decode_request.
+[[nodiscard]] DecodeStatus decode_stats(const std::uint8_t* data,
+                                        std::size_t size, StatsFrame& out,
+                                        std::size_t& consumed);
 
 /// Peeks the type byte of the frame at the front of [data, data + size)
 /// without decoding the body -- how a pipelined client demultiplexes
-/// type-2/3/4 response frames. Validates the length prefix, magic and
-/// version; kOk fills `type_out` (the frame may still fail its full
-/// decode later).
+/// type-2/3/4 response frames (plus pongs and stats responses), and how
+/// the server side routes ping/stats frames interleaved with requests.
+/// Validates the length prefix, magic and version; kOk fills `type_out`
+/// (the frame may still fail its full decode later).
 [[nodiscard]] DecodeStatus peek_type(const std::uint8_t* data,
                                      std::size_t size,
                                      std::uint8_t& type_out);

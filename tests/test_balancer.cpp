@@ -1,0 +1,590 @@
+// Balancer suite: the shared-nothing scale-out tier (serve::Balancer +
+// serve::ReplicaClient) over real gateway replicas.
+//
+// Contracts under test:
+//  * routing -- requests spread over N replicas come back byte-identical
+//    to an in-process net.forward reference (replicas are bit-exact
+//    copies, so the route taken must not be observable);
+//  * health + retries -- a replica dying mid-flight fails nothing: every
+//    in-flight request is retried on a live sibling and every accepted
+//    request resolves;
+//  * shape gate -- a wrong-shaped request fails exactly once with
+//    kInvalidArgument and never enters the retry loop, even when a
+//    replica is dead (the dead-replica-retry regression);
+//  * fail-loud -- with no live replica a request resolves kRejected
+//    immediately (the balancer never buffers for a future replica);
+//  * wire composition -- a TcpFrontend fronting the Balancer serves the
+//    same protocol the replicas speak, including aggregated stats;
+//  * fork/exec -- real `gateway_replica` processes spawned via
+//    posix_spawn: the port=0 + port_file handshake, graceful SIGTERM
+//    shutdown, and a 3-replica fleet with one SIGKILLed mid-load where
+//    every submitted request still resolves byte-identically.
+//
+// The fork/exec tests need EB_REPLICA_BIN (set by CMake to the built
+// gateway_replica); they skip when it is absent. CI runs this suite
+// under ASan/UBSan and TSan at EB_THREADS=1 and 4.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bnn/model_zoo.hpp"
+#include "bnn/network.hpp"
+#include "bnn/tensor.hpp"
+#include "common/rng.hpp"
+#include "serve/balancer.hpp"
+#include "serve/gateway.hpp"
+#include "serve/replica_client.hpp"
+#include "serve/tcp_frontend.hpp"
+#include "serve/wire.hpp"
+
+extern char** environ;
+
+namespace eb {
+namespace {
+
+using bnn::Network;
+using bnn::Tensor;
+using serve::Balancer;
+using serve::BalancerConfig;
+using serve::DeadlineClass;
+using serve::Gateway;
+using serve::GatewayConfig;
+using serve::ModelConfig;
+using serve::ReplicaClient;
+using serve::ReplicaClientConfig;
+using serve::Result;
+using serve::Status;
+using serve::TcpFrontend;
+using serve::TcpFrontendConfig;
+namespace wire = serve::wire;
+
+// A generous end-to-end deadline: these tests assert routing and
+// recovery, not latency budgets (sanitizer lanes are slow).
+constexpr std::uint64_t kDeadlineUs = 60'000'000;
+
+template <typename Pred>
+bool wait_until(Pred&& pred,
+                std::chrono::milliseconds timeout = std::chrono::seconds(5)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// The exact model pair gateway_replica serves, built in its exact
+// construction order (both nets draw from ONE stream).
+struct ReplicaModels {
+  Network net_a;
+  Network net_b;
+};
+
+ReplicaModels make_replica_models(std::uint64_t seed = 17) {
+  RngStream rng(seed);
+  Network a = bnn::build_mlp("replica-mlp-a", {128, 128, 10}, rng);
+  Network b = bnn::build_mlp("replica-mlp-b", {96, 96, 8}, rng);
+  return ReplicaModels{std::move(a), std::move(b)};
+}
+
+std::vector<Tensor> make_inputs(std::size_t n, std::size_t dim,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(Tensor::random_uniform({dim}, 1.0, rng));
+  }
+  return inputs;
+}
+
+void expect_tensors_equal(const Tensor& got, const Tensor& want,
+                          std::size_t sample) {
+  ASSERT_EQ(got.size(), want.size()) << "sample " << sample;
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    EXPECT_EQ(got[k], want[k]) << "sample " << sample << " elem " << k;
+  }
+}
+
+GatewayConfig no_deadline_gateway_config() {
+  GatewayConfig gcfg;
+  gcfg.pool_threads = 0;  // EB_THREADS-controlled: CI sweeps 1 and 4
+  for (auto& cls : gcfg.classes) {
+    cls.default_deadline_us = 0;
+  }
+  return gcfg;
+}
+
+/// One in-process replica: a Gateway + TcpFrontend pair serving the
+/// standard model pair, kill()-able by shutting the frontend down (the
+/// sockets close exactly as they do when a real replica process dies).
+struct LocalReplica {
+  LocalReplica(const Network& a, const Network& b)
+      : gw(no_deadline_gateway_config()) {
+    ModelConfig mcfg;
+    mcfg.server.max_batch = 8;
+    mcfg.server.batching_window_us = 200;
+    mcfg.server.workers = 2;
+    gw.register_model("mlp-a", a, mcfg);
+    gw.register_model("mlp-b", b, mcfg);
+    fe = std::make_unique<TcpFrontend>(gw, TcpFrontendConfig{});
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return fe->port(); }
+  void kill() { fe->shutdown(); }
+
+  Gateway gw;
+  std::unique_ptr<TcpFrontend> fe;
+};
+
+BalancerConfig fleet_config(const std::vector<std::uint16_t>& ports) {
+  BalancerConfig cfg;
+  for (const auto p : ports) {
+    cfg.replicas.push_back({"127.0.0.1", p});
+  }
+  // Fast stats so the load scores and the shape gate warm up quickly;
+  // a long pong budget so slow sanitizer lanes never false-positive.
+  cfg.client.ping_interval_ms = 20;
+  cfg.client.ping_timeout_ms = 5000;
+  // Dead stays dead: these tests assert death handling, not redial.
+  cfg.client.reconnect = false;
+  return cfg;
+}
+
+/// A loopback port with nothing listening on it (bind ephemeral, close).
+std::uint16_t unused_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+// ------------------------------------------------------------- routing --
+
+TEST(Balancer, SpreadsOverReplicasByteIdenticalToInProcessForward) {
+  const ReplicaModels models = make_replica_models();
+  LocalReplica r0(models.net_a, models.net_b);
+  LocalReplica r1(models.net_a, models.net_b);
+  LocalReplica r2(models.net_a, models.net_b);
+
+  Balancer lb(fleet_config({r0.port(), r1.port(), r2.port()}));
+  ASSERT_TRUE(lb.wait_ready(3, 5000));
+  EXPECT_EQ(lb.known_input_size("mlp-a"), 128u);
+  EXPECT_EQ(lb.known_input_size("mlp-b"), 96u);
+
+  const auto inputs_a = make_inputs(48, 128, 11);
+  const auto inputs_b = make_inputs(48, 96, 13);
+  std::vector<std::future<Result>> fut_a(inputs_a.size());
+  std::vector<std::future<Result>> fut_b(inputs_b.size());
+  for (std::size_t i = 0; i < inputs_a.size(); ++i) {
+    fut_a[i] = lb.submit("mlp-a", inputs_a[i], DeadlineClass::kInteractive,
+                         kDeadlineUs);
+    fut_b[i] =
+        lb.submit("mlp-b", inputs_b[i], DeadlineClass::kBatch, kDeadlineUs);
+  }
+  for (std::size_t i = 0; i < inputs_a.size(); ++i) {
+    Result ra = fut_a[i].get();
+    ASSERT_EQ(ra.status, Status::kOk)
+        << "a" << i << " " << serve::to_string(ra.status);
+    expect_tensors_equal(ra.output, models.net_a.forward(inputs_a[i]), i);
+    Result rb = fut_b[i].get();
+    ASSERT_EQ(rb.status, Status::kOk)
+        << "b" << i << " " << serve::to_string(rb.status);
+    expect_tensors_equal(rb.output, models.net_b.forward(inputs_b[i]), i);
+  }
+
+  const auto snap = lb.metrics();
+  EXPECT_EQ(snap.submitted, inputs_a.size() + inputs_b.size());
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.shape_gated, 0u);
+  ASSERT_EQ(snap.replicas.size(), 3u);
+  std::size_t routed = 0;
+  for (const auto& r : snap.replicas) {
+    EXPECT_TRUE(r.alive);
+    routed += r.requests;
+  }
+  EXPECT_GE(routed, snap.submitted);
+}
+
+// ------------------------------------------------------ death + retries --
+
+TEST(Balancer, ReplicaDeathMidFlightLosesNothing) {
+  const ReplicaModels models = make_replica_models();
+  LocalReplica r0(models.net_a, models.net_b);
+  LocalReplica r1(models.net_a, models.net_b);
+
+  // A deliberately slow third model so a deep in-flight backlog exists
+  // on both replicas when one is killed. Echo semantics keep the
+  // byte-identity check trivial and retry-idempotent.
+  const auto slow_echo = [](std::span<const Tensor> inputs, ThreadPool&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return std::vector<Tensor>(inputs.begin(), inputs.end());
+  };
+  ModelConfig echo_cfg;
+  echo_cfg.server.max_batch = 4;
+  echo_cfg.server.batching_window_us = 200;
+  echo_cfg.server.workers = 1;
+  r0.gw.register_model("echo", slow_echo, echo_cfg);
+  r1.gw.register_model("echo", slow_echo, echo_cfg);
+
+  Balancer lb(fleet_config({r0.port(), r1.port()}));
+  ASSERT_TRUE(lb.wait_ready(2, 5000));
+
+  const auto inputs = make_inputs(160, 16, 29);
+  std::vector<std::future<Result>> futs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    futs[i] =
+        lb.submit("echo", inputs[i], DeadlineClass::kInteractive, kDeadlineUs);
+  }
+  // Kill replica 0 while both replicas hold in-flight work.
+  ASSERT_TRUE(wait_until([&] {
+    const auto m = lb.metrics();
+    return m.replicas[0].in_flight > 0 && m.replicas[1].in_flight > 0;
+  }));
+  r0.kill();
+
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    Result r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk)
+        << i << " " << serve::to_string(r.status);
+    expect_tensors_equal(r.output, inputs[i], i);
+  }
+  const auto snap = lb.metrics();
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_GT(snap.retries, 0u);
+  EXPECT_FALSE(snap.replicas[0].alive);
+  EXPECT_GE(snap.replicas[0].deaths, 1u);
+  EXPECT_EQ(lb.alive_replicas(), 1u);
+}
+
+TEST(Balancer, NoLiveReplicaFailsFastWithRejected) {
+  BalancerConfig cfg = fleet_config({unused_port()});
+  cfg.client.connect_timeout_ms = 100;
+  Balancer lb(cfg);
+
+  Rng rng(31);
+  Result r = lb.submit("mlp-a", Tensor::random_uniform({128}, 1.0, rng),
+                       DeadlineClass::kInteractive, kDeadlineUs)
+                 .get();
+  EXPECT_EQ(r.status, Status::kRejected);
+  const auto snap = lb.metrics();
+  EXPECT_EQ(snap.submitted, 1u);
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.rejected, 1u);
+  EXPECT_EQ(lb.alive_replicas(), 0u);
+}
+
+// ----------------------------------------------------------- shape gate --
+
+TEST(Balancer, ShapeGatedRequestFailsExactlyOnceEvenWithADeadReplica) {
+  const ReplicaModels models = make_replica_models();
+  LocalReplica r0(models.net_a, models.net_b);
+  LocalReplica r1(models.net_a, models.net_b);
+
+  Balancer lb(fleet_config({r0.port(), r1.port()}));
+  ASSERT_TRUE(lb.wait_ready(2, 5000));
+  ASSERT_EQ(lb.known_input_size("mlp-a"), 128u);
+
+  // The regression scenario: one replica is already dead, so a request
+  // that reaches the fleet gets the retry machinery. A wrong-shaped
+  // request must never get that far -- exactly one completion, zero
+  // retries, zero sends.
+  r0.kill();
+  ASSERT_TRUE(wait_until([&] { return lb.alive_replicas() == 1; }));
+  const std::size_t sends_before =
+      lb.metrics().replicas[0].requests + lb.metrics().replicas[1].requests;
+
+  Rng rng(37);
+  std::atomic<int> calls{0};
+  std::promise<Result> prom;
+  auto fut = prom.get_future();
+  lb.submit_async("mlp-a", Tensor::random_uniform({5}, 1.0, rng),
+                  DeadlineClass::kInteractive, kDeadlineUs, [&](Result r) {
+                    calls.fetch_add(1);
+                    prom.set_value(std::move(r));
+                  });
+  EXPECT_EQ(fut.get().status, Status::kInvalidArgument);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(calls.load(), 1);
+
+  const auto snap = lb.metrics();
+  EXPECT_EQ(snap.shape_gated, 1u);
+  EXPECT_EQ(snap.retries, 0u);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.replicas[0].requests + snap.replicas[1].requests,
+            sends_before);
+
+  // The survivor still serves correctly-shaped traffic.
+  const auto good = make_inputs(1, 128, 41);
+  Result ok = lb.submit("mlp-a", good[0], DeadlineClass::kInteractive,
+                        kDeadlineUs)
+                  .get();
+  ASSERT_EQ(ok.status, Status::kOk);
+  expect_tensors_equal(ok.output, models.net_a.forward(good[0]), 0);
+}
+
+// ------------------------------------------------------ wire composition --
+
+TEST(Balancer, ServesBehindItsOwnTcpFrontend) {
+  const ReplicaModels models = make_replica_models();
+  LocalReplica r0(models.net_a, models.net_b);
+  LocalReplica r1(models.net_a, models.net_b);
+
+  Balancer lb(fleet_config({r0.port(), r1.port()}));
+  ASSERT_TRUE(lb.wait_ready(2, 5000));
+  TcpFrontend front(lb, TcpFrontendConfig{});
+
+  // Dial the balancer's frontend with the same client the balancer uses
+  // to dial replicas: the tiers speak one protocol.
+  ReplicaClientConfig ccfg;
+  ccfg.address = {"127.0.0.1", front.port()};
+  ccfg.ping_interval_ms = 20;
+  ReplicaClient client(ccfg);
+  ASSERT_TRUE(wait_until([&] { return client.alive() && client.has_stats(); }));
+
+  const auto inputs = make_inputs(8, 128, 43);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    wire::RequestFrame req;
+    req.model_id = "mlp-a";
+    req.cls = DeadlineClass::kInteractive;
+    req.deadline_us = kDeadlineUs;
+    req.tensor = inputs[i];
+    auto prom = std::make_shared<std::promise<wire::ResponseFrame>>();
+    auto fut = prom->get_future();
+    ASSERT_TRUE(client.submit(
+        req, [prom](wire::ResponseFrame resp) { prom->set_value(std::move(resp)); },
+        [prom] {
+          wire::ResponseFrame dead;
+          dead.status = Status::kInternalError;
+          prom->set_value(std::move(dead));
+        }));
+    wire::ResponseFrame resp = fut.get();
+    ASSERT_EQ(resp.status, Status::kOk) << i;
+    expect_tensors_equal(resp.tensor, models.net_a.forward(inputs[i]), i);
+  }
+
+  // The stats the client polled are the balancer's aggregate: both
+  // models present with the input sizes the shape gate learned.
+  const wire::StatsFrame s = client.stats();
+  ASSERT_EQ(s.models.size(), 2u);
+  EXPECT_EQ(s.models[0].id, "mlp-a");
+  EXPECT_EQ(s.models[0].input_size, 128u);
+  EXPECT_EQ(s.models[1].id, "mlp-b");
+  EXPECT_EQ(s.models[1].input_size, 96u);
+
+  const auto fstats = front.stats();
+  EXPECT_GT(fstats.pings, 0u);
+  EXPECT_GT(fstats.stats_requests, 0u);
+  client.shutdown();
+  front.shutdown();
+}
+
+// ------------------------------------------------------------ fork/exec --
+
+const char* replica_bin() { return std::getenv("EB_REPLICA_BIN"); }
+
+/// One spawned gateway_replica process. stdout/stderr go to
+/// `<tag>.log` in the working directory (CI uploads them on failure);
+/// the bound port arrives via the port_file handshake.
+struct SpawnedReplica {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::string log_file;
+
+  bool start(const std::string& tag) {
+    port_file = tag + ".port";
+    log_file = tag + ".log";
+    std::remove(port_file.c_str());
+
+    posix_spawn_file_actions_t fa;
+    posix_spawn_file_actions_init(&fa);
+    posix_spawn_file_actions_addopen(&fa, 1, log_file.c_str(),
+                                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    posix_spawn_file_actions_adddup2(&fa, 1, 2);
+    std::vector<std::string> args = {replica_bin(), "port=0",
+                                     "port_file=" + port_file, "seed=17"};
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) {
+      argv.push_back(a.data());
+    }
+    argv.push_back(nullptr);
+    const int rc =
+        ::posix_spawn(&pid, argv[0], &fa, nullptr, argv.data(), environ);
+    posix_spawn_file_actions_destroy(&fa);
+    if (rc != 0) {
+      pid = -1;
+      ADD_FAILURE() << "posix_spawn(" << args[0] << "): " << rc;
+      return false;
+    }
+    // Wait for the atomic tmp+rename publication of the bound port.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (std::FILE* f = std::fopen(port_file.c_str(), "r")) {
+        long p = 0;
+        const int got = std::fscanf(f, "%ld", &p);
+        std::fclose(f);
+        if (got == 1 && p > 0 && p <= 65535) {
+          port = static_cast<std::uint16_t>(p);
+          return true;
+        }
+      }
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        pid = -1;
+        ADD_FAILURE() << "replica exited before publishing a port; see "
+                      << log_file;
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "timed out waiting for " << port_file;
+    return false;
+  }
+
+  void kill_hard() {
+    if (pid <= 0) {
+      return;
+    }
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+  }
+
+  /// SIGTERM + reap; returns the raw waitpid status.
+  int terminate() {
+    if (pid <= 0) {
+      return -1;
+    }
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+    return status;
+  }
+
+  ~SpawnedReplica() {
+    kill_hard();
+    if (!port_file.empty()) {
+      std::remove(port_file.c_str());
+    }
+  }
+};
+
+TEST(BalancerForkExec, PortFileHandshakeAndGracefulShutdown) {
+  if (replica_bin() == nullptr) {
+    GTEST_SKIP() << "EB_REPLICA_BIN not set";
+  }
+  SpawnedReplica r;
+  ASSERT_TRUE(r.start("balancer_fx_handshake_r0"));
+  ASSERT_GT(r.port, 0u);
+
+  ReplicaClientConfig ccfg;
+  ccfg.address = {"127.0.0.1", r.port};
+  ccfg.ping_interval_ms = 20;
+  ReplicaClient client(ccfg);
+  ASSERT_TRUE(wait_until(
+      [&] { return client.alive() && client.has_stats(); },
+      std::chrono::seconds(15)));
+  const wire::StatsFrame s = client.stats();
+  ASSERT_EQ(s.models.size(), 2u);
+  EXPECT_EQ(s.models[0].id, "mlp-a");
+  EXPECT_EQ(s.models[0].input_size, 128u);
+  EXPECT_EQ(s.models[1].id, "mlp-b");
+  EXPECT_EQ(s.models[1].input_size, 96u);
+  EXPECT_GT(client.counters().pongs, 0u);
+  client.shutdown();
+
+  const int status = r.terminate();
+  ASSERT_TRUE(WIFEXITED(status)) << "status " << status;
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(BalancerForkExec, KillOneOfThreeMidLoadEveryRequestResolves) {
+  if (replica_bin() == nullptr) {
+    GTEST_SKIP() << "EB_REPLICA_BIN not set";
+  }
+  SpawnedReplica fleet[3];
+  ASSERT_TRUE(fleet[0].start("balancer_fx_kill_r0"));
+  ASSERT_TRUE(fleet[1].start("balancer_fx_kill_r1"));
+  ASSERT_TRUE(fleet[2].start("balancer_fx_kill_r2"));
+
+  Balancer lb(
+      fleet_config({fleet[0].port, fleet[1].port, fleet[2].port}));
+  ASSERT_TRUE(lb.wait_ready(3, 30'000));
+
+  // The in-process reference: bit-exact copies of what every replica
+  // serves (same seed, same construction order).
+  const ReplicaModels models = make_replica_models(17);
+  const auto inputs_a = make_inputs(120, 128, 21);
+  const auto inputs_b = make_inputs(120, 96, 23);
+
+  std::vector<std::future<Result>> fut_a(inputs_a.size());
+  std::vector<std::future<Result>> fut_b(inputs_b.size());
+  for (std::size_t i = 0; i < inputs_a.size(); ++i) {
+    fut_a[i] = lb.submit("mlp-a", inputs_a[i], DeadlineClass::kInteractive,
+                         kDeadlineUs);
+    fut_b[i] =
+        lb.submit("mlp-b", inputs_b[i], DeadlineClass::kBatch, kDeadlineUs);
+    if (i == 40) {
+      // SIGKILL one replica with traffic in flight: no goodbye, no
+      // flush -- the client sees a dead socket, exactly like a crash.
+      fleet[1].kill_hard();
+    }
+  }
+
+  for (std::size_t i = 0; i < inputs_a.size(); ++i) {
+    Result ra = fut_a[i].get();
+    ASSERT_EQ(ra.status, Status::kOk)
+        << "a" << i << " " << serve::to_string(ra.status);
+    expect_tensors_equal(ra.output, models.net_a.forward(inputs_a[i]), i);
+    Result rb = fut_b[i].get();
+    ASSERT_EQ(rb.status, Status::kOk)
+        << "b" << i << " " << serve::to_string(rb.status);
+    expect_tensors_equal(rb.output, models.net_b.forward(inputs_b[i]), i);
+  }
+
+  const auto snap = lb.metrics();
+  EXPECT_EQ(snap.submitted, inputs_a.size() + inputs_b.size());
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_FALSE(snap.replicas[1].alive);
+  EXPECT_GE(snap.replicas[1].deaths, 1u);
+  EXPECT_EQ(lb.alive_replicas(), 2u);
+}
+
+}  // namespace
+}  // namespace eb

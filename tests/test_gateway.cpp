@@ -615,6 +615,47 @@ TEST(Wire, MalformedAndTruncatedFramesAreRejected) {
             serve::wire::DecodeStatus::kMalformed);
 }
 
+// The v2 control frames ride the same envelope, so they must fail the
+// same tamper matrix (bad magic / version / type) the request frame
+// does. Their round-trip + truncation coverage lives in test_tcp.
+TEST(Wire, ControlFramesShareTheEnvelopeTamperMatrix) {
+  wire::PingFrame ping;
+  ping.nonce = 42;
+  wire::StatsFrame stats;
+  stats.request_id = 7;
+  const auto frames = {serve::wire::encode_ping(ping),
+                       serve::wire::encode_stats(stats)};
+  for (const auto& good : frames) {
+    std::size_t consumed = 0;
+    wire::PingFrame pout;
+    wire::StatsFrame sout;
+    std::uint8_t type = 0;
+    ASSERT_EQ(serve::wire::peek_type(good.data(), good.size(), type),
+              serve::wire::DecodeStatus::kOk);
+    const bool is_ping = type == serve::wire::kTypePing;
+    const auto decode = [&](const std::vector<std::uint8_t>& buf) {
+      return is_ping ? serve::wire::decode_ping(buf.data(), buf.size(),
+                                                pout, consumed)
+                     : serve::wire::decode_stats(buf.data(), buf.size(),
+                                                 sout, consumed);
+    };
+
+    auto bad = good;
+    bad[4] ^= 0xFF;
+    EXPECT_EQ(decode(bad), serve::wire::DecodeStatus::kBadMagic);
+    EXPECT_EQ(consumed, bad.size());  // boundary still known: skippable
+
+    bad = good;
+    bad[8] = 99;
+    EXPECT_EQ(decode(bad), serve::wire::DecodeStatus::kBadVersion);
+
+    // A request frame where the control frame is expected.
+    bad = good;
+    bad[9] = serve::wire::kTypeRequest;
+    EXPECT_EQ(decode(bad), serve::wire::DecodeStatus::kBadType);
+  }
+}
+
 // ----------------------------------------------------------- TCP loopback --
 
 // Minimal blocking client for the loopback tests.

@@ -19,7 +19,10 @@
 //    type-2/3 frames, kFlagAcceptStream clients reassemble type-4
 //    chunk streams byte-identically to the in-process result;
 //  * graceful shutdown -- queued and in-flight responses are dropped
-//    (counted), sockets close, nothing crashes or hangs.
+//    (counted), sockets close, nothing crashes or hangs;
+//  * control frames -- type-5 pings and type-6 stats requests are
+//    answered inline on the loop thread (ahead of queued gateway work),
+//    and malformed control frames are skipped, not fatal.
 //
 // CI runs this suite under ASan/UBSan and TSan at EB_THREADS=1 and 4.
 #include <gtest/gtest.h>
@@ -169,6 +172,12 @@ class TestClient {
   }
   bool send_bytes(const std::vector<std::uint8_t>& bytes) {
     return send_bytes(bytes.data(), bytes.size());
+  }
+
+  // One blocking recv(2), bypassing the response demultiplexer: for
+  // frame-level tests that watch control traffic (RawFrameClient).
+  ssize_t raw_recv(std::uint8_t* buf, std::size_t cap) {
+    return ::recv(fd_, buf, cap, 0);
   }
 
   // Blocks until one whole response is available, demultiplexing all
@@ -717,6 +726,279 @@ TEST(Wire, ChunkedResponseRoundTripsThroughAssembler) {
   EXPECT_TRUE(strict.feed(c0));
   EXPECT_FALSE(strict.feed(c2));  // skipped seq 1
   EXPECT_EQ(strict.pending(), 0u);
+}
+
+TEST(Wire, PingFrameRoundTripsAndRejectsTruncation) {
+  for (const bool pong : {false, true}) {
+    wire::PingFrame ping;
+    ping.nonce = 0xFEEDFACE12345678ull;
+    ping.pong = pong;
+    const auto frame = wire::encode_ping(ping);
+
+    std::uint8_t type = 0;
+    ASSERT_EQ(wire::peek_type(frame.data(), frame.size(), type),
+              wire::DecodeStatus::kOk);
+    EXPECT_EQ(type, wire::kTypePing);
+
+    // Every strict prefix: need-more-data, never a crash or bogus ok.
+    wire::PingFrame out;
+    std::size_t consumed = 0;
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      ASSERT_EQ(wire::decode_ping(frame.data(), cut, out, consumed),
+                wire::DecodeStatus::kNeedMoreData)
+          << "cut " << cut;
+      ASSERT_EQ(consumed, 0u);
+    }
+    ASSERT_EQ(wire::decode_ping(frame.data(), frame.size(), out, consumed),
+              wire::DecodeStatus::kOk);
+    EXPECT_EQ(consumed, frame.size());
+    EXPECT_EQ(out.nonce, ping.nonce);
+    EXPECT_EQ(out.pong, ping.pong);
+  }
+
+  // An unknown kind byte is malformed but skippable (boundary known).
+  auto bad = wire::encode_ping(wire::PingFrame{});
+  bad[10] = 7;
+  wire::PingFrame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(wire::decode_ping(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(consumed, bad.size());
+
+  // Trailing bytes inside the declared body are malformed too.
+  bad = wire::encode_ping(wire::PingFrame{});
+  bad[0] += 1;  // length low byte: body claims one extra byte...
+  bad.push_back(0);  // ...and provides it
+  EXPECT_EQ(wire::decode_ping(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(consumed, bad.size());
+}
+
+TEST(Wire, StatsFramesRoundTripAndRejectTruncation) {
+  // The request flavor: just an id to echo.
+  wire::StatsFrame req;
+  req.request_id = 77;
+  const auto reqf = wire::encode_stats(req);
+  std::uint8_t type = 0;
+  ASSERT_EQ(wire::peek_type(reqf.data(), reqf.size(), type),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(type, wire::kTypeStats);
+  wire::StatsFrame out;
+  std::size_t consumed = 0;
+  for (std::size_t cut = 0; cut < reqf.size(); ++cut) {
+    ASSERT_EQ(wire::decode_stats(reqf.data(), cut, out, consumed),
+              wire::DecodeStatus::kNeedMoreData)
+        << "cut " << cut;
+    ASSERT_EQ(consumed, 0u);
+  }
+  ASSERT_EQ(wire::decode_stats(reqf.data(), reqf.size(), out, consumed),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(consumed, reqf.size());
+  EXPECT_FALSE(out.response);
+  EXPECT_EQ(out.request_id, 77u);
+
+  // The response flavor: counters + the per-model digest.
+  wire::StatsFrame resp;
+  resp.response = true;
+  resp.request_id = 78;
+  resp.submitted = 100;
+  resp.completed = 90;
+  resp.rejected = 3;
+  resp.deadline_exceeded = 2;
+  resp.errors = 1;
+  resp.invalid = 4;
+  resp.queue_depth = 10;
+  resp.models.push_back({"mlp-a", 128, 5, 60});
+  resp.models.push_back({"mlp-b", 96, 2, 30});
+  const auto respf = wire::encode_stats(resp);
+  for (std::size_t cut = 0; cut < respf.size(); ++cut) {
+    ASSERT_EQ(wire::decode_stats(respf.data(), cut, out, consumed),
+              wire::DecodeStatus::kNeedMoreData)
+        << "cut " << cut;
+  }
+  ASSERT_EQ(wire::decode_stats(respf.data(), respf.size(), out, consumed),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(consumed, respf.size());
+  EXPECT_TRUE(out.response);
+  EXPECT_EQ(out.request_id, 78u);
+  EXPECT_EQ(out.submitted, 100u);
+  EXPECT_EQ(out.completed, 90u);
+  EXPECT_EQ(out.rejected, 3u);
+  EXPECT_EQ(out.deadline_exceeded, 2u);
+  EXPECT_EQ(out.errors, 1u);
+  EXPECT_EQ(out.invalid, 4u);
+  EXPECT_EQ(out.queue_depth, 10u);
+  ASSERT_EQ(out.models.size(), 2u);
+  EXPECT_EQ(out.models[0].id, "mlp-a");
+  EXPECT_EQ(out.models[0].input_size, 128u);
+  EXPECT_EQ(out.models[0].queue_depth, 5u);
+  EXPECT_EQ(out.models[0].completed, 60u);
+  EXPECT_EQ(out.models[1].id, "mlp-b");
+  EXPECT_EQ(out.models[1].input_size, 96u);
+
+  // Unknown kind byte: malformed, boundary known.
+  auto bad = respf;
+  bad[10] = 9;
+  EXPECT_EQ(wire::decode_stats(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(consumed, bad.size());
+
+  // A request body must end right after the id: trailing bytes reject.
+  bad = reqf;
+  bad[0] += 1;
+  bad.push_back(0);
+  EXPECT_EQ(wire::decode_stats(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+
+  // Empty model id inside a response entry.
+  bad = respf;
+  const std::size_t first_id_len = 4 + 4 + 1 + 1 + 1 + 1 + 8 + 7 * 8 + 2;
+  bad[first_id_len] = 0;
+  bad[first_id_len + 1] = 0;
+  EXPECT_EQ(wire::decode_stats(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(consumed, bad.size());
+}
+
+// ------------------------------------------------------- control frames --
+
+// Raw frame-level client: unlike TestClient it hands back WHOLE frames
+// of any type, so tests can watch control traffic (types 5/6) that the
+// response demultiplexer would reject.
+class RawFrameClient {
+ public:
+  explicit RawFrameClient(std::uint16_t port) : tc_(port) {}
+
+  bool send_bytes(const std::vector<std::uint8_t>& bytes) {
+    return tc_.send_bytes(bytes);
+  }
+
+  // Blocks until one whole frame is buffered; false on EOF/timeout.
+  bool next_frame(std::uint8_t& type, std::vector<std::uint8_t>& frame) {
+    std::uint8_t chunk[8192];
+    for (;;) {
+      const auto pt = wire::peek_type(buf_.data(), buf_.size(), type);
+      if (pt == wire::DecodeStatus::kOk) {
+        const std::size_t total =
+            4 + (static_cast<std::size_t>(buf_[0]) |
+                 static_cast<std::size_t>(buf_[1]) << 8 |
+                 static_cast<std::size_t>(buf_[2]) << 16 |
+                 static_cast<std::size_t>(buf_[3]) << 24);
+        if (buf_.size() >= total) {
+          frame.assign(buf_.begin(),
+                       buf_.begin() + static_cast<std::ptrdiff_t>(total));
+          buf_.erase(buf_.begin(),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(total));
+          return true;
+        }
+      } else if (pt != wire::DecodeStatus::kNeedMoreData) {
+        ADD_FAILURE() << "stream desync: " << wire::to_string(pt);
+        return false;
+      }
+      const ssize_t k = tc_.raw_recv(chunk, sizeof(chunk));
+      if (k <= 0) {
+        return false;
+      }
+      buf_.insert(buf_.end(), chunk, chunk + k);
+    }
+  }
+
+ private:
+  TestClient tc_;
+  std::vector<std::uint8_t> buf_;
+};
+
+TEST(TcpFrontend, AnswersPingInlineAheadOfSlowRequests) {
+  Gateway gw;
+  gw.register_model("echo", delay_echo_handler());
+  TcpFrontend frontend(gw);
+  RawFrameClient client(frontend.port());
+
+  // A slow request first, then a ping: the pong must arrive FIRST --
+  // control frames are answered on the loop thread and never queue
+  // behind the gateway.
+  Tensor slow({1});
+  slow[0] = 200'000.0;  // 200 ms service time
+  ASSERT_TRUE(
+      client.send_bytes(wire::encode_request(make_request(1, slow))));
+  wire::PingFrame ping;
+  ping.nonce = 0xAB12CD34ull;
+  ASSERT_TRUE(client.send_bytes(wire::encode_ping(ping)));
+
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(client.next_frame(type, frame));
+  ASSERT_EQ(type, wire::kTypePing);
+  wire::PingFrame pong;
+  std::size_t consumed = 0;
+  ASSERT_EQ(wire::decode_ping(frame.data(), frame.size(), pong, consumed),
+            wire::DecodeStatus::kOk);
+  EXPECT_TRUE(pong.pong);
+  EXPECT_EQ(pong.nonce, ping.nonce);
+
+  ASSERT_TRUE(client.next_frame(type, frame));
+  EXPECT_EQ(type, wire::kTypeResponse);
+  EXPECT_EQ(frontend.stats().pings, 1u);
+}
+
+TEST(TcpFrontend, ServesStatsOverTheSocketAndSurvivesMalformedControl) {
+  Gateway gw;
+  gw.register_model("echo", echo_handler());
+  TcpFrontend frontend(gw);
+  RawFrameClient client(frontend.port());
+
+  // Serve one request so the digest has something to report.
+  Tensor payload({4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    payload[i] = static_cast<double>(i);
+  }
+  ASSERT_TRUE(
+      client.send_bytes(wire::encode_request(make_request(5, payload))));
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(client.next_frame(type, frame));
+  ASSERT_EQ(type, wire::kTypeResponse);
+
+  wire::StatsFrame ask;
+  ask.request_id = 99;
+  ASSERT_TRUE(client.send_bytes(wire::encode_stats(ask)));
+  ASSERT_TRUE(client.next_frame(type, frame));
+  ASSERT_EQ(type, wire::kTypeStats);
+  wire::StatsFrame digest;
+  std::size_t consumed = 0;
+  ASSERT_EQ(
+      wire::decode_stats(frame.data(), frame.size(), digest, consumed),
+      wire::DecodeStatus::kOk);
+  EXPECT_TRUE(digest.response);
+  EXPECT_EQ(digest.request_id, 99u);
+  EXPECT_EQ(digest.submitted, 1u);
+  EXPECT_EQ(digest.completed, 1u);
+  ASSERT_EQ(digest.models.size(), 1u);
+  EXPECT_EQ(digest.models[0].id, "echo");
+  EXPECT_EQ(digest.models[0].completed, 1u);
+
+  // A malformed ping (unknown kind byte) is answered with an id-0
+  // error and SKIPPED -- the connection stays usable.
+  auto bad_ping = wire::encode_ping(wire::PingFrame{});
+  bad_ping[10] = 7;
+  ASSERT_TRUE(client.send_bytes(bad_ping));
+  ASSERT_TRUE(client.next_frame(type, frame));
+  ASSERT_EQ(type, wire::kTypeResponse);
+  wire::ResponseFrame err;
+  ASSERT_EQ(
+      wire::decode_response(frame.data(), frame.size(), err, consumed),
+      wire::DecodeStatus::kOk);
+  EXPECT_EQ(err.request_id, 0u);
+  EXPECT_EQ(err.status, Status::kInvalidArgument);
+
+  ASSERT_TRUE(
+      client.send_bytes(wire::encode_request(make_request(6, payload))));
+  ASSERT_TRUE(client.next_frame(type, frame));
+  EXPECT_EQ(type, wire::kTypeResponse);
+
+  const auto stats = frontend.stats();
+  EXPECT_EQ(stats.stats_requests, 1u);
+  EXPECT_EQ(stats.malformed, 1u);
 }
 
 }  // namespace
