@@ -1,0 +1,29 @@
+#include "common/clock.hpp"
+
+namespace eb {
+
+namespace {
+
+// The production clock: a stateless pass-through to steady_clock and
+// plain condition_variable waits.
+class RealClock final : public Clock {
+ public:
+  [[nodiscard]] time_point now() const override {
+    return std::chrono::steady_clock::now();
+  }
+
+  std::cv_status wait_until(std::unique_lock<std::mutex>& lock,
+                            std::condition_variable& cv,
+                            time_point deadline) override {
+    return cv.wait_until(lock, deadline);
+  }
+};
+
+}  // namespace
+
+Clock& Clock::real() {
+  static RealClock instance;
+  return instance;
+}
+
+}  // namespace eb

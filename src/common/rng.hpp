@@ -39,6 +39,7 @@ enum class StreamTag : std::uint64_t {
   TacitOptical = 0x09,
   CustBinary = 0xCB,
   NoiseMonteCarlo = 0x4C,
+  Drift = 0xD4,
 };
 
 class RngStream {

@@ -1,0 +1,64 @@
+#include "device/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace eb::dev {
+
+DriftParams DriftParams::none() {
+  DriftParams p;
+  p.nu = 0.0;
+  p.nu_sigma = 0.0;
+  return p;
+}
+
+DriftParams DriftParams::realistic() {
+  DriftParams p;
+  p.nu = 0.05;       // typical GST drift exponent (matches EpcmParams)
+  p.nu_sigma = 0.01; // device-to-device exponent spread
+  return p;
+}
+
+DriftModel::DriftModel(DriftParams p) : params_(p) {
+  EB_REQUIRE(params_.nu >= 0.0, "drift exponent must be >= 0");
+  EB_REQUIRE(params_.nu_sigma >= 0.0, "drift exponent spread must be >= 0");
+  EB_REQUIRE(params_.t0_s > 0.0, "drift reference time must be > 0");
+}
+
+bool DriftModel::active(double t_s) const {
+  return t_s > 0.0 && (params_.nu > 0.0 || params_.nu_sigma > 0.0);
+}
+
+double DriftModel::factor(double t_s, std::size_t cell,
+                          const RngStream& base) const {
+  if (!active(t_s)) {
+    return 1.0;
+  }
+  double nu_cell = params_.nu;
+  if (params_.nu_sigma > 0.0) {
+    RngStream cell_rng =
+        base.fork(static_cast<std::uint64_t>(StreamTag::Drift), cell, 0);
+    nu_cell += cell_rng.gaussian(0.0, params_.nu_sigma);
+  }
+  nu_cell = std::max(nu_cell, 0.0);
+  if (nu_cell == 0.0) {
+    return 1.0;
+  }
+  return std::pow(std::max(t_s, 1e-9) / params_.t0_s, -nu_cell);
+}
+
+std::vector<double> DriftModel::factors(double t_s, std::size_t cells,
+                                        const RngStream& base) const {
+  if (!active(t_s)) {
+    return {};
+  }
+  std::vector<double> out(cells, 1.0);
+  for (std::size_t c = 0; c < cells; ++c) {
+    out[c] = factor(t_s, c, base);
+  }
+  return out;
+}
+
+}  // namespace eb::dev

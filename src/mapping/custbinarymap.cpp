@@ -91,6 +91,21 @@ std::string CustBinaryMap::descriptor() const {
   return os.str();
 }
 
+void CustBinaryMap::set_drift(const dev::DriftModel& model, double t_s,
+                              const RngStream& base) const {
+  for (std::size_t i = 0; i < crossbars_.size(); ++i) {
+    crossbars_[i]->set_drift(
+        model, t_s,
+        base.fork(static_cast<std::uint64_t>(StreamTag::Drift), i, 0));
+  }
+}
+
+void CustBinaryMap::clear_drift() const {
+  for (const auto& xb : crossbars_) {
+    xb->clear_drift();
+  }
+}
+
 std::vector<std::size_t> CustBinaryMap::execute_with_base(
     const BitVec& x, const dev::NoiseModel& noise, const RngStream& base,
     ThreadPool* pool) const {

@@ -86,6 +86,14 @@ class CustBinaryMap final : public MappedExecutor {
   /// Configuration the executor was built with.
   [[nodiscard]] const CustBinaryConfig& config() const { return cfg_; }
 
+  /// Imposes drift on every tile's crossbar (see
+  /// TacitMapElectrical::set_drift for the fork discipline).
+  void set_drift(const dev::DriftModel& model, double t_s,
+                 const RngStream& base) const override;
+
+  /// Restores pristine programmed conductances (online rewrite).
+  void clear_drift() const override;
+
  private:
   // Digital reduction: 5-bit local counters over chunks, then a tree sum.
   // Functionally a popcount; chunked to mirror the paper's circuit.

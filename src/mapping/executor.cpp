@@ -6,6 +6,12 @@
 
 namespace eb::map {
 
+void MappedExecutor::set_drift(const dev::DriftModel& /*model*/,
+                               double /*t_s*/,
+                               const RngStream& /*base*/) const {}
+
+void MappedExecutor::clear_drift() const {}
+
 const std::vector<std::string>& mapped_backend_names() {
   static const std::vector<std::string> names{"electrical", "optical",
                                              "cust"};

@@ -30,6 +30,7 @@
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "device/drift.hpp"
 #include "device/noise.hpp"
 
 namespace eb::map {
@@ -75,6 +76,24 @@ class MappedExecutor {
   /// tiling, e.g. "tacitmap-optical 128x64 wdm=8 (3 seg x 2 tiles)".
   /// Serving logs and bench reports print this.
   [[nodiscard]] virtual std::string descriptor() const = 0;
+
+  /// Imposes serving-time device drift: every crossbar's cell values decay
+  /// by `model`'s per-cell factor at `t_s` seconds after programming,
+  /// derived deterministically from `base` (per-crossbar forks off
+  /// StreamTag::Drift). Calibration references stay pristine, so drifted
+  /// executors return degraded popcounts -- exactly what the serving
+  /// layer's canary monitor detects. Thread-safe against concurrent
+  /// execute() calls (the factor tables swap atomically); `const` because
+  /// drift is imposed on executors the serving layer shares as
+  /// `shared_ptr<const MappedExecutor>`. Default: no-op (an executor
+  /// without device state simply never degrades).
+  virtual void set_drift(const dev::DriftModel& model, double t_s,
+                         const RngStream& base) const;
+
+  /// Rewrites the array: restores pristine programmed cell values (the
+  /// functional effect of re-programming every device at t = 0). Default:
+  /// no-op.
+  virtual void clear_drift() const;
 };
 
 /// Geometry knobs for make_mapped_executor (kept to plain integers so CLI

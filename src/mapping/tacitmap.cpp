@@ -89,6 +89,21 @@ std::string TacitMapElectrical::descriptor() const {
   return os.str();
 }
 
+void TacitMapElectrical::set_drift(const dev::DriftModel& model, double t_s,
+                                   const RngStream& base) const {
+  for (std::size_t i = 0; i < crossbars_.size(); ++i) {
+    crossbars_[i]->set_drift(
+        model, t_s,
+        base.fork(static_cast<std::uint64_t>(StreamTag::Drift), i, 0));
+  }
+}
+
+void TacitMapElectrical::clear_drift() const {
+  for (const auto& xb : crossbars_) {
+    xb->clear_drift();
+  }
+}
+
 std::vector<std::size_t> TacitMapElectrical::execute_with_base(
     const BitVec& x, const dev::NoiseModel& noise, const RngStream& base,
     ThreadPool* pool) const {
@@ -317,6 +332,21 @@ std::string TacitMapOptical::descriptor() const {
   os << "tacitmap-optical " << cfg_.dims.rows << "x" << cfg_.dims.cols
      << " wdm=" << cfg_.wdm_capacity << tiling_suffix(part_);
   return os.str();
+}
+
+void TacitMapOptical::set_drift(const dev::DriftModel& model, double t_s,
+                                const RngStream& base) const {
+  for (std::size_t i = 0; i < crossbars_.size(); ++i) {
+    crossbars_[i]->set_drift(
+        model, t_s,
+        base.fork(static_cast<std::uint64_t>(StreamTag::Drift), i, 0));
+  }
+}
+
+void TacitMapOptical::clear_drift() const {
+  for (const auto& xb : crossbars_) {
+    xb->clear_drift();
+  }
 }
 
 }  // namespace eb::map

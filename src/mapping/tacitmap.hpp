@@ -105,6 +105,15 @@ class TacitMapElectrical final : public MappedExecutor {
   /// distinct crossbars in parallel; this counts the sequential passes: 1).
   [[nodiscard]] static constexpr std::size_t steps_per_input() { return 1; }
 
+  /// Imposes drift on every tile's crossbar: tile k forks
+  /// base.fork(StreamTag::Drift, k, 0) so tables are independent per
+  /// crossbar yet bit-identical for any evaluation order.
+  void set_drift(const dev::DriftModel& model, double t_s,
+                 const RngStream& base) const override;
+
+  /// Restores pristine programmed conductances (online rewrite).
+  void clear_drift() const override;
+
  private:
   // execute() with the per-call stream base already split off the
   // caller's rng (execute_batch pre-splits one base per input).
@@ -175,6 +184,14 @@ class TacitMapOptical final : public MappedExecutor {
 
   /// Configuration the executor was built with.
   [[nodiscard]] const TacitOpticalConfig& config() const { return cfg_; }
+
+  /// Imposes drift on every tile's crossbar (see
+  /// TacitMapElectrical::set_drift for the fork discipline).
+  void set_drift(const dev::DriftModel& model, double t_s,
+                 const RngStream& base) const override;
+
+  /// Restores pristine programmed transmissions (online rewrite).
+  void clear_drift() const override;
 
  private:
   // One WDM pass over `inputs` (<= wdm_capacity of them) where inputs[i]

@@ -225,6 +225,11 @@ void Balancer::fill_stats(wire::StatsFrame& out) {
     out.deadline_exceeded += s.deadline_exceeded;
     out.errors += s.errors;
     out.queue_depth += s.queue_depth;
+    out.canaries_sent += s.canaries_sent;
+    out.canary_failures += s.canary_failures;
+    out.rewrites += s.rewrites;
+    // A fleet has no single "last" rewrite; report the slowest replica's.
+    out.rewrite_us_last = std::max(out.rewrite_us_last, s.rewrite_us_last);
     for (const auto& m : s.models) {
       auto it = std::find_if(out.models.begin(), out.models.end(),
                              [&](const wire::StatsModel& e) {

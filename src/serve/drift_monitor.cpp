@@ -1,0 +1,156 @@
+#include "serve/drift_monitor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace eb::serve {
+
+DriftMonitor::DriftMonitor(Gateway& gateway, DriftMonitorConfig cfg)
+    : gateway_(gateway),
+      cfg_(std::move(cfg)),
+      base_(cfg_.seed),
+      model_(cfg_.drift) {
+  EB_REQUIRE(!cfg_.model.empty(), "drift monitor needs a model id");
+  EB_REQUIRE(cfg_.exec != nullptr, "drift monitor needs the model executor");
+  EB_REQUIRE(!cfg_.canaries.empty(), "drift monitor needs >= 1 canary");
+  EB_REQUIRE(cfg_.interval_us >= 1, "canary interval must be >= 1 us");
+  EB_REQUIRE(cfg_.min_accuracy >= 0.0 && cfg_.min_accuracy <= 1.0,
+             "accuracy floor must be in [0, 1]");
+  for (const auto& c : cfg_.canaries) {
+    EB_REQUIRE(!c.gold.empty(), "canary gold reference must be non-empty");
+  }
+  programmed_at_ = clk().now();
+  thread_ = std::thread([this] { loop(); });
+}
+
+DriftMonitor::~DriftMonitor() { stop(); }
+
+void DriftMonitor::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+std::size_t DriftMonitor::epochs() const {
+  return epochs_.load(std::memory_order_acquire);
+}
+
+std::size_t DriftMonitor::rewrites() const {
+  return rewrites_.load(std::memory_order_acquire);
+}
+
+double DriftMonitor::last_accuracy() const {
+  return last_accuracy_.load(std::memory_order_acquire);
+}
+
+std::uint64_t DriftMonitor::generation() const {
+  return generation_.load(std::memory_order_acquire);
+}
+
+void DriftMonitor::loop() {
+  // Anchor the first epoch to construction time (programmed_at_ was
+  // stamped in the constructor, before this thread existed): under a
+  // VirtualClock the test may advance time before this thread is even
+  // scheduled, and reading the clock here would silently push the first
+  // epoch one advance into the future.
+  auto next = programmed_at_ + std::chrono::microseconds(cfg_.interval_us);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_ && clk().now() < next) {
+        // VirtualClock's wait_until polls; stop_ is rechecked each wake.
+        clk().wait_until(lock, cv_, next);
+      }
+      if (stop_) {
+        return;
+      }
+    }
+    tick();
+    next += std::chrono::microseconds(cfg_.interval_us);
+    // A late epoch (long canary round) must not burst-fire to catch up:
+    // the cadence is "at most one epoch per interval of clock time".
+    if (next < clk().now()) {
+      next = clk().now() + std::chrono::microseconds(cfg_.interval_us);
+    }
+  }
+}
+
+void DriftMonitor::tick() {
+  // 1. Age the crossbars to this epoch's drift time. Generation g forks
+  // its own stream so a rewrite re-programs onto fresh (deterministic)
+  // device exponents.
+  const double t_s =
+      std::chrono::duration<double>(clk().now() - programmed_at_).count();
+  const RngStream gen_base =
+      base_.fork(generation_.load(std::memory_order_relaxed), 0, 0);
+  cfg_.exec->set_drift(model_, t_s, gen_base);
+
+  // 2-3. Probe through the front door and score against packed gold.
+  const double accuracy = run_canaries();
+  last_accuracy_.store(accuracy, std::memory_order_release);
+  const bool ok = accuracy >= cfg_.min_accuracy;
+  gateway_.record_canary(ok);
+
+  // 4. Below the floor: rewrite (online recalibration).
+  if (!ok) {
+    rewrite();
+  }
+  epochs_.fetch_add(1, std::memory_order_release);
+}
+
+double DriftMonitor::run_canaries() {
+  // Submit every canary before waiting on any: they coalesce into the
+  // same server batches tenant traffic uses.
+  std::vector<std::future<Result>> futs;
+  futs.reserve(cfg_.canaries.size());
+  for (const auto& c : cfg_.canaries) {
+    futs.push_back(gateway_.submit(cfg_.model, c.input, cfg_.canary_class,
+                                   cfg_.canary_deadline_us));
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Result r = futs[i].get();
+    const auto& gold = cfg_.canaries[i].gold;
+    if (!r.ok() || r.output.size() != gold.size()) {
+      continue;  // scores 0
+    }
+    std::size_t matched = 0;
+    for (std::size_t j = 0; j < gold.size(); ++j) {
+      if (std::llround(r.output[j]) ==
+          static_cast<long long>(gold[j])) {
+        ++matched;
+      }
+    }
+    sum += static_cast<double>(matched) / static_cast<double>(gold.size());
+  }
+  return sum / static_cast<double>(cfg_.canaries.size());
+}
+
+void DriftMonitor::rewrite() {
+  // Rewrites do real work (re-programming every device), so the duration
+  // the snapshot reports is real time even under a VirtualClock.
+  const auto start = std::chrono::steady_clock::now();
+  cfg_.exec->clear_drift();
+  programmed_at_ = clk().now();
+  generation_.fetch_add(1, std::memory_order_release);
+  rewrites_.fetch_add(1, std::memory_order_release);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  gateway_.record_rewrite(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(us.count(), 1)));
+}
+
+}  // namespace eb::serve

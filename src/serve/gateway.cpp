@@ -111,6 +111,12 @@ void Gateway::install_entry(
   EB_REQUIRE(mcfg.weight > 0.0, "model weight must be > 0");
   ServerConfig scfg = mcfg.server;
   scfg.on_dequeue = [this] { cv_.notify_all(); };
+  if (scfg.clock == nullptr) {
+    // Model servers tick on the gateway's clock unless a registration
+    // injects its own: one VirtualClock drives admission deadlines AND
+    // every model's batching windows.
+    scfg.clock = cfg_.clock;
+  }
   auto entry = std::make_shared<ModelEntry>();
   entry->id = id;
   entry->weight = mcfg.weight;
@@ -220,7 +226,7 @@ void Gateway::submit_async(const std::string& model, bnn::Tensor input,
     } else if (!draining_ && it != models_.end() &&
                class_depth_[c] < cfg_.classes[c].queue_capacity) {
       // Timestamp under the lock: per-queue order == admission order.
-      r.enqueue = Clock::now();
+      r.enqueue = clk().now();
       const std::uint64_t effective =
           deadline_us != 0 ? deadline_us : cfg_.classes[c].default_deadline_us;
       r.deadline = effective == 0
@@ -283,7 +289,7 @@ void Gateway::dispatcher_loop() {
 }
 
 void Gateway::forward(GwPending item) {
-  const auto now = Clock::now();
+  const auto now = clk().now();
   if (now >= item.deadline) {
     // Expired while waiting for admission dispatch: terminal here, the
     // model server never sees it.
@@ -309,7 +315,7 @@ void Gateway::forward(GwPending item) {
       [this, enqueue, cls, done = std::move(item.done)](Result r) mutable {
         // Rebase to end-to-end latency: admission -> completion (queue_us
         // keeps the server-side queueing component).
-        r.total_us = to_us(Clock::now() - enqueue);
+        r.total_us = to_us(clk().now() - enqueue);
         finish(cls, done, std::move(r));
       });
 }
@@ -382,12 +388,28 @@ GatewaySnapshot Gateway::metrics() const {
     s.deadline_exceeded += s.classes[c].deadline_exceeded;
     s.rejected += s.classes[c].rejected;
   }
+  s.canaries_sent = canaries_sent_.load(std::memory_order_relaxed);
+  s.canary_failures = canary_failures_.load(std::memory_order_relaxed);
+  s.rewrites = rewrites_.load(std::memory_order_relaxed);
+  s.rewrite_us_last = rewrite_us_last_.load(std::memory_order_relaxed);
   s.models.reserve(entries.size());
   for (const auto& e : entries) {
     s.models.push_back(
         ModelSnapshot{e->id, e->weight, e->input_size, e->server->metrics()});
   }
   return s;
+}
+
+void Gateway::record_canary(bool ok) {
+  canaries_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) {
+    canary_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Gateway::record_rewrite(std::uint64_t duration_us) {
+  rewrites_.fetch_add(1, std::memory_order_relaxed);
+  rewrite_us_last_.store(duration_us, std::memory_order_relaxed);
 }
 
 }  // namespace eb::serve

@@ -58,6 +58,7 @@
 
 #include "bnn/network.hpp"
 #include "bnn/tensor.hpp"
+#include "common/clock.hpp"
 #include "common/thread_pool.hpp"
 #include "device/noise.hpp"
 #include "mapping/executor.hpp"
@@ -101,6 +102,10 @@ struct GatewayConfig {
   /// Per-class scheduling weight, default deadline and admission-capacity
   /// partition (indexed by DeadlineClass).
   std::array<ClassConfig, kNumClasses> classes = default_class_configs();
+  /// Time source for admission stamps and deadlines; propagated into every
+  /// registered model's server (unless its ServerConfig sets its own).
+  /// nullptr = eb::Clock::real(). Must outlive the gateway.
+  Clock* clock = nullptr;
 };
 
 /// One registered model's slice of a GatewaySnapshot.
@@ -133,6 +138,15 @@ struct GatewaySnapshot {
   std::size_t completed = 0;          ///< Sum over classes.
   std::size_t deadline_exceeded = 0;  ///< Sum over classes.
   std::size_t rejected = 0;           ///< Sum over classes.
+
+  /// Canary probes a serve::DriftMonitor submitted through admission.
+  std::size_t canaries_sent = 0;
+  /// Canary rounds that scored below the monitor's accuracy floor.
+  std::size_t canary_failures = 0;
+  /// Online crossbar rewrites (recalibrations) triggered by failures.
+  std::size_t rewrites = 0;
+  /// Wall-clock duration of the most recent rewrite, microseconds.
+  std::uint64_t rewrite_us_last = 0;
 
   /// One-line human-readable digest.
   [[nodiscard]] std::string summary() const;
@@ -193,14 +207,19 @@ class Gateway {
 
   /// Consistent cut of per-class, per-model and aggregate metrics.
   [[nodiscard]] GatewaySnapshot metrics() const;
+  /// Drift-monitor hooks: a serve::DriftMonitor reports every canary
+  /// round (`ok` = scored at or above its accuracy floor) ...
+  void record_canary(bool ok);
+  /// ... and every online rewrite it performed, with the rewrite's
+  /// wall-clock duration. Both surface in GatewaySnapshot and the wire
+  /// stats frame.
+  void record_rewrite(std::uint64_t duration_us);
   /// The one pool every model server fans batches into.
   [[nodiscard]] ThreadPool& pool() { return pool_; }
   /// Configuration the gateway was built with.
   [[nodiscard]] const GatewayConfig& config() const { return cfg_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct ModelEntry;  // registry slot; defined in gateway.cpp
 
   /// One admitted request waiting in a (model, class) admission queue.
@@ -213,6 +232,10 @@ class Gateway {
     std::shared_ptr<ModelEntry> entry;
   };
 
+  // The injected time source (cfg_.clock or the real clock).
+  [[nodiscard]] Clock& clk() const {
+    return cfg_.clock != nullptr ? *cfg_.clock : Clock::real();
+  }
   void install_entry(
       const std::string& id, const ModelConfig& mcfg,
       const std::function<std::unique_ptr<Server>(const ServerConfig&)>&
@@ -235,6 +258,11 @@ class Gateway {
   std::array<Metrics, kNumClasses> class_metrics_;
   std::array<std::atomic<std::size_t>, kNumClasses> class_errors_{};
   std::array<std::atomic<std::size_t>, kNumClasses> class_invalid_{};
+
+  std::atomic<std::size_t> canaries_sent_{0};
+  std::atomic<std::size_t> canary_failures_{0};
+  std::atomic<std::size_t> rewrites_{0};
+  std::atomic<std::uint64_t> rewrite_us_last_{0};
 
   std::thread dispatcher_;
   std::mutex join_mu_;  // serializes shutdown()

@@ -133,7 +133,7 @@ std::future<Result> Server::enqueue(bnn::Tensor input,
       // Timestamp under the lock: queue order == enqueue-time order, the
       // invariant the window prefix scan (and window 0's serve-singly
       // guarantee) relies on when submitters race.
-      r.enqueue = Clock::now();
+      r.enqueue = clk().now();
       r.deadline = deadline_us == 0
                        ? Clock::time_point::max()
                        : r.enqueue + std::chrono::microseconds(deadline_us);
@@ -197,7 +197,7 @@ bool Server::form_batch(std::vector<Pending>& batch) {
         ++live;
       }
     }
-    if (live >= cfg_.max_batch || draining_ || Clock::now() >= close) {
+    if (live >= cfg_.max_batch || draining_ || clk().now() >= close) {
       batch.clear();
       batch.reserve(live);
       for (std::size_t i = 0; i < live; ++i) {
@@ -210,13 +210,15 @@ bool Server::form_batch(std::vector<Pending>& batch) {
       return true;
     }
     // Under-full batch inside its window: sleep until the window closes or
-    // an arrival / drain notification re-evaluates the policy.
-    cv_.wait_until(lock, close);
+    // an arrival / drain notification re-evaluates the policy. The wait
+    // goes through the injected clock so a VirtualClock can expire the
+    // window without wall time passing.
+    clk().wait_until(lock, cv_, close);
   }
 }
 
 void Server::serve_batch(std::size_t worker_idx, std::vector<Pending> batch) {
-  const auto formed = Clock::now();
+  const auto formed = clk().now();
   // Deadline gate at batch formation: expired requests complete here with
   // kDeadlineExceeded and never occupy GEMM space.
   std::vector<Pending> live;
@@ -267,7 +269,7 @@ void Server::serve_batch(std::size_t worker_idx, std::vector<Pending> batch) {
     }
     return;
   }
-  const auto done = Clock::now();
+  const auto done = clk().now();
   for (std::size_t i = 0; i < live.size(); ++i) {
     Result res;
     res.status = Status::kOk;

@@ -64,6 +64,7 @@
 #include "bnn/batch_runner.hpp"
 #include "bnn/network.hpp"
 #include "bnn/tensor.hpp"
+#include "common/clock.hpp"
 #include "common/thread_pool.hpp"
 #include "serve/metrics.hpp"
 
@@ -135,6 +136,11 @@ struct ServerConfig {
   /// serve::Gateway uses it to top a shallow server queue back up from its
   /// weighted admission queues without polling. Leave empty when unused.
   std::function<void()> on_dequeue;
+  /// Time source for enqueue stamps, deadlines and batching-window waits.
+  /// nullptr = eb::Clock::real(). Tests inject an eb::VirtualClock here to
+  /// drive window expiry and deadline gates without wall-clock sleeps; the
+  /// clock must outlive the server.
+  Clock* clock = nullptr;
 };
 
 /// The request queue + dynamic batcher + worker fleet.
@@ -188,8 +194,6 @@ class Server {
   [[nodiscard]] ThreadPool& pool() { return *pool_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct Pending {
     bnn::Tensor input;
     std::promise<Result> promise;
@@ -199,6 +203,10 @@ class Server {
   };
 
   void validate_config() const;
+  // The injected time source (cfg_.clock or the real clock).
+  [[nodiscard]] Clock& clk() const {
+    return cfg_.clock != nullptr ? *cfg_.clock : Clock::real();
+  }
   void start_workers();
   static void fulfil(Pending& r, Result res);
   void worker_loop(std::size_t worker_idx);

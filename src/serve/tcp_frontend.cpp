@@ -55,6 +55,10 @@ void GatewayWireService::fill_stats(wire::StatsFrame& out) {
     out.invalid += s.invalid[c];
     out.queue_depth += s.classes[c].queue_depth;
   }
+  out.canaries_sent = s.canaries_sent;
+  out.canary_failures = s.canary_failures;
+  out.rewrites = s.rewrites;
+  out.rewrite_us_last = s.rewrite_us_last;
   out.models.reserve(s.models.size());
   for (const auto& m : s.models) {
     wire::StatsModel sm;

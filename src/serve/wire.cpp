@@ -624,6 +624,10 @@ std::vector<std::uint8_t> encode_stats(const StatsFrame& stats) {
     put_u64(out, stats.errors);
     put_u64(out, stats.invalid);
     put_u64(out, stats.queue_depth);
+    put_u64(out, stats.canaries_sent);
+    put_u64(out, stats.canary_failures);
+    put_u64(out, stats.rewrites);
+    put_u64(out, stats.rewrite_us_last);
     EB_REQUIRE(stats.models.size() <= UINT16_MAX,
                "stats frame must hold <= 65535 models");
     put_u16(out, static_cast<std::uint16_t>(stats.models.size()));
@@ -679,6 +683,10 @@ DecodeStatus decode_stats(const std::uint8_t* data, std::size_t size,
   s.errors = r.get_u64();
   s.invalid = r.get_u64();
   s.queue_depth = r.get_u64();
+  s.canaries_sent = r.get_u64();
+  s.canary_failures = r.get_u64();
+  s.rewrites = r.get_u64();
+  s.rewrite_us_last = r.get_u64();
   const std::uint16_t count = r.get_u16();
   if (!r.ok) {
     consumed = frame_size;

@@ -41,12 +41,13 @@
 ///     └───────────┴────────┴──────┴─────────┴─────────┴───────────────┘
 ///     kind: 0 = ping, 1 = pong. A server answers a ping with a pong
 ///     carrying the same nonce; the sender matches pongs by nonce.
-///     body (stats, type = 6; v2+):
+///     body (stats, type = 6; v2+, drift counters v3+):
 ///     ┌───────────┬────────┬──────┬─────────┬─────────┬───────────────┐
 ///     │ u32 MAGIC │ u8 ver │ u8 6 │ u8 kind │ u8 rsvd │ u64 request_id│
 ///     ├───────────┴────────┴──────┴─────────┴─────────┴───────────────┤
 ///     │ kind 1 (response) only:  u64 submitted | completed | rejected │
 ///     │  | deadline_exceeded | errors | invalid | queue_depth         │
+///     │  | canaries_sent | canary_failures | rewrites | rewrite_us    │
 ///     │  | u16 model_count | per model: u16 id_len + id               │
 ///     │  | u64 input_size | u64 queue_depth | u64 completed           │
 ///     └───────────────────────────────────────────────────────────────┘
@@ -100,8 +101,9 @@ namespace eb::serve::wire {
 
 /// Frame magic ("EBGW" read as a little-endian u32).
 inline constexpr std::uint32_t kMagic = 0x57474245u;
-/// Protocol version this build speaks (v2 added ping + stats frames).
-inline constexpr std::uint8_t kVersion = 2;
+/// Protocol version this build speaks (v2 added ping + stats frames; v3
+/// appended the drift-monitor counters to the stats response).
+inline constexpr std::uint8_t kVersion = 3;
 /// Frame-type byte.
 inline constexpr std::uint8_t kTypeRequest = 1;
 /// Frame-type byte.
@@ -190,6 +192,14 @@ struct StatsFrame {
   std::uint64_t errors = 0;       ///< kInternalError completions, summed.
   std::uint64_t invalid = 0;      ///< kInvalidArgument completions, summed.
   std::uint64_t queue_depth = 0;  ///< Admission-queue population, summed.
+  /// Drift-monitor health (v3+): canary probes sent, probe rounds under
+  /// the accuracy floor, online rewrites performed, and the duration of
+  /// the latest rewrite. A balancer reads these to see a replica's
+  /// crossbars age and recover.
+  std::uint64_t canaries_sent = 0;
+  std::uint64_t canary_failures = 0;   ///< Rounds below the floor.
+  std::uint64_t rewrites = 0;          ///< Recalibrations performed.
+  std::uint64_t rewrite_us_last = 0;   ///< Latest rewrite, microseconds.
   std::vector<StatsModel> models;  ///< Response only; sorted by id.
 };
 

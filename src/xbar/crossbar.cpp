@@ -51,6 +51,7 @@ std::vector<double> ElectricalCrossbar::vmm_currents(
     const std::vector<double>& v_rows, const dev::NoiseModel& noise, RngStream& rng,
     double t_s) const {
   EB_REQUIRE(v_rows.size() <= dims_.rows, "too many row voltages");
+  const auto drift = drift_table();
   std::vector<double> out(dims_.cols, 0.0);
   for (std::size_t r = 0; r < v_rows.size(); ++r) {
     const double v = v_rows[r];
@@ -58,8 +59,15 @@ std::vector<double> ElectricalCrossbar::vmm_currents(
       continue;
     }
     const dev::EpcmDevice* row_cells = &cells_[r * dims_.cols];
-    for (std::size_t c = 0; c < dims_.cols; ++c) {
-      out[c] += v * row_cells[c].conductance(t_s);
+    if (drift) {
+      const double* f = drift->data() + r * dims_.cols;
+      for (std::size_t c = 0; c < dims_.cols; ++c) {
+        out[c] += v * row_cells[c].conductance(t_s) * f[c];
+      }
+    } else {
+      for (std::size_t c = 0; c < dims_.cols; ++c) {
+        out[c] += v * row_cells[c].conductance(t_s);
+      }
     }
   }
   const double full_scale =
@@ -87,6 +95,28 @@ double ElectricalCrossbar::on_current(double v_read) const {
 
 double ElectricalCrossbar::off_current(double v_read) const {
   return v_read * cells_.front().params().g_off_us;
+}
+
+void ElectricalCrossbar::set_drift(const dev::DriftModel& model, double t_s,
+                                   const RngStream& base) {
+  auto factors = model.factors(t_s, cells_.size(), base);
+  std::shared_ptr<const std::vector<double>> table;
+  if (!factors.empty()) {
+    table = std::make_shared<const std::vector<double>>(std::move(factors));
+  }
+  std::lock_guard<std::mutex> g(drift_mu_);
+  drift_ = std::move(table);
+}
+
+void ElectricalCrossbar::clear_drift() {
+  std::lock_guard<std::mutex> g(drift_mu_);
+  drift_.reset();
+}
+
+std::shared_ptr<const std::vector<double>> ElectricalCrossbar::drift_table()
+    const {
+  std::lock_guard<std::mutex> g(drift_mu_);
+  return drift_;
 }
 
 // --------------------------------------------------------- OpticalXbar --
@@ -149,6 +179,7 @@ std::vector<double> OpticalCrossbar::vmm_powers(const BitVec& input,
   // pay mmm_powers' temporary input vector + result-row copy. Draw order
   // is identical to a one-channel mmm_powers call.
   EB_REQUIRE(input.size() <= dims_.rows, "too many active rows");
+  const auto drift = drift_table();
   const double full_scale =
       static_cast<double>(dims_.rows) * on_power(p_in_mw);
   std::vector<double> cols(dims_.cols, 0.0);
@@ -157,8 +188,15 @@ std::vector<double> OpticalCrossbar::vmm_powers(const BitVec& input,
       continue;
     }
     const dev::OpcmDevice* row_cells = &cells_[r * dims_.cols];
-    for (std::size_t c = 0; c < dims_.cols; ++c) {
-      cols[c] += p_in_mw * row_cells[c].transmission();
+    if (drift) {
+      const double* f = drift->data() + r * dims_.cols;
+      for (std::size_t c = 0; c < dims_.cols; ++c) {
+        cols[c] += p_in_mw * row_cells[c].transmission() * f[c];
+      }
+    } else {
+      for (std::size_t c = 0; c < dims_.cols; ++c) {
+        cols[c] += p_in_mw * row_cells[c].transmission();
+      }
     }
   }
   for (auto& p : cols) {
@@ -175,6 +213,28 @@ double OpticalCrossbar::on_power(double p_in_mw) const {
 double OpticalCrossbar::off_power(double p_in_mw) const {
   const auto& p = cells_.front().params();
   return p_in_mw * p.t_crystalline * db_to_linear(-p.insertion_loss_db);
+}
+
+void OpticalCrossbar::set_drift(const dev::DriftModel& model, double t_s,
+                                const RngStream& base) {
+  auto factors = model.factors(t_s, cells_.size(), base);
+  std::shared_ptr<const std::vector<double>> table;
+  if (!factors.empty()) {
+    table = std::make_shared<const std::vector<double>>(std::move(factors));
+  }
+  std::lock_guard<std::mutex> g(drift_mu_);
+  drift_ = std::move(table);
+}
+
+void OpticalCrossbar::clear_drift() {
+  std::lock_guard<std::mutex> g(drift_mu_);
+  drift_.reset();
+}
+
+std::shared_ptr<const std::vector<double>> OpticalCrossbar::drift_table()
+    const {
+  std::lock_guard<std::mutex> g(drift_mu_);
+  return drift_;
 }
 
 // ----------------------------------------------------- DifferentialXbar --
@@ -210,18 +270,44 @@ BitVec DifferentialCrossbar::read_row_xnor(std::size_t row, const BitVec& x,
   const double i_ref = 0.5 * (i_on + i_off);
   const PrechargeSenseAmp pcsa;
 
+  const auto drift = drift_table();
   BitVec out(x.size());
   for (std::size_t p = 0; p < x.size(); ++p) {
-    const auto& dev_w = devices_[(row * pairs_ + p) * 2];
-    const auto& dev_wb = devices_[(row * pairs_ + p) * 2 + 1];
+    const std::size_t base = (row * pairs_ + p) * 2;
+    const auto& dev_w = devices_[base];
+    const auto& dev_wb = devices_[base + 1];
+    const double f_w = drift ? (*drift)[base] : 1.0;
+    const double f_wb = drift ? (*drift)[base + 1] : 1.0;
     // Complementary bit-line drive: x selects the w branch, ~x the ~w
     // branch; the summed pair current is high iff XNOR(x, w) = 1.
-    const double i = (x.get(p) ? v_read : 0.0) * dev_w.conductance() +
-                     (x.get(p) ? 0.0 : v_read) * dev_wb.conductance();
+    const double i = (x.get(p) ? v_read : 0.0) * dev_w.conductance() * f_w +
+                     (x.get(p) ? 0.0 : v_read) * dev_wb.conductance() * f_wb;
     const double i_noisy = noise.apply(i, i_on, rng);
     out.set(p, pcsa.sense(i_noisy, i_ref, i_on, rng));
   }
   return out;
+}
+
+void DifferentialCrossbar::set_drift(const dev::DriftModel& model, double t_s,
+                                     const RngStream& base) {
+  auto factors = model.factors(t_s, devices_.size(), base);
+  std::shared_ptr<const std::vector<double>> table;
+  if (!factors.empty()) {
+    table = std::make_shared<const std::vector<double>>(std::move(factors));
+  }
+  std::lock_guard<std::mutex> g(drift_mu_);
+  drift_ = std::move(table);
+}
+
+void DifferentialCrossbar::clear_drift() {
+  std::lock_guard<std::mutex> g(drift_mu_);
+  drift_.reset();
+}
+
+std::shared_ptr<const std::vector<double>> DifferentialCrossbar::drift_table()
+    const {
+  std::lock_guard<std::mutex> g(drift_mu_);
+  return drift_;
 }
 
 }  // namespace eb::xbar

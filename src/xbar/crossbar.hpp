@@ -17,10 +17,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "device/drift.hpp"
 #include "device/noise.hpp"
 #include "device/pcm.hpp"
 
@@ -61,18 +64,35 @@ class ElectricalCrossbar {
       RngStream& rng, double t_s = 0.0) const;
 
   // Current a single fully-ON cell contributes at v_read (for full-scale
-  // and calibration computations).
+  // and calibration computations). Pristine (undrifted) values: the
+  // controller calibrates against what it *programmed*, which is exactly
+  // why imposed drift corrupts the digital popcount recovery.
   [[nodiscard]] double on_current(double v_read) const;
   [[nodiscard]] double off_current(double v_read) const;
+
+  // Imposes serving-time drift: every cell's conductance is multiplied
+  // by model.factors(t_s, cells, base) until the next set_drift /
+  // clear_drift. An inactive model (or t_s <= 0) clears the state. Safe
+  // against concurrent vmm_* readers: the factor table is swapped
+  // atomically -- a read sees the old table or the new one, never a mix.
+  void set_drift(const dev::DriftModel& model, double t_s,
+                 const RngStream& base);
+  // Restores pristine programmed conductances (a rewrite at t = 0).
+  void clear_drift();
 
  private:
   [[nodiscard]] const dev::EpcmDevice& cell(std::size_t r,
                                             std::size_t c) const;
   [[nodiscard]] dev::EpcmDevice& cell(std::size_t r, std::size_t c);
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> drift_table()
+      const;
 
   CrossbarDims dims_;
   std::vector<dev::EpcmDevice> cells_;
   RngStream rng_;  // programming-variability draws
+
+  mutable std::mutex drift_mu_;  // guards the drift_ pointer swap
+  std::shared_ptr<const std::vector<double>> drift_;  // null = pristine
 };
 
 class OpticalCrossbar {
@@ -102,17 +122,31 @@ class OpticalCrossbar {
                                                RngStream& rng) const;
 
   // Received power from a single amorphous (transparent) cell at p_in.
+  // Pristine values -- the receiver's calibration reference.
   [[nodiscard]] double on_power(double p_in_mw) const;
   [[nodiscard]] double off_power(double p_in_mw) const;
+
+  // Imposes serving-time aging: every cell's transmission is multiplied
+  // by the model's per-cell factor until the next set_drift /
+  // clear_drift (same contract as ElectricalCrossbar::set_drift).
+  void set_drift(const dev::DriftModel& model, double t_s,
+                 const RngStream& base);
+  // Restores pristine programmed transmissions.
+  void clear_drift();
 
  private:
   [[nodiscard]] const dev::OpcmDevice& cell(std::size_t r,
                                             std::size_t c) const;
   [[nodiscard]] dev::OpcmDevice& cell(std::size_t r, std::size_t c);
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> drift_table()
+      const;
 
   CrossbarDims dims_;
   std::vector<dev::OpcmDevice> cells_;
   RngStream rng_;
+
+  mutable std::mutex drift_mu_;
+  std::shared_ptr<const std::vector<double>> drift_;  // null = pristine
 };
 
 // A 2T2R differential array as used by CustBinaryMap (paper Fig. 2-(a)).
@@ -139,11 +173,26 @@ class DifferentialCrossbar {
                                      const dev::NoiseModel& noise,
                                      RngStream& rng) const;
 
+  // Imposes serving-time drift on the 2 * rows * pairs devices (same
+  // contract as ElectricalCrossbar::set_drift). The PCSA's reference
+  // current stays pristine, so drift past the i_ref midpoint flips
+  // sense-amp decisions.
+  void set_drift(const dev::DriftModel& model, double t_s,
+                 const RngStream& base);
+  // Restores pristine programmed conductances.
+  void clear_drift();
+
  private:
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> drift_table()
+      const;
+
   std::size_t rows_;
   std::size_t pairs_;
   std::vector<dev::EpcmDevice> devices_;  // [row][pair][branch]
   RngStream rng_;
+
+  mutable std::mutex drift_mu_;
+  std::shared_ptr<const std::vector<double>> drift_;  // null = pristine
 };
 
 }  // namespace eb::xbar

@@ -385,6 +385,39 @@ TEST(ShardedDeterminism, NoiseMonteCarloAggregatesBitIdenticalAcrossPools) {
   EXPECT_GT(serial.stats.max(), serial.stats.min());
 }
 
+// ------------------------------------------------- noisy-stream goldens --
+
+// PR 4 changed the optical noise-stream family and CHANGES.md had to note
+// that no test pinned it. This pins the exact noisy integer popcounts
+// every backend produces at a fixed seed, so a stream-family change can
+// never land silently again -- an intentional change updates these
+// constants in the same PR.
+TEST(GoldenNoisyStreams, AllBackendsExactAtFixedSeed) {
+  Rng build_rng(20);
+  const auto task = map::XnorPopcountTask::random(64, 12, 1, build_rng);
+  map::MappedExecutorOptions opt;
+  opt.xbar_rows = 32;
+  opt.xbar_cols = 32;
+  opt.wdm_capacity = 4;
+  const dev::GaussianReadNoise noise(0.05);
+  const std::vector<std::pair<std::string, std::vector<std::size_t>>> want =
+      {
+          {"electrical", {14, 28, 40, 26, 6, 36, 33, 29, 33, 40, 30, 30}},
+          {"optical", {36, 40, 33, 26, 34, 34, 31, 40, 37, 34, 34, 38}},
+          {"cust", {36, 38, 32, 28, 33, 35, 32, 36, 35, 34, 31, 34}},
+      };
+  std::vector<std::string> names;
+  for (const auto& [backend, golden] : want) {
+    names.push_back(backend);
+    const auto mapped = map::make_mapped_executor(backend, task.weights, opt);
+    Rng rng(321);
+    EXPECT_EQ(mapped->execute(task.inputs[0], noise, rng, nullptr), golden)
+        << backend;
+  }
+  // A new backend must be pinned here the moment it joins the factory.
+  EXPECT_EQ(map::mapped_backend_names(), names);
+}
+
 // --------------------------------------------------- scheduler plumbing --
 
 TEST(CrossbarScheduler, ReducesInFlatIndexOrderAndForksPerShard) {

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "device/drift.hpp"
 #include "device/noise.hpp"
 #include "device/pcm.hpp"
 
@@ -66,6 +68,73 @@ TEST(EpcmDevice, NoDriftWhenDisabled) {
   EpcmDevice d(EpcmParams::ideal());
   d.program(1, rng);
   EXPECT_DOUBLE_EQ(d.conductance(0.0), d.conductance(1e6));
+}
+
+// ------------------------------------------------------------ drift model --
+
+TEST(DriftModel, FactorDecaysMonotonicallyAndMatchesPowerLaw) {
+  DriftParams p;
+  p.nu = 0.05;
+  p.nu_sigma = 0.0;  // exact law: no per-cell spread
+  p.t0_s = 1.0;
+  const DriftModel m(p);
+  const RngStream base(0x5EED);
+  // At the reference time the factor is exactly 1; past it the power law
+  // applies verbatim.
+  EXPECT_DOUBLE_EQ(m.factor(1.0, 0, base), 1.0);
+  const double f10 = m.factor(10.0, 0, base);
+  const double f1000 = m.factor(1000.0, 0, base);
+  EXPECT_DOUBLE_EQ(f10, std::pow(10.0, -0.05));
+  EXPECT_DOUBLE_EQ(f1000, std::pow(1000.0, -0.05));
+  EXPECT_GT(1.0, f10);
+  EXPECT_GT(f10, f1000);
+}
+
+TEST(DriftModel, T0NormalizesTheClock) {
+  // Drift is a function of t/t0 only: stretching t0 by 10x and t by 10x
+  // lands on the same factor, cell by cell.
+  DriftParams fast;
+  fast.nu = 0.05;
+  fast.nu_sigma = 0.01;
+  fast.t0_s = 1.0;
+  DriftParams slow = fast;
+  slow.t0_s = 10.0;
+  const RngStream base(0xAB);
+  const DriftModel mf(fast);
+  const DriftModel ms(slow);
+  for (std::size_t cell = 0; cell < 16; ++cell) {
+    EXPECT_DOUBLE_EQ(mf.factor(10.0, cell, base),
+                     ms.factor(100.0, cell, base))
+        << "cell " << cell;
+  }
+}
+
+TEST(DriftModel, NoneIsExactIdentity) {
+  const DriftModel m(DriftParams::none());
+  EXPECT_FALSE(m.active(1e6));
+  const RngStream base(1);
+  EXPECT_DOUBLE_EQ(m.factor(1e6, 3, base), 1.0);
+  EXPECT_TRUE(m.factors(1e6, 64, base).empty());
+  // Freshly programmed (t <= 0) is inactive even with realistic drift.
+  EXPECT_FALSE(DriftModel(DriftParams::realistic()).active(0.0));
+}
+
+TEST(DriftModel, FactorTablesAreDeterministicPerForkAndSpreadPerCell) {
+  const DriftModel m(DriftParams::realistic());
+  const RngStream base(0xD41F7);
+  const auto a = m.factors(100.0, 256, base.fork(7, 0, 0));
+  const auto b = m.factors(100.0, 256, base.fork(7, 0, 0));
+  ASSERT_EQ(a.size(), 256u);
+  // Same fork -> bit-identical table, regardless of when/where computed.
+  EXPECT_EQ(a, b);
+  // Different generation fork -> a different table.
+  EXPECT_NE(a, m.factors(100.0, 256, base.fork(8, 0, 0)));
+  // nu_sigma > 0: cells decay differentially (the corruption mechanism).
+  bool any_differ = false;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    any_differ = any_differ || a[i] != a[0];
+  }
+  EXPECT_TRUE(any_differ);
 }
 
 // ------------------------------------------------------------------ oPCM --

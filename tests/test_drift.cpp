@@ -1,0 +1,435 @@
+// Lifetime-serving suite: PCM drift injection, the virtual clock seam,
+// and canary-driven online recalibration.
+//
+// Contracts under test:
+//  * VirtualClock -- advance() is exact, waiters time out only when
+//    virtual now() really reached their deadline;
+//  * crossbar drift -- set_drift corrupts mapped popcounts (the
+//    calibration stays pristine, so decay is corruption, not rescaling),
+//    clear_drift restores bit-exact gold, and drifted reads are
+//    bit-identical for any thread count (fork discipline);
+//  * DriftMonitor -- the headline end-to-end arc: a virtual-clock
+//    Gateway serving live traffic stays healthy at t0, degrades after a
+//    large virtual age, the canary round detects it, the rewrite
+//    restores accuracy to exactly 1.0, and request accounting shows zero
+//    dropped futures throughout.
+//
+// CI runs this suite under ASan/UBSan and TSan at EB_THREADS=1 and 4;
+// every assertion is exact, so passing at both widths IS the
+// bit-identical acceptance check.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bnn/tensor.hpp"
+#include "common/bitvec.hpp"
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "device/drift.hpp"
+#include "device/noise.hpp"
+#include "mapping/executor.hpp"
+#include "mapping/task.hpp"
+#include "serve/drift_monitor.hpp"
+#include "serve/gateway.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+
+namespace eb {
+namespace {
+
+using bnn::Tensor;
+using serve::DeadlineClass;
+using serve::DriftMonitor;
+using serve::DriftMonitorConfig;
+using serve::Gateway;
+using serve::GatewayConfig;
+using serve::ModelConfig;
+using serve::Result;
+using serve::Status;
+
+// ---------------------------------------------------------- VirtualClock --
+
+TEST(VirtualClock, AdvanceIsExactAndMonotonic) {
+  VirtualClock vc;
+  const auto t0 = vc.now();
+  EXPECT_EQ(vc.now(), t0);  // time stands still on its own
+  vc.advance_us(123);
+  EXPECT_EQ(vc.now() - t0, std::chrono::microseconds(123));
+  vc.advance_s(2);
+  EXPECT_EQ(vc.now() - t0,
+            std::chrono::microseconds(123) + std::chrono::seconds(2));
+}
+
+TEST(VirtualClock, WaitUntilTimesOutOnlyOnVirtualDeadline) {
+  VirtualClock vc;
+  std::mutex mu;
+  std::condition_variable cv;
+  const auto deadline = vc.now() + std::chrono::seconds(100);
+
+  // Already-expired deadlines time out immediately.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    EXPECT_EQ(vc.wait_until(lock, cv, vc.now()), std::cv_status::timeout);
+  }
+
+  // A waiter on a future deadline only times out once virtual time gets
+  // there -- no amount of real time does it.
+  std::atomic<bool> timed_out{false};
+  std::thread waiter([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    while (vc.wait_until(lock, cv, deadline) != std::cv_status::timeout) {
+    }
+    timed_out.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(timed_out.load());  // 100 virtual seconds never passed
+  vc.advance_s(100);
+  waiter.join();  // observed within ~1 ms of real time
+  EXPECT_TRUE(timed_out.load());
+}
+
+// ---------------------------------------------------- executor drift math --
+
+Tensor tensor_of(const BitVec& bits, std::size_t m) {
+  Tensor t({m});
+  for (std::size_t j = 0; j < m; ++j) {
+    t[j] = bits.get(j) ? 1.0 : 0.0;
+  }
+  return t;
+}
+
+// Element-exact match fraction of a served tensor against gold popcounts.
+double exact_fraction(const Tensor& got,
+                      const std::vector<std::size_t>& gold) {
+  if (got.size() != gold.size()) {
+    return 0.0;
+  }
+  std::size_t hits = 0;
+  for (std::size_t j = 0; j < gold.size(); ++j) {
+    hits += std::llround(got[j]) ==
+                    static_cast<long long>(gold[j])
+                ? 1
+                : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(gold.size());
+}
+
+TEST(ExecutorDrift, CorruptsEveryBackendAndClearRestoresExactGold) {
+  Rng build_rng(29);
+  const auto task = map::XnorPopcountTask::random(96, 60, 3, build_rng);
+  const auto gold = task.reference();
+  map::MappedExecutorOptions opt;
+  opt.xbar_rows = 64;
+  opt.xbar_cols = 64;
+  opt.wdm_capacity = 4;
+  const dev::NoNoise none;
+  const dev::DriftModel model(dev::DriftParams::realistic());
+  const RngStream base(0xA6E);
+
+  for (const auto& backend : map::mapped_backend_names()) {
+    const auto mapped = map::make_mapped_executor(backend, task.weights, opt);
+    Rng rng(5);
+    // Pristine: exact.
+    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+      EXPECT_EQ(mapped->execute(task.inputs[i], none, rng, nullptr), gold[i])
+          << backend << " pristine input " << i;
+    }
+    // One aged epoch: the calibration (ADC ranges, sense-amp reference)
+    // stays pristine while the devices decayed, so popcounts corrupt.
+    mapped->set_drift(model, /*t_s=*/1e6, base);
+    bool any_wrong = false;
+    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+      any_wrong = any_wrong ||
+                  mapped->execute(task.inputs[i], none, rng, nullptr) !=
+                      gold[i];
+    }
+    EXPECT_TRUE(any_wrong) << backend << ": drift changed nothing";
+    // Rewrite semantics: clearing the table restores bit-exact gold.
+    mapped->clear_drift();
+    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+      EXPECT_EQ(mapped->execute(task.inputs[i], none, rng, nullptr), gold[i])
+          << backend << " post-clear input " << i;
+    }
+  }
+}
+
+TEST(ExecutorDrift, DriftedReadsAreBitIdenticalAcrossThreadCounts) {
+  Rng build_rng(31);
+  const auto task = map::XnorPopcountTask::random(180, 300, 4, build_rng);
+  map::MappedExecutorOptions opt;
+  opt.xbar_rows = 128;
+  opt.xbar_cols = 128;
+  opt.wdm_capacity = 4;
+  const dev::NoNoise none;
+  const dev::DriftModel model(dev::DriftParams::realistic());
+  const RngStream base(0xF0);
+
+  for (const auto& backend : map::mapped_backend_names()) {
+    const auto mapped = map::make_mapped_executor(backend, task.weights, opt);
+    mapped->set_drift(model, /*t_s=*/5e4, base);
+    Rng serial_rng(7);
+    std::vector<std::vector<std::size_t>> serial;
+    for (const auto& x : task.inputs) {
+      serial.push_back(mapped->execute(x, none, serial_rng, nullptr));
+    }
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ThreadPool pool(threads);
+      Rng rng(7);
+      for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+        EXPECT_EQ(mapped->execute(task.inputs[i], none, rng, &pool),
+                  serial[i])
+            << backend << " threads=" << threads << " input=" << i;
+      }
+    }
+    // Re-imposing the same (epoch, fork) is a pure function: the factor
+    // table -- and therefore every read -- reproduces bit-identically.
+    mapped->clear_drift();
+    mapped->set_drift(model, /*t_s=*/5e4, base);
+    Rng again_rng(7);
+    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+      EXPECT_EQ(mapped->execute(task.inputs[i], none, again_rng, nullptr),
+                serial[i])
+          << backend << " re-impose input " << i;
+    }
+  }
+}
+
+// ----------------------------------------------- gateway under drift (no
+// monitor): serving degrades, a rewrite restores, nothing is dropped --
+
+TEST(GatewayDrift, ServingDegradesUnderDriftAndRewriteRestoresExactness) {
+  Rng build_rng(37);
+  const auto task = map::XnorPopcountTask::random(96, 40, 4, build_rng);
+  const auto gold = task.reference();
+  map::MappedExecutorOptions opt;
+  opt.xbar_rows = 64;
+  opt.xbar_cols = 64;
+  std::shared_ptr<const map::MappedExecutor> exec =
+      map::make_mapped_executor("electrical", task.weights, opt);
+
+  GatewayConfig gcfg;
+  gcfg.pool_threads = 0;  // EB_THREADS-controlled: CI sweeps 1 and 4
+  for (auto& cls : gcfg.classes) {
+    cls.default_deadline_us = 0;
+  }
+  Gateway gw(gcfg);
+  ModelConfig mcfg;
+  mcfg.server.max_batch = 4;
+  mcfg.server.batching_window_us = 0;
+  gw.register_model("pcm", exec, std::make_shared<dev::NoNoise>(), mcfg);
+
+  const auto serve_all = [&] {
+    std::vector<Tensor> outputs;
+    for (const auto& x : task.inputs) {
+      Result r = gw.submit("pcm", tensor_of(x, task.m()),
+                           DeadlineClass::kInteractive)
+                     .get();
+      EXPECT_EQ(r.status, Status::kOk) << to_string(r.status);
+      outputs.push_back(std::move(r.output));
+    }
+    return outputs;
+  };
+
+  // Deploy time: bit-exact gold through the full serving stack.
+  auto fresh = serve_all();
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_DOUBLE_EQ(exact_fraction(fresh[i], gold[i]), 1.0) << i;
+  }
+  // Aged: the same requests now come back wrong -- served, not dropped.
+  exec->set_drift(dev::DriftModel(dev::DriftParams::realistic()),
+                  /*t_s=*/1e6, RngStream(0xBAD));
+  auto aged = serve_all();
+  double worst = 1.0;
+  for (std::size_t i = 0; i < aged.size(); ++i) {
+    worst = std::min(worst, exact_fraction(aged[i], gold[i]));
+  }
+  EXPECT_LT(worst, 1.0);
+  // Rewrite: pristine again, still zero rejected/lost requests.
+  exec->clear_drift();
+  auto rewritten = serve_all();
+  for (std::size_t i = 0; i < rewritten.size(); ++i) {
+    EXPECT_DOUBLE_EQ(exact_fraction(rewritten[i], gold[i]), 1.0) << i;
+  }
+  const auto snap = gw.metrics();
+  EXPECT_EQ(snap.submitted, 3 * task.inputs.size());
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.rejected, 0u);
+}
+
+// ------------------------------------------------------- monitor plumbing --
+
+TEST(DriftMonitor, RejectsDegenerateConfigs) {
+  Gateway gw;
+  Rng rng(1);
+  const auto task = map::XnorPopcountTask::random(8, 4, 1, rng);
+  DriftMonitorConfig cfg;
+  cfg.model = "m";
+  cfg.exec = map::make_mapped_executor("electrical", task.weights, {});
+  serve::Canary probe;
+  probe.input = Tensor({8});
+  probe.gold = {1, 2, 3, 4};
+  cfg.canaries = {probe};
+
+  auto bad = cfg;
+  bad.model.clear();
+  EXPECT_THROW((DriftMonitor(gw, bad)), Error);
+  bad = cfg;
+  bad.exec.reset();
+  EXPECT_THROW((DriftMonitor(gw, bad)), Error);
+  bad = cfg;
+  bad.canaries.clear();
+  EXPECT_THROW((DriftMonitor(gw, bad)), Error);
+  bad = cfg;
+  bad.canaries[0].gold.clear();
+  EXPECT_THROW((DriftMonitor(gw, bad)), Error);
+  bad = cfg;
+  bad.interval_us = 0;
+  EXPECT_THROW((DriftMonitor(gw, bad)), Error);
+  bad = cfg;
+  bad.min_accuracy = 1.5;
+  EXPECT_THROW((DriftMonitor(gw, bad)), Error);
+}
+
+// --------------------------------------------------- end-to-end headline --
+
+// The acceptance arc, scripted on one VirtualClock shared by the gateway
+// (admission stamps + batching windows), the model server, and the
+// monitor (drift ages + canary cadence):
+//
+//   epoch 1   t_s = 1 s       factor == (1/t0)^-nu == 1 exactly -> healthy
+//   [advance 10'000 virtual seconds]
+//   epoch 2   t_s = 10'001 s  canaries collapse -> rewrite fires
+//   epoch 3   t_s = 1 s       fresh generation -> accuracy back to 1.0
+//
+// Live interactive traffic runs through all three phases; every
+// submitted future must resolve kOk.
+TEST(DriftMonitor, EndToEndDegradeDetectRewriteRecover) {
+  Rng build_rng(41);
+  const auto task = map::XnorPopcountTask::random(96, 48, 6, build_rng);
+  const auto gold = task.reference();
+  map::MappedExecutorOptions opt;
+  opt.xbar_rows = 64;
+  opt.xbar_cols = 64;
+  std::shared_ptr<const map::MappedExecutor> exec =
+      map::make_mapped_executor("electrical", task.weights, opt);
+
+  VirtualClock vclock;
+  GatewayConfig gcfg;
+  gcfg.pool_threads = 0;  // EB_THREADS-controlled: CI sweeps 1 and 4
+  gcfg.clock = &vclock;
+  for (auto& cls : gcfg.classes) {
+    cls.default_deadline_us = 0;  // virtual jumps must not expire tenants
+  }
+  Gateway gw(gcfg);
+  ModelConfig mcfg;
+  mcfg.server.max_batch = 4;
+  // Window 0: batches close immediately, so traffic and canaries flow
+  // without the test having to advance time for every dispatch.
+  mcfg.server.batching_window_us = 0;
+  gw.register_model("pcm", exec, std::make_shared<dev::NoNoise>(), mcfg);
+
+  // Live tenant traffic through all three phases.
+  std::atomic<bool> stop_traffic{false};
+  std::atomic<std::size_t> traffic_sent{0};
+  std::atomic<std::size_t> traffic_ok{0};
+  std::thread traffic([&] {
+    std::size_t i = 0;
+    while (!stop_traffic.load(std::memory_order_relaxed)) {
+      const auto& x = task.inputs[i % task.inputs.size()];
+      Result r = gw.submit("pcm", tensor_of(x, task.m()),
+                           DeadlineClass::kInteractive)
+                     .get();
+      traffic_sent.fetch_add(1, std::memory_order_relaxed);
+      traffic_ok.fetch_add(r.status == Status::kOk ? 1 : 0,
+                           std::memory_order_relaxed);
+      ++i;
+    }
+  });
+
+  DriftMonitorConfig dcfg;
+  dcfg.model = "pcm";
+  dcfg.exec = exec;
+  dcfg.drift = dev::DriftParams::realistic();
+  for (std::size_t i = 0; i < 4; ++i) {
+    serve::Canary probe;
+    probe.input = tensor_of(task.inputs[i], task.m());
+    probe.gold = gold[i];
+    dcfg.canaries.push_back(std::move(probe));
+  }
+  dcfg.interval_us = 1'000'000;  // 1 virtual second per epoch
+  dcfg.min_accuracy = 0.99;
+  dcfg.clock = &vclock;
+  DriftMonitor mon(gw, dcfg);
+
+  // Advance virtual time, then wait (real time) for the monitor to
+  // finish the epoch; the clock is frozen while it runs, so every
+  // epoch's t_s is exact.
+  const auto advance_and_await = [&](std::uint64_t us, std::size_t epochs) {
+    vclock.advance_us(us);
+    for (int spin = 0; spin < 20000 && mon.epochs() < epochs; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(mon.epochs(), epochs);
+  };
+
+  // Epoch 1: t_s = 1 s = t0, every drift factor is exactly 1 -> healthy.
+  advance_and_await(1'000'000, 1);
+  EXPECT_DOUBLE_EQ(mon.last_accuracy(), 1.0);
+  EXPECT_EQ(mon.rewrites(), 0u);
+  EXPECT_EQ(mon.generation(), 0u);
+
+  // Age 10'000 virtual seconds: epoch 2 sees t_s = 10'001 s, the
+  // canaries collapse, and the monitor rewrites the crossbars.
+  advance_and_await(10'000'000'000ULL, 2);
+  EXPECT_LT(mon.last_accuracy(), 0.99);
+  EXPECT_EQ(mon.rewrites(), 1u);
+  EXPECT_EQ(mon.generation(), 1u);
+
+  // Epoch 3: one virtual second into the NEW generation -> factor 1
+  // again; post-rewrite canary accuracy is exactly gold.
+  advance_and_await(1'000'000, 3);
+  EXPECT_DOUBLE_EQ(mon.last_accuracy(), 1.0);
+  EXPECT_EQ(mon.rewrites(), 1u);
+
+  stop_traffic.store(true);
+  traffic.join();
+  mon.stop();
+
+  // Zero dropped/lost futures: every tenant request resolved kOk (the
+  // rewrite swapped tables in place; the model never left the registry),
+  // and the gateway completed everything it admitted.
+  EXPECT_GT(traffic_sent.load(), 0u);
+  EXPECT_EQ(traffic_ok.load(), traffic_sent.load());
+  const auto snap = gw.metrics();
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.canaries_sent, 3u);    // one canary round per epoch
+  EXPECT_EQ(snap.canary_failures, 1u);  // only epoch 2 fell below floor
+  EXPECT_EQ(snap.rewrites, 1u);
+  EXPECT_GE(snap.rewrite_us_last, 1u);
+
+  // Post-rewrite serving is bit-exact gold end to end.
+  for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+    Result r = gw.submit("pcm", tensor_of(task.inputs[i], task.m()),
+                         DeadlineClass::kInteractive)
+                   .get();
+    ASSERT_EQ(r.status, Status::kOk);
+    EXPECT_DOUBLE_EQ(exact_fraction(r.output, gold[i]), 1.0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace eb

@@ -42,6 +42,7 @@
 #include "bnn/model_zoo.hpp"
 #include "bnn/network.hpp"
 #include "bnn/tensor.hpp"
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "mapping/task.hpp"
@@ -351,8 +352,12 @@ TEST(Gateway, WeightedSchedulingApproaches3To1UnderSaturation) {
 // -------------------------------------------------------------- deadlines --
 
 TEST(Gateway, ClassDefaultDeadlineAppliesAndExpiresAsDeadlineExceeded) {
+  // Deterministic deadline expiry on a virtual clock: time only moves
+  // when the handler advances it, so the schedule is scripted, not raced.
+  VirtualClock vclock;
   GatewayConfig gcfg;
   gcfg.pool_threads = 1;
+  gcfg.clock = &vclock;
   // Interactive requests default to a 5 ms end-to-end budget.
   gcfg.classes[static_cast<std::size_t>(DeadlineClass::kInteractive)] = {
       /*weight=*/4.0, /*default_deadline_us=*/5'000, /*queue_capacity=*/64};
@@ -363,10 +368,17 @@ TEST(Gateway, ClassDefaultDeadlineAppliesAndExpiresAsDeadlineExceeded) {
   mcfg.server.batching_window_us = 0;
   mcfg.server.workers = 1;
   mcfg.server.queue_capacity = 1;
+  // The handler parks until every request is admitted (so all deadlines
+  // anchor to the same virtual instant), then each service costs exactly
+  // 3 virtual milliseconds.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
   gw.register_model(
       "sleepy",
-      [](std::span<const Tensor> batch, ThreadPool&) -> std::vector<Tensor> {
-        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      [&vclock, released](std::span<const Tensor> batch,
+                          ThreadPool&) -> std::vector<Tensor> {
+        released.wait();
+        vclock.advance_us(3'000);
         return {batch.begin(), batch.end()};
       },
       mcfg);
@@ -381,6 +393,7 @@ TEST(Gateway, ClassDefaultDeadlineAppliesAndExpiresAsDeadlineExceeded) {
     besteffort.push_back(
         gw.submit("sleepy", Tensor({1}), DeadlineClass::kBestEffort));
   }
+  release.set_value();
   std::size_t expired = 0;
   for (auto& f : interactive) {
     const Result r = f.get();
@@ -389,7 +402,10 @@ TEST(Gateway, ClassDefaultDeadlineAppliesAndExpiresAsDeadlineExceeded) {
         << to_string(r.status);
     expired += r.status == Status::kDeadlineExceeded ? 1 : 0;
   }
-  EXPECT_GE(expired, 1u);  // the 5 ms default budget really applied
+  // Every deadline reads t0 + 5 ms and each service moves the clock 3 ms,
+  // so at most two services of any class fit the budget: at least ten of
+  // the twelve interactive requests MUST expire.
+  EXPECT_GE(expired, 10u);
   for (auto& f : besteffort) {
     EXPECT_EQ(f.get().status, Status::kOk);  // no default deadline
   }
@@ -688,6 +704,30 @@ class WireClient {
     }
   }
 
+  // Blocks until one whole type-6 stats frame arrives.
+  bool read_stats(wire::StatsFrame& out) {
+    std::uint8_t chunk[4096];
+    for (;;) {
+      std::size_t consumed = 0;
+      const auto st = serve::wire::decode_stats(buf_.data(), buf_.size(),
+                                                out, consumed);
+      if (st == serve::wire::DecodeStatus::kOk) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+        return true;
+      }
+      if (st != serve::wire::DecodeStatus::kNeedMoreData) {
+        ADD_FAILURE() << "bad stats frame: " << to_string(st);
+        return false;
+      }
+      const ssize_t k = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (k <= 0) {
+        return false;
+      }
+      buf_.insert(buf_.end(), chunk, chunk + k);
+    }
+  }
+
   // Blocks until one whole response frame arrives (or EOF -> nullopt-ish
   // failure reported through gtest).
   bool read_response(wire::ResponseFrame& out) {
@@ -833,6 +873,38 @@ TEST(TcpFrontend, MalformedFramesGetErrorResponsesWithoutCrashing) {
   const auto stats = frontend.stats();
   EXPECT_EQ(stats.malformed, 2u);
   EXPECT_GE(stats.connections, 3u);
+}
+
+// The drift-monitor counters flow from Gateway::record_canary /
+// record_rewrite through GatewaySnapshot into the type-6 stats response
+// a remote balancer polls.
+TEST(Gateway, DriftCountersSurfaceInSnapshotAndStatsFrame) {
+  Gateway gw;
+  gw.record_canary(true);
+  gw.record_canary(true);
+  gw.record_canary(false);
+  gw.record_rewrite(1'234);
+  gw.record_rewrite(567);
+
+  const auto snap = gw.metrics();
+  EXPECT_EQ(snap.canaries_sent, 3u);
+  EXPECT_EQ(snap.canary_failures, 1u);
+  EXPECT_EQ(snap.rewrites, 2u);
+  EXPECT_EQ(snap.rewrite_us_last, 567u);  // latest, not largest
+
+  TcpFrontend frontend(gw);
+  WireClient client(frontend.port());
+  wire::StatsFrame req;
+  req.request_id = 4242;
+  client.send_bytes(serve::wire::encode_stats(req));
+  wire::StatsFrame resp;
+  ASSERT_TRUE(client.read_stats(resp));
+  EXPECT_TRUE(resp.response);
+  EXPECT_EQ(resp.request_id, 4242u);
+  EXPECT_EQ(resp.canaries_sent, 3u);
+  EXPECT_EQ(resp.canary_failures, 1u);
+  EXPECT_EQ(resp.rewrites, 2u);
+  EXPECT_EQ(resp.rewrite_us_last, 567u);
 }
 
 TEST(TcpFrontend, UnknownModelOverWireResolvesRejected) {

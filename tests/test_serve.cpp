@@ -31,6 +31,7 @@
 #include "bnn/model_zoo.hpp"
 #include "bnn/network.hpp"
 #include "bnn/tensor.hpp"
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "device/noise.hpp"
@@ -219,22 +220,29 @@ TEST(Server, FullBatchClosesBeforeWindowExpires) {
 TEST(Server, WindowExpiryDispatchesPartialBatch) {
   const Network net = make_net();
   const auto inputs = make_inputs(3);
+  // Virtual time: the 50 ms window expires because the test advances the
+  // clock, not because anything sleeps 50 ms.
+  VirtualClock vclock;
   ServerConfig cfg;
   cfg.max_batch = 64;
-  cfg.batching_window_us = 50'000;  // 50 ms
+  cfg.batching_window_us = 50'000;  // 50 ms (virtual)
   cfg.workers = 1;
+  cfg.clock = &vclock;
   Server server(net, cfg);
   std::vector<std::future<Result>> futures;
   for (const auto& in : inputs) {
     futures.push_back(server.submit(in));
   }
+  vclock.advance_us(50'000);  // expire the window
   for (auto& f : futures) {
     const Result res = f.get();
     ASSERT_EQ(res.status, Status::kOk);
     // The window closed the batch well short of max_batch, with every
     // request that arrived inside it on board.
     EXPECT_EQ(res.batch_size, 3u);
-    EXPECT_GE(res.total_us, 20'000.0);  // waited out (most of) the window
+    // Latencies are measured on the injected clock: the batch formed
+    // exactly one (virtual) window after enqueue.
+    EXPECT_GE(res.queue_us, 50'000.0);
   }
 }
 
@@ -265,15 +273,20 @@ TEST(Server, ZeroWindowServesSingletonBatches) {
 TEST(Server, ExpiredRequestsCompleteWithDeadlineExceeded) {
   const Network net = make_net();
   const auto inputs = make_inputs(8);
+  VirtualClock vclock;
   ServerConfig cfg;
   cfg.max_batch = 1024;
   cfg.batching_window_us = 30'000;  // 30 ms window...
   cfg.workers = 1;
+  cfg.clock = &vclock;
   Server server(net, cfg);
   std::vector<std::future<Result>> futures;
   for (const auto& in : inputs) {
     futures.push_back(server.submit(in, /*deadline_us=*/1000));  // ...1 ms
   }
+  // One virtual step past the window: every deadline (1 ms) expired long
+  // before the batch could form at the 30 ms mark.
+  vclock.advance_us(30'000);
   for (auto& f : futures) {
     const Result res = f.get();  // fulfilled, not dropped
     EXPECT_EQ(res.status, Status::kDeadlineExceeded);
@@ -373,11 +386,15 @@ TEST(Server, CallbackModeHandlerExceptionBecomesInternalError) {
 TEST(Server, QueueCapacityAppliesBackpressure) {
   const Network net = make_net();
   const auto inputs = make_inputs(6);
+  // Virtual clock: the 2 s window never ticks, so the queue provably
+  // backs up until shutdown() drains it.
+  VirtualClock vclock;
   ServerConfig cfg;
   cfg.max_batch = 64;
   cfg.batching_window_us = 2'000'000;  // 2 s: requests sit in the queue
   cfg.workers = 1;
   cfg.queue_capacity = 4;
+  cfg.clock = &vclock;
   Server server(net, cfg);
   std::vector<std::future<Result>> futures;
   for (const auto& in : inputs) {

@@ -808,6 +808,10 @@ TEST(Wire, StatsFramesRoundTripAndRejectTruncation) {
   resp.errors = 1;
   resp.invalid = 4;
   resp.queue_depth = 10;
+  resp.canaries_sent = 42;
+  resp.canary_failures = 6;
+  resp.rewrites = 5;
+  resp.rewrite_us_last = 1234;
   resp.models.push_back({"mlp-a", 128, 5, 60});
   resp.models.push_back({"mlp-b", 96, 2, 30});
   const auto respf = wire::encode_stats(resp);
@@ -828,6 +832,10 @@ TEST(Wire, StatsFramesRoundTripAndRejectTruncation) {
   EXPECT_EQ(out.errors, 1u);
   EXPECT_EQ(out.invalid, 4u);
   EXPECT_EQ(out.queue_depth, 10u);
+  EXPECT_EQ(out.canaries_sent, 42u);
+  EXPECT_EQ(out.canary_failures, 6u);
+  EXPECT_EQ(out.rewrites, 5u);
+  EXPECT_EQ(out.rewrite_us_last, 1234u);
   ASSERT_EQ(out.models.size(), 2u);
   EXPECT_EQ(out.models[0].id, "mlp-a");
   EXPECT_EQ(out.models[0].input_size, 128u);
@@ -850,9 +858,10 @@ TEST(Wire, StatsFramesRoundTripAndRejectTruncation) {
   EXPECT_EQ(wire::decode_stats(bad.data(), bad.size(), out, consumed),
             wire::DecodeStatus::kMalformed);
 
-  // Empty model id inside a response entry.
+  // Empty model id inside a response entry. 11 u64 counters precede the
+  // model count: 7 since v2 plus the 4 drift counters v3 appended.
   bad = respf;
-  const std::size_t first_id_len = 4 + 4 + 1 + 1 + 1 + 1 + 8 + 7 * 8 + 2;
+  const std::size_t first_id_len = 4 + 4 + 1 + 1 + 1 + 1 + 8 + 11 * 8 + 2;
   bad[first_id_len] = 0;
   bad[first_id_len + 1] = 0;
   EXPECT_EQ(wire::decode_stats(bad.data(), bad.size(), out, consumed),
