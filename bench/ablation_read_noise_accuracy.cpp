@@ -49,7 +49,7 @@ struct NoisyPipeline {
     hidden_bn = dynamic_cast<const bnn::BatchNormLayer*>(&net.layer(4));
     last = dynamic_cast<const bnn::DenseLayer*>(
         &net.layer(net.layer_count() - 1));
-    for (const double t : hidden_bn->fold_to_thresholds()) {
+    for (const double t : hidden_bn->fold_to_thresholds().thr) {
       thresholds.push_back(static_cast<long long>(std::ceil(t)));
     }
   }

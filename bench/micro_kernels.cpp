@@ -17,8 +17,10 @@
 #include "bnn/autotune.hpp"
 #include "bnn/batch_runner.hpp"
 #include "bnn/binarize.hpp"
+#include "bnn/format.hpp"
 #include "bnn/kernels.hpp"
 #include "bnn/layers.hpp"
+#include "bnn/network.hpp"
 #include "bnn/packed.hpp"
 #include "common/bitvec.hpp"
 #include "common/config.hpp"
@@ -202,6 +204,103 @@ void BM_PackedBatchedDense(benchmark::State& state) {
                                                kEngineDim));
 }
 BENCHMARK(BM_PackedBatchedDense)->Arg(1)->Arg(0);
+
+// -- BatchNorm+Sign epilogue vs folded integer threshold ------------------
+//
+// The serving epilogue of a binary hidden layer: sign(BN(x)) over integer
+// pre-activations against the ThresholdLayer fold_network() replaces it
+// with (docs/MODELS.md). Both run over the same batch of pre-activations
+// from the 1024x1024 engine layer; the fixture checks bit-identity once at
+// construction so the timed pair can never drift apart semantically. Half
+// the BN channels carry negative gamma, so the folded path exercises
+// flipped comparisons too.
+
+struct EpilogueFixture {
+  eb::bnn::Network unfolded;  // fc | bn | sign
+  eb::bnn::Network folded;    // fc | threshold
+  std::vector<eb::bnn::Tensor> pre;
+
+  EpilogueFixture()
+      : unfolded(make_unfolded()),
+        folded(eb::bnn::fold_network(unfolded)),
+        pre(make_pre(unfolded)) {
+    EB_REQUIRE(folded.layer_count() == 2 &&
+                   folded.layer(1).spec().kind ==
+                       eb::bnn::LayerKind::Threshold,
+               "epilogue fixture did not fold to a ThresholdLayer");
+    for (const auto& x : pre) {
+      const eb::bnn::Tensor a =
+          unfolded.layer(2).forward(unfolded.layer(1).forward(x));
+      const eb::bnn::Tensor b = folded.layer(1).forward(x);
+      for (std::size_t c = 0; c < a.size(); ++c) {
+        EB_REQUIRE(a[c] == b[c], "folded epilogue diverged from BN+Sign");
+      }
+    }
+  }
+
+  static eb::bnn::Network make_unfolded() {
+    eb::Rng rng(10);
+    eb::bnn::Network net("epilogue-bench", "synthetic");
+    net.add(eb::bnn::BinaryDenseLayer::random("fc", kEngineDim, kEngineDim,
+                                              rng));
+    std::vector<double> gamma(kEngineDim);
+    std::vector<double> beta(kEngineDim);
+    std::vector<double> mean(kEngineDim);
+    std::vector<double> var(kEngineDim);
+    for (std::size_t c = 0; c < kEngineDim; ++c) {
+      gamma[c] = (c % 2 == 0 ? 1.0 : -1.0) * rng.uniform(0.2, 1.5);
+      beta[c] = rng.uniform(-0.5, 0.5);
+      mean[c] = rng.uniform(-32.0, 32.0);
+      var[c] = rng.uniform(1.0, 64.0);
+    }
+    net.add(eb::bnn::BatchNormLayer("bn", gamma, beta, mean, var));
+    net.add(eb::bnn::SignLayer("sign", kEngineDim));
+    return net;
+  }
+
+  static std::vector<eb::bnn::Tensor> make_pre(const eb::bnn::Network& net) {
+    eb::Rng rng(11);
+    std::vector<eb::bnn::Tensor> xs;
+    xs.reserve(kEngineBatch);
+    for (std::size_t i = 0; i < kEngineBatch; ++i) {
+      xs.push_back(net.layer(0).forward(eb::bnn::to_signed_tensor(
+          eb::BitVec::random(kEngineDim, rng), {kEngineDim})));
+    }
+    return xs;
+  }
+};
+
+const EpilogueFixture& epilogue_fixture() {
+  static const EpilogueFixture f;
+  return f;
+}
+
+void BM_BatchNormSignEpilogue(benchmark::State& state) {
+  const auto& f = epilogue_fixture();
+  const eb::bnn::Layer& bn = f.unfolded.layer(1);
+  const eb::bnn::Layer& sign = f.unfolded.layer(2);
+  for (auto _ : state) {
+    for (const auto& x : f.pre) {
+      benchmark::DoNotOptimize(sign.forward(bn.forward(x)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEngineBatch * kEngineDim));
+}
+BENCHMARK(BM_BatchNormSignEpilogue);
+
+void BM_FoldedThresholdEpilogue(benchmark::State& state) {
+  const auto& f = epilogue_fixture();
+  const eb::bnn::Layer& thr = f.folded.layer(1);
+  for (auto _ : state) {
+    for (const auto& x : f.pre) {
+      benchmark::DoNotOptimize(thr.forward(x));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEngineBatch * kEngineDim));
+}
+BENCHMARK(BM_FoldedThresholdEpilogue);
 
 // -- serial vs sharded mapped execution ----------------------------------
 //

@@ -44,9 +44,15 @@ BaselineEpcmEngine::BaselineEpcmEngine(const bnn::Network& net,
     layer.m = fc->weights().cols();
     layer.n = fc->weights().rows();
     layer.mapped = std::make_unique<map::CustBinaryMap>(fc->weights(), cfg_);
-    for (const double t : bn->fold_to_thresholds()) {
-      layer.sign_thresholds.push_back(static_cast<long long>(std::ceil(t)));
+    const auto fold = bn->fold_to_thresholds();
+    for (std::size_t j = 0; j < fold.thr.size(); ++j) {
+      // Integer pre-activations: x >= t becomes x >= ceil(t); the flipped
+      // (gamma < 0) direction x <= t becomes x <= floor(t).
+      layer.sign_thresholds.push_back(static_cast<long long>(
+          fold.flip[j] != 0 ? std::floor(fold.thr[j])
+                            : std::ceil(fold.thr[j])));
     }
+    layer.sign_flips = fold.flip;
     hidden_.push_back(std::move(layer));
   }
   EB_REQUIRE(!hidden_.empty(), "network has no binarized hidden layers");
@@ -72,7 +78,8 @@ BaselineRun BaselineEpcmEngine::run(const bnn::Tensor& input) const {
       // Eq. 1 affine + folded BN threshold in the digital periphery.
       const long long y = 2 * static_cast<long long>(popcounts[j]) -
                           static_cast<long long>(layer.m);
-      next.set(j, y >= layer.sign_thresholds[j]);
+      next.set(j, layer.sign_flips[j] != 0 ? y <= layer.sign_thresholds[j]
+                                           : y >= layer.sign_thresholds[j]);
     }
     bits = std::move(next);
   }

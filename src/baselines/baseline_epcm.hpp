@@ -47,7 +47,8 @@ class BaselineEpcmEngine {
  private:
   struct HiddenLayer {
     std::unique_ptr<map::CustBinaryMap> mapped;
-    std::vector<long long> sign_thresholds;  // folded BN, ceil'd
+    std::vector<long long> sign_thresholds;  // folded BN, ceil'd/floor'd
+    std::vector<std::uint8_t> sign_flips;    // 1 where gamma < 0
     std::size_t m = 0;
     std::size_t n = 0;
   };

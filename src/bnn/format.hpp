@@ -1,0 +1,89 @@
+// EBM ("EinsteinBarrier Model") binary model persistence.
+//
+// A .ebm file is a self-describing, CRC-protected serialization of one
+// bnn::Network -- weights, BatchNorm statistics and folded thresholds --
+// that round-trips bit-identically: every double is stored as its IEEE-754
+// bit pattern, every binary weight row as its packed 64-bit words, so
+// load_network(save_network(net)) serves byte-identical predictions.
+//
+// Layout (all integers little-endian):
+//
+//   +--------+---------+----------+------+---------+-------------+
+//   | u32    | u16     | u16      | str  | str     | u32         |
+//   | magic  | version | reserved | name | dataset | layer_count |
+//   +--------+---------+----------+------+---------+-------------+
+//   | layer sections ...                                         |
+//   +------------------------------------------------------------+
+//   | u32 crc32 over every preceding byte                        |
+//   +------------------------------------------------------------+
+//
+// Each layer section is `u8 type | u32 body_len | body`; strings are
+// `u16 len | bytes`. Decoding is bounds-checked like serve/wire.hpp --
+// every length is validated against the remaining bytes *before* any
+// allocation, truncated or tampered input raises eb::Error, and the CRC
+// trailer is verified before the first field is parsed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bnn/network.hpp"
+
+namespace eb::bnn {
+
+inline constexpr std::uint32_t kEbmMagic = 0x314D4245u;  // "EBM1" on disk
+inline constexpr std::uint16_t kEbmVersion = 1;
+
+// Decode-side caps, enforced before allocating anything.
+inline constexpr std::size_t kEbmMaxBytes = std::size_t{1} << 30;
+inline constexpr std::size_t kEbmMaxLayers = 4096;
+inline constexpr std::size_t kEbmMaxString = 4096;
+inline constexpr std::size_t kEbmMaxDim = std::size_t{1} << 24;
+
+// Section type tags (`u8 type` above), one per concrete Layer class.
+enum class EbmLayerType : std::uint8_t {
+  kDense = 1,
+  kBinaryDense = 2,
+  kConv2d = 3,
+  kBinaryConv2d = 4,
+  kBatchNorm = 5,
+  kSign = 6,
+  kMaxPool2d = 7,
+  kFlatten = 8,
+  kThreshold = 9,
+};
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+// Serializes the network to EBM bytes / parses EBM bytes back into a
+// network. decode_network throws eb::Error on any malformed, truncated,
+// tampered or oversized input.
+[[nodiscard]] std::vector<std::uint8_t> encode_network(const Network& net);
+[[nodiscard]] Network decode_network(const std::uint8_t* data,
+                                     std::size_t size);
+
+// File front ends: save writes atomically (tmp + rename); load reads the
+// whole file (capped at kEbmMaxBytes) and decodes it.
+void save_network(const Network& net, const std::string& path);
+[[nodiscard]] Network load_network(const std::string& path);
+
+// Export-time BatchNorm+Sign folding: returns a copy of `net` where every
+// BN+Sign pair whose pre-activations are integer-valued (produced by a
+// BinaryDense/BinaryConv2d layer, possibly through MaxPool/Flatten) is
+// replaced by a ThresholdLayer. The integer threshold of each channel is
+// the exact sign flip point of the BN affine map, found by binary search
+// over the pre-activation range [-m, m] using the same float expression
+// the unfolded forward pass evaluates -- so the folded network is
+// bit-identical to the original, but its binary hidden layers finish with
+// one integer comparison instead of the BN divide/sqrt epilogue. Negative
+// gamma flips the comparison direction; BN+Sign pairs fed by real-valued
+// layers are kept unfolded.
+[[nodiscard]] Network fold_network(const Network& net);
+
+// Human-readable per-layer summary (ebtool inspect).
+[[nodiscard]] std::string summarize_network(const Network& net);
+
+}  // namespace eb::bnn

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "bnn/binarize.hpp"
 #include "bnn/real_gemm.hpp"
@@ -525,15 +526,40 @@ Tensor BatchNormLayer::forward(const Tensor& x) const {
   return y;
 }
 
-std::vector<double> BatchNormLayer::fold_to_thresholds() const {
-  std::vector<double> thr(gamma_.size());
+bool ThresholdFold::any_flip() const {
+  return std::any_of(flip.begin(), flip.end(),
+                     [](std::uint8_t f) { return f != 0; });
+}
+
+ThresholdFold BatchNormLayer::fold_to_thresholds() const {
+  ThresholdFold fold;
+  fold.thr.resize(gamma_.size());
+  fold.flip.assign(gamma_.size(), 0);
   for (std::size_t c = 0; c < gamma_.size(); ++c) {
-    EB_REQUIRE(gamma_[c] > 0.0,
-               "threshold folding requires positive gamma in " + name_);
-    // sign(gamma*(x-mean)/sqrt(var+eps)+beta) == sign(x - thr)
-    thr[c] = mean_[c] - beta_[c] * std::sqrt(var_[c] + eps_) / gamma_[c];
+    if (gamma_[c] == 0.0) {
+      // BN(x) is the constant beta: the channel never changes sign.
+      fold.thr[c] = beta_[c] >= 0.0
+                        ? -std::numeric_limits<double>::infinity()
+                        : std::numeric_limits<double>::infinity();
+      continue;
+    }
+    // sign(gamma*(x-mean)/sqrt(var+eps)+beta) == sign(x - thr) for
+    // gamma > 0; for gamma < 0 the affine map is decreasing, so the
+    // comparison direction flips: +1 iff x <= thr.
+    fold.thr[c] = mean_[c] - beta_[c] * std::sqrt(var_[c] + eps_) / gamma_[c];
+    fold.flip[c] = gamma_[c] < 0.0 ? 1 : 0;
   }
-  return thr;
+  return fold;
+}
+
+double BatchNormLayer::apply_channel(std::size_t c, double x,
+                                     std::size_t rank) const {
+  EB_ASSERT(c < gamma_.size(), "batchnorm channel out of range");
+  if (rank == 1) {
+    return gamma_[c] * (x - mean_[c]) / std::sqrt(var_[c] + eps_) + beta_[c];
+  }
+  const double scale = gamma_[c] / std::sqrt(var_[c] + eps_);
+  return scale * (x - mean_[c]) + beta_[c];
 }
 
 LayerSpec BatchNormLayer::spec() const {
@@ -562,6 +588,55 @@ LayerSpec SignLayer::spec() const {
   s.kind = LayerKind::Sign;
   s.name = name_;
   s.features = features_;
+  return s;
+}
+
+// ----------------------------------------------------------- Threshold --
+
+ThresholdLayer::ThresholdLayer(std::string name, std::vector<long long> thr,
+                               std::vector<std::uint8_t> flip)
+    : name_(std::move(name)), thr_(std::move(thr)), flip_(std::move(flip)) {
+  EB_REQUIRE(!thr_.empty(), "threshold layer needs at least one channel");
+  EB_REQUIRE(thr_.size() == flip_.size(),
+             "threshold/flip sizes must match in " + name_);
+  scale_d_.reserve(thr_.size());
+  bound_d_.reserve(thr_.size());
+  for (std::size_t c = 0; c < thr_.size(); ++c) {
+    const double t = static_cast<double>(thr_[c]);
+    const bool flip = flip_[c] != 0;
+    scale_d_.push_back(flip ? -1.0 : 1.0);
+    bound_d_.push_back(flip ? -t : t);
+  }
+}
+
+Tensor ThresholdLayer::forward(const Tensor& x) const {
+  const std::size_t ch = thr_.size();
+  Tensor y = x;
+  if (x.rank() == 1) {
+    EB_REQUIRE(x.size() == ch, "threshold feature mismatch in " + name_);
+    for (std::size_t c = 0; c < ch; ++c) {
+      y[c] = scale_d_[c] * x[c] >= bound_d_[c] ? 1.0 : -1.0;
+    }
+    return y;
+  }
+  EB_REQUIRE(x.rank() == 3 && x.dim(0) == ch,
+             "threshold expects [C,H,W] or [F] in " + name_);
+  const std::size_t hw = x.dim(1) * x.dim(2);
+  for (std::size_t c = 0; c < ch; ++c) {
+    const double s = scale_d_[c];
+    const double b = bound_d_[c];
+    for (std::size_t i = 0; i < hw; ++i) {
+      y[c * hw + i] = s * x[c * hw + i] >= b ? 1.0 : -1.0;
+    }
+  }
+  return y;
+}
+
+LayerSpec ThresholdLayer::spec() const {
+  LayerSpec s;
+  s.kind = LayerKind::Threshold;
+  s.name = name_;
+  s.features = thr_.size();
   return s;
 }
 

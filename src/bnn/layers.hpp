@@ -12,6 +12,7 @@
 // Batch loops live in the callers (trainer / evaluation drivers).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -118,6 +119,10 @@ class Conv2dLayer final : public Layer {
   [[nodiscard]] LayerSpec spec() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
+  [[nodiscard]] const Tensor& weights() const { return weights_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
+  [[nodiscard]] const Conv2dGeom& geom() const { return geom_; }
+
  private:
   std::string name_;
   Conv2dGeom geom_;
@@ -161,6 +166,18 @@ class BinaryConv2dLayer final : public Layer {
   PackedMatrix packed_;  // contiguous copy of kernels_, built once
 };
 
+// Folded BatchNorm+Sign comparison: channel c of sign(BN(x)) is
+//   +1  iff  (flip[c] ? x <= thr[c] : x >= thr[c]).
+// flip[c] is set where gamma_c < 0 (BN is decreasing in x there, so the
+// comparison direction reverses); gamma_c == 0 makes the channel constant
+// and thr[c] is +/-infinity accordingly.
+struct ThresholdFold {
+  std::vector<double> thr;
+  std::vector<std::uint8_t> flip;
+
+  [[nodiscard]] bool any_flip() const;
+};
+
 // Inference-time batch normalization (per-channel affine).
 class BatchNormLayer final : public Layer {
  public:
@@ -176,13 +193,27 @@ class BatchNormLayer final : public Layer {
   [[nodiscard]] LayerSpec spec() const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
-  // Thresholds t_c such that sign(BN(x)) == sign(x - t_c) for gamma_c > 0.
-  // Folding BN+Sign into a per-channel comparison is the standard BNN
+  // Folds BN+Sign into per-channel comparisons -- the standard BNN
   // deployment trick; the compiler uses it to keep post-processing digital
-  // logic trivial. Requires all gamma > 0.
-  [[nodiscard]] std::vector<double> fold_to_thresholds() const;
+  // logic trivial. Negative gamma flips the comparison direction per
+  // neuron (see ThresholdFold); consumers that cannot express a flipped
+  // comparison must check any_flip() and reject.
+  [[nodiscard]] ThresholdFold fold_to_thresholds() const;
+
+  // Channel c of forward() at scalar x, using the exact float expression
+  // (and rounding order) the given input rank evaluates: rank 1 computes
+  // gamma*(x-mean)/sqrt(var+eps)+beta, rank 3 precomputes the scale.
+  // Bit-exact threshold search must match the serving-time ordering.
+  [[nodiscard]] double apply_channel(std::size_t c, double x,
+                                     std::size_t rank) const;
 
   [[nodiscard]] std::size_t features() const { return gamma_.size(); }
+
+  [[nodiscard]] const std::vector<double>& gamma() const { return gamma_; }
+  [[nodiscard]] const std::vector<double>& beta() const { return beta_; }
+  [[nodiscard]] const std::vector<double>& mean() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& var() const { return var_; }
+  [[nodiscard]] double eps() const { return eps_; }
 
  private:
   std::string name_;
@@ -205,6 +236,46 @@ class SignLayer final : public Layer {
  private:
   std::string name_;
   std::size_t features_;
+};
+
+// Deployed (folded) BatchNorm+Sign: channel c maps to
+//   +1  iff  (flip[c] ? x <= thr[c] : x >= thr[c])
+// with integer thresholds, so the epilogue of a binary dense/conv layer is
+// a single integer comparison -- no division, sqrt or affine arithmetic at
+// serving time. Built by fold_network() (format.hpp), which binary-searches
+// the exact sign flip point of each BN channel over the integer
+// pre-activation range, making the folded network bit-identical to the
+// BatchNorm+Sign pair it replaces.
+class ThresholdLayer final : public Layer {
+ public:
+  // thr/flip: one entry per channel. Accepts [F] and [C,H,W] inputs like
+  // BatchNormLayer (per-channel broadcast over H,W).
+  ThresholdLayer(std::string name, std::vector<long long> thr,
+                 std::vector<std::uint8_t> flip);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const override;
+  [[nodiscard]] LayerSpec spec() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::size_t features() const { return thr_.size(); }
+  [[nodiscard]] const std::vector<long long>& thresholds() const {
+    return thr_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& flips() const {
+    return flip_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<long long> thr_;
+  std::vector<std::uint8_t> flip_;
+  // Branchless comparison form, built once: flip[c] ? x <= t : x >= t
+  // is evaluated as scale[c]*x >= bound[c] with scale = -1/+1 and
+  // bound = -t/+t (negation is exact for doubles, so ties and infinities
+  // agree with the two-sided comparison bit-for-bit). Keeps the hot
+  // epilogue loop free of per-channel branches so it vectorizes.
+  std::vector<double> scale_d_;
+  std::vector<double> bound_d_;
 };
 
 // Max pool over [C,H,W] with square window == stride.

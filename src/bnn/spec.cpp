@@ -18,6 +18,8 @@ const char* to_string(LayerKind k) {
       return "Sign";
     case LayerKind::Flatten:
       return "Flatten";
+    case LayerKind::Threshold:
+      return "Threshold";
   }
   return "?";
 }

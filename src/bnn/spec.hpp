@@ -17,7 +17,15 @@
 
 namespace eb::bnn {
 
-enum class LayerKind { Dense, Conv2d, MaxPool2d, BatchNorm, Sign, Flatten };
+enum class LayerKind {
+  Dense,
+  Conv2d,
+  MaxPool2d,
+  BatchNorm,
+  Sign,
+  Flatten,
+  Threshold,  // folded BatchNorm+Sign: per-channel integer comparison
+};
 
 enum class Precision { Binary, Int8 };
 

@@ -132,7 +132,14 @@ CompiledMlp MlpCompiler::compile(const bnn::Network& net,
     EB_REQUIRE(next_ecore + col_tiles <= cfg_.ecores_per_tile,
                "network needs more ECores than one tile provides");
 
-    const auto thresholds = bn->fold_to_thresholds();
+    const auto fold = bn->fold_to_thresholds();
+    // The ECore Sign opcode only compares y >= t; a flipped (gamma < 0)
+    // channel has no ISA encoding, so reject it here instead of emitting
+    // a silently wrong program. Trained exports clamp gamma > 0.
+    EB_REQUIRE(!fold.any_flip(),
+               "compiler threshold tables require gamma > 0 in " +
+                   bn->name());
+    const auto& thresholds = fold.thr;
 
     CompiledLayerInfo info;
     info.m = m;

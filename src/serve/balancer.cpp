@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -253,6 +255,115 @@ void Balancer::fill_stats(wire::StatsFrame& out) {
   for (const auto& client : clients_) {
     out.queue_depth += client->in_flight();
   }
+}
+
+wire::ModelAdminFrame Balancer::handle_model_admin(
+    const wire::ModelAdminFrame& req) {
+  wire::ModelAdminFrame resp;
+  resp.response = true;
+  resp.request_id = req.request_id;
+  resp.op = req.op;
+  resp.model_id = req.model_id;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      resp.status = Status::kRejected;
+      resp.message = "balancer is shut down";
+      return resp;
+    }
+  }
+  // Fan out to every live replica; each ack (or connection death) ticks
+  // the join counter on that client's I/O thread while this thread
+  // blocks on the condition variable -- never a self-wait, since admin
+  // ops only ever run on frontend/caller threads.
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t outstanding = 0;
+    std::size_t deaths = 0;
+    std::vector<wire::ModelAdminFrame> acks;
+  };
+  auto join = std::make_shared<Join>();
+  std::size_t sent = 0;
+  for (auto& client : clients_) {
+    if (!client->alive()) {
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(join->mu);
+      ++join->outstanding;
+    }
+    const bool queued = client->admin(
+        req,
+        [join](wire::ModelAdminFrame ack) {
+          const std::lock_guard<std::mutex> lock(join->mu);
+          join->acks.push_back(std::move(ack));
+          --join->outstanding;
+          join->cv.notify_all();
+        },
+        [join] {
+          const std::lock_guard<std::mutex> lock(join->mu);
+          ++join->deaths;
+          --join->outstanding;
+          join->cv.notify_all();
+        });
+    if (queued) {
+      ++sent;
+    } else {
+      const std::lock_guard<std::mutex> lock(join->mu);
+      --join->outstanding;  // raced a teardown: neither handler will run
+    }
+  }
+  if (sent == 0) {
+    resp.status = Status::kRejected;
+    resp.message = "no live replica";
+    return resp;
+  }
+  std::size_t timed_out = 0;
+  {
+    std::unique_lock<std::mutex> lock(join->mu);
+    join->cv.wait_for(lock, std::chrono::milliseconds(cfg_.admin_timeout_ms),
+                      [&] { return join->outstanding == 0; });
+    timed_out = join->outstanding;
+  }
+  // Aggregate under join->mu-free reads: after the wait, every handler
+  // that will ever run for a counted attempt has either run or is a
+  // straggler we report as timed out (its late ack mutates only `join`,
+  // which outlives this frame via the shared_ptr captures).
+  std::vector<wire::ModelAdminFrame> acks;
+  std::size_t deaths = 0;
+  {
+    const std::lock_guard<std::mutex> lock(join->mu);
+    acks = join->acks;
+    deaths = join->deaths;
+  }
+  resp.status = Status::kOk;
+  std::size_t failures = 0;
+  for (const auto& ack : acks) {
+    if (ack.status != Status::kOk) {
+      ++failures;
+      if (resp.message.empty()) {
+        resp.message = ack.message;
+      }
+    }
+    for (const auto& id : ack.models) {
+      resp.models.push_back(id);
+    }
+  }
+  std::sort(resp.models.begin(), resp.models.end());
+  resp.models.erase(std::unique(resp.models.begin(), resp.models.end()),
+                    resp.models.end());
+  if (failures > 0) {
+    resp.status = Status::kInvalidArgument;
+    resp.message = std::to_string(failures) + "/" + std::to_string(sent) +
+                   " replicas failed: " + resp.message;
+  } else if (deaths > 0 || timed_out > 0) {
+    resp.status = Status::kInternalError;
+    resp.message = std::to_string(deaths) + " replica connection(s) died, " +
+                   std::to_string(timed_out) +
+                   " timed out during the admin op";
+  }
+  return resp;
 }
 
 std::size_t Balancer::alive_replicas() const {

@@ -58,6 +58,9 @@ struct BalancerConfig {
   /// Seed of the power-of-two-choices sampler (deterministic routing
   /// for a fixed seed + arrival order).
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// How long handle_model_admin waits for the fleet's type-7 acks
+  /// before reporting the stragglers as failures.
+  std::uint32_t admin_timeout_ms = 5000;
 };
 
 /// One replica's slice of a BalancerSnapshot.
@@ -112,6 +115,17 @@ class Balancer : public WireService {
   /// stats digest (summed counters; the model list is the union with
   /// per-model completed/queue_depth summed across replicas).
   void fill_stats(wire::StatsFrame& out) override;
+
+  /// Fleet-wide model administration: fans the type-7 op out to every
+  /// live replica, blocks (up to cfg.admin_timeout_ms) for their acks
+  /// and aggregates -- kOk only when every reached replica succeeded,
+  /// with the union of the replicas' post-op model lists. A fleet with
+  /// no live replica fails kRejected; a replica death or timeout during
+  /// the op reports kInternalError. Runs on the caller's thread (a
+  /// frontend loop thread when the balancer is wire-fronted), never on
+  /// a ReplicaClient I/O thread.
+  wire::ModelAdminFrame handle_model_admin(
+      const wire::ModelAdminFrame& req) override;
 
   /// Replicas with a currently-healthy connection.
   [[nodiscard]] std::size_t alive_replicas() const;

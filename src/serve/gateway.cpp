@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "bnn/format.hpp"
 #include "common/error.hpp"
 
 namespace eb::serve {
@@ -52,6 +53,10 @@ struct Gateway::ModelEntry {
   std::string id;
   double weight = 1.0;
   std::size_t input_size = 0;  // 0 = unchecked
+  /// Set only for load_model() registrations: the gateway owns the
+  /// decoded network. Declared before `server` so the server (which
+  /// borrows the network) is destroyed first.
+  std::shared_ptr<const bnn::Network> owned_net;
   std::unique_ptr<Server> server;
   std::array<std::size_t, kNumClasses> slots{};
 };
@@ -102,10 +107,34 @@ void Gateway::register_model(const std::string& id,
                  mcfg);
 }
 
+void Gateway::load_model(const std::string& id, const std::string& file,
+                         ModelConfig mcfg) {
+  EB_REQUIRE(!cfg_.model_dir.empty(),
+             "model loading is disabled: the gateway has no model_dir");
+  // The wire's load op hands this name straight through, so confine it
+  // to a plain file name inside model_dir -- no separators, no "..".
+  EB_REQUIRE(!file.empty() && file.find('/') == std::string::npos &&
+                 file.find('\\') == std::string::npos && file != "." &&
+                 file != "..",
+             "model file must be a plain file name, got '" + file + "'");
+  auto net = std::make_shared<const bnn::Network>(
+      bnn::load_network(cfg_.model_dir + "/" + file));
+  if (mcfg.input_size == 0 && net->layer_count() > 0) {
+    mcfg.input_size = net->layer(0).spec().in_features;
+  }
+  install_entry(
+      id, mcfg,
+      [&](const ServerConfig& scfg) {
+        return std::make_unique<Server>(*net, pool_, scfg);
+      },
+      net);
+}
+
 void Gateway::install_entry(
     const std::string& id, const ModelConfig& mcfg,
     const std::function<std::unique_ptr<Server>(const ServerConfig&)>&
-        make_server) {
+        make_server,
+    std::shared_ptr<const bnn::Network> owned) {
   EB_REQUIRE(!id.empty() && id.size() <= 255,
              "model id must be 1..255 bytes");
   EB_REQUIRE(mcfg.weight > 0.0, "model weight must be > 0");
@@ -121,6 +150,7 @@ void Gateway::install_entry(
   entry->id = id;
   entry->weight = mcfg.weight;
   entry->input_size = mcfg.input_size;
+  entry->owned_net = std::move(owned);
   entry->server = make_server(scfg);
   const std::lock_guard<std::mutex> lock(mu_);
   EB_REQUIRE(!draining_, "register_model after shutdown");

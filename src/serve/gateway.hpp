@@ -106,6 +106,10 @@ struct GatewayConfig {
   /// registered model's server (unless its ServerConfig sets its own).
   /// nullptr = eb::Clock::real(). Must outlive the gateway.
   Clock* clock = nullptr;
+  /// Directory load_model() (and therefore the wire's type-7 load op)
+  /// resolves .ebm file names against. Empty disables model loading:
+  /// load_model throws and remote loads are rejected.
+  std::string model_dir;
 };
 
 /// One registered model's slice of a GatewaySnapshot.
@@ -176,6 +180,16 @@ class Gateway {
                       std::shared_ptr<const map::MappedExecutor> exec,
                       std::shared_ptr<const dev::NoiseModel> noise,
                       ModelConfig mcfg = {});
+  /// Loads the EBM file `file` -- a plain file name (no path separators,
+  /// no "..") resolved against cfg.model_dir -- and registers the decoded
+  /// network under `id`, with the gateway owning the network for the
+  /// registration's lifetime. This is the wire type-7 load op's backend.
+  /// Serving starts warmed: registration constructs the model's
+  /// BatchRunners, which prime the XNOR-GEMM autotuner for the model's
+  /// shapes. Throws eb::Error when model_dir is unset, the name is not a
+  /// plain file name, the file is missing/corrupt, or `id` is taken.
+  void load_model(const std::string& id, const std::string& file,
+                  ModelConfig mcfg = {});
   /// Removes `id` from the registry: admission-queue stragglers complete
   /// with kRejected, in-flight server work is drained (every accepted
   /// request fulfilled). Returns false when no such model exists.
@@ -239,7 +253,8 @@ class Gateway {
   void install_entry(
       const std::string& id, const ModelConfig& mcfg,
       const std::function<std::unique_ptr<Server>(const ServerConfig&)>&
-          make_server);
+          make_server,
+      std::shared_ptr<const bnn::Network> owned = nullptr);
   void dispatcher_loop();
   void forward(GwPending item);
   void finish(DeadlineClass cls, Completion& done, Result res);

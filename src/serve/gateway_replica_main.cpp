@@ -14,13 +14,23 @@
 //   seed=N        Model-weight seed (default 17; all replicas must match).
 //   threads=N     Gateway pool threads (0 = EB_THREADS / hw concurrency).
 //   event_loops=N Frontend epoll loops (default 1).
+//   model_dir=D   Serve every *.ebm file in D (registered under its file
+//                 stem, sorted by name so replicas agree) and accept
+//                 wire type-7 load ops against D. A missing or
+//                 .ebm-empty directory is a loud startup error naming D.
+//   seed_models=B Also register the demo seed pair (default: 1 without
+//                 model_dir -- the historical behavior -- 0 with it).
 //
 // Prints "LISTENING <port>" on stdout once serving, then waits for
 // SIGTERM/SIGINT and shuts down gracefully (draining the gateway).
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
+#include <vector>
 
 #include "bnn/model_zoo.hpp"
 #include "common/config.hpp"
@@ -53,7 +63,9 @@ int main(int argc, char** argv) {
   eb::Config cfg;
   try {
     cfg = eb::Config::from_args(
-        argc, argv, {"port", "port_file", "seed", "threads", "event_loops"});
+        argc, argv,
+        {"port", "port_file", "seed", "threads", "event_loops", "model_dir",
+         "seed_models"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gateway_replica: %s\n", e.what());
     return 2;
@@ -82,12 +94,64 @@ int main(int argc, char** argv) {
   const eb::bnn::Network net_b =
       eb::bnn::build_mlp("replica-mlp-b", {96, 96, 8}, model_rng);
 
+  const std::string model_dir = cfg.get_string("model_dir", "");
+  const bool seed_models =
+      cfg.get_int("seed_models", model_dir.empty() ? 1 : 0) != 0;
+
   eb::serve::GatewayConfig gcfg;
   gcfg.pool_threads =
       static_cast<std::size_t>(cfg.get_int("threads", 0));
+  gcfg.model_dir = model_dir;
   eb::serve::Gateway gateway(gcfg);
-  gateway.register_model("mlp-a", net_a);
-  gateway.register_model("mlp-b", net_b);
+  if (seed_models) {
+    gateway.register_model("mlp-a", net_a);
+    gateway.register_model("mlp-b", net_b);
+  }
+  if (!model_dir.empty()) {
+    // Replicas must agree on the registry, so the directory scan is
+    // sorted by file name; each model serves under its file stem.
+    std::vector<std::string> ebm_files;
+    std::error_code ec;
+    try {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(model_dir, ec)) {
+        if (entry.is_regular_file(ec) &&
+            entry.path().extension() == ".ebm") {
+          ebm_files.push_back(entry.path().filename().string());
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "gateway_replica: model_dir '%s' cannot be read: %s\n",
+                   model_dir.c_str(), e.what());
+      return 2;
+    }
+    if (ec) {
+      std::fprintf(stderr,
+                   "gateway_replica: model_dir '%s' cannot be read: %s\n",
+                   model_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    if (ebm_files.empty()) {
+      std::fprintf(
+          stderr,
+          "gateway_replica: model_dir '%s' contains no .ebm files\n",
+          model_dir.c_str());
+      return 2;
+    }
+    std::sort(ebm_files.begin(), ebm_files.end());
+    for (const auto& file : ebm_files) {
+      const std::string id = file.substr(0, file.size() - 4);  // drop .ebm
+      try {
+        gateway.load_model(id, file);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "gateway_replica: loading '%s/%s' failed: %s\n",
+                     model_dir.c_str(), file.c_str(), e.what());
+        return 2;
+      }
+    }
+  }
 
   eb::serve::TcpFrontendConfig fcfg;
   fcfg.port = static_cast<std::uint16_t>(cfg.get_int("port", 0));

@@ -55,9 +55,31 @@ bool ReplicaClient::submit(wire::RequestFrame req,
     // client's batch/stream opt-in must not latch on the replica link.
     req.flags = 0;
     bytes = wire::encode_request(req);
-    pending_.emplace(req.request_id,
-                     Pending{std::move(on_response), std::move(on_death)});
+    Pending p;
+    p.on_response = std::move(on_response);
+    p.on_death = std::move(on_death);
+    pending_.emplace(req.request_id, std::move(p));
     outq_.push_back(std::move(bytes));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  wake();
+  return true;
+}
+
+bool ReplicaClient::admin(wire::ModelAdminFrame req, AdminHandler on_response,
+                          DeathHandler on_death) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!connected_ || stopping_) {
+      return false;
+    }
+    req.request_id = next_id_++;
+    req.response = false;  // only requests leave this side
+    Pending p;
+    p.on_admin = std::move(on_response);
+    p.on_death = std::move(on_death);
+    pending_.emplace(req.request_id, std::move(p));
+    outq_.push_back(wire::encode_model_admin(req));
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
   wake();
@@ -92,6 +114,7 @@ ReplicaClient::Counters ReplicaClient::counters() const {
   c.responses = responses_.load(std::memory_order_relaxed);
   c.failed = failed_.load(std::memory_order_relaxed);
   c.pongs = pongs_.load(std::memory_order_relaxed);
+  c.admin_responses = admin_responses_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -312,11 +335,13 @@ void ReplicaClient::io_loop() {
           return;  // malformed response: desync
         }
         ResponseHandler handler;
+        AdminHandler admin_handler;
         {
           const std::lock_guard<std::mutex> lock(mu_);
           const auto it = pending_.find(resp.request_id);
           if (it != pending_.end()) {
             handler = std::move(it->second.on_response);
+            admin_handler = std::move(it->second.on_admin);
             pending_.erase(it);
           }
         }
@@ -324,6 +349,17 @@ void ReplicaClient::io_loop() {
         if (handler) {
           responses_.fetch_add(1, std::memory_order_relaxed);
           handler(std::move(resp));
+        } else if (admin_handler) {
+          // The replica judged our admin frame malformed and answered
+          // with a type-2 error echoing its id; surface it as a failed
+          // admin response so the caller's exactly-once contract holds.
+          wire::ModelAdminFrame failed;
+          failed.response = true;
+          failed.request_id = resp.request_id;
+          failed.status = resp.status;
+          failed.message = "replica rejected the admin frame";
+          admin_responses_.fetch_add(1, std::memory_order_relaxed);
+          admin_handler(std::move(failed));
         }
       } else if (type == wire::kTypePing) {
         wire::PingFrame pong;
@@ -351,6 +387,29 @@ void ReplicaClient::io_loop() {
           const std::lock_guard<std::mutex> lock(mu_);
           last_stats_ = std::move(stats);
           have_stats_ = true;
+        }
+      } else if (type == wire::kTypeModelAdmin) {
+        wire::ModelAdminFrame admin;
+        if (wire::decode_model_admin(rbuf.data() + rpos, rbuf.size() - rpos,
+                                     admin, consumed) !=
+            wire::DecodeStatus::kOk) {
+          if (consumed == 0) {
+            break;
+          }
+          return;
+        }
+        AdminHandler handler;
+        if (admin.response) {
+          const std::lock_guard<std::mutex> lock(mu_);
+          const auto it = pending_.find(admin.request_id);
+          if (it != pending_.end() && it->second.on_admin) {
+            handler = std::move(it->second.on_admin);
+            pending_.erase(it);
+          }
+        }
+        if (handler) {
+          admin_responses_.fetch_add(1, std::memory_order_relaxed);
+          handler(std::move(admin));
         }
       } else {
         return;  // batch/chunk frames are never negotiated on this link

@@ -9,7 +9,9 @@
 /// by wire::peek_type -- type-2 responses matched to their callbacks by
 /// the echoed request id (ids are assigned internally, so any number of
 /// requests pipeline on the one connection), pongs feeding the health
-/// check, stats responses cached for the balancer's load scoring.
+/// check, stats responses cached for the balancer's load scoring, and
+/// type-7 model-admin responses matched to admin() callbacks the same
+/// way requests are.
 ///
 /// Health + death semantics: the thread pings every `ping_interval_ms`
 /// and polls stats on the same cadence; a connection with no pong for
@@ -64,6 +66,8 @@ class ReplicaClient {
  public:
   /// Receives the decoded response for one submitted request.
   using ResponseHandler = std::function<void(wire::ResponseFrame)>;
+  /// Receives the decoded type-7 response for one admin request.
+  using AdminHandler = std::function<void(wire::ModelAdminFrame)>;
   /// Runs instead of the ResponseHandler when the connection died with
   /// the request still in flight (the balancer's retry hook).
   using DeathHandler = std::function<void()>;
@@ -83,6 +87,13 @@ class ReplicaClient {
   /// when the client is disconnected or shut down.
   bool submit(wire::RequestFrame req, ResponseHandler on_response,
               DeathHandler on_death);
+
+  /// Queues one type-7 model-admin request (req.request_id is
+  /// overwritten, req.response forced false). Same contract as submit():
+  /// true means exactly one of `on_response` / `on_death` runs later on
+  /// the I/O thread; false (disconnected / shut down) means neither.
+  bool admin(wire::ModelAdminFrame req, AdminHandler on_response,
+             DeathHandler on_death);
 
   /// True while the connection is established and healthy.
   [[nodiscard]] bool alive() const;
@@ -106,6 +117,7 @@ class ReplicaClient {
     std::size_t responses = 0;  ///< Type-2 responses delivered.
     std::size_t failed = 0;     ///< In-flight requests failed by a death.
     std::size_t pongs = 0;      ///< Health-check pongs received.
+    std::size_t admin_responses = 0;  ///< Type-7 responses delivered.
   };
   /// Snapshot of the lifetime counters.
   [[nodiscard]] Counters counters() const;
@@ -115,8 +127,12 @@ class ReplicaClient {
   void shutdown();
 
  private:
+  /// One in-flight request. Exactly one of on_response / on_admin is
+  /// set (requests and admin frames share the id space and the map, so
+  /// teardown fails everything in one id-ordered pass).
   struct Pending {
     ResponseHandler on_response;
+    AdminHandler on_admin;
     DeathHandler on_death;
   };
 
@@ -146,6 +162,7 @@ class ReplicaClient {
   std::atomic<std::size_t> responses_{0};
   std::atomic<std::size_t> failed_{0};
   std::atomic<std::size_t> pongs_{0};
+  std::atomic<std::size_t> admin_responses_{0};
 
   std::thread thread_;
   std::mutex join_mu_;

@@ -36,6 +36,18 @@ constexpr auto kScanPeriod = std::chrono::milliseconds(100);
 
 }  // namespace
 
+wire::ModelAdminFrame WireService::handle_model_admin(
+    const wire::ModelAdminFrame& req) {
+  wire::ModelAdminFrame resp;
+  resp.response = true;
+  resp.request_id = req.request_id;
+  resp.op = req.op;
+  resp.model_id = req.model_id;
+  resp.status = Status::kInvalidArgument;
+  resp.message = "model administration is not supported by this service";
+  return resp;
+}
+
 void GatewayWireService::submit_async(const std::string& model,
                                       bnn::Tensor input, DeadlineClass cls,
                                       std::uint64_t deadline_us,
@@ -70,6 +82,39 @@ void GatewayWireService::fill_stats(wire::StatsFrame& out) {
   }
 }
 
+wire::ModelAdminFrame GatewayWireService::handle_model_admin(
+    const wire::ModelAdminFrame& req) {
+  wire::ModelAdminFrame resp;
+  resp.response = true;
+  resp.request_id = req.request_id;
+  resp.op = req.op;
+  resp.model_id = req.model_id;
+  resp.status = Status::kOk;
+  // A failed load/unload is the admin client's mistake (bad name, missing
+  // or corrupt file, duplicate id): kInvalidArgument with the thrown
+  // message, never a torn-down connection.
+  try {
+    switch (req.op) {
+      case wire::ModelAdminOp::kLoad:
+        gateway_.load_model(req.model_id, req.file);
+        break;
+      case wire::ModelAdminOp::kUnload:
+        if (!gateway_.unregister_model(req.model_id)) {
+          resp.status = Status::kInvalidArgument;
+          resp.message = "no model '" + req.model_id + "' is registered";
+        }
+        break;
+      case wire::ModelAdminOp::kList:
+        break;
+    }
+  } catch (const std::exception& e) {
+    resp.status = Status::kInvalidArgument;
+    resp.message = e.what();
+  }
+  resp.models = gateway_.model_ids();
+  return resp;
+}
+
 /// Stats + config shared with completion callbacks, which may outlive
 /// the frontend object itself (a drained gateway fulfils them late).
 /// All counters are relaxed atomics: the hot path (one increment per
@@ -84,6 +129,7 @@ struct TcpFrontend::Shared {
   std::atomic<std::size_t> malformed{0};
   std::atomic<std::size_t> pings{0};
   std::atomic<std::size_t> stats_requests{0};
+  std::atomic<std::size_t> admin_requests{0};
   std::atomic<std::size_t> batched_frames{0};
   std::atomic<std::size_t> chunked_responses{0};
   std::atomic<std::size_t> bytes_read{0};
@@ -501,7 +547,8 @@ class TcpFrontend::Loop {
         return false;
       }
       if (pk == wire::DecodeStatus::kOk &&
-          (type == wire::kTypePing || type == wire::kTypeStats)) {
+          (type == wire::kTypePing || type == wire::kTypeStats ||
+           type == wire::kTypeModelAdmin)) {
         if (!handle_control_frame(conn, type)) {
           return false;  // frame still incomplete
         }
@@ -550,7 +597,7 @@ class TcpFrontend::Loop {
     return false;
   }
 
-  /// Decodes + answers one type-5/type-6 frame at conn->rpos (the type
+  /// Decodes + answers one type-5/6/7 frame at conn->rpos (the type
   /// was already peeked). Returns false when the frame is still
   /// incomplete (kNeedMoreData); otherwise advances the read cursor --
   /// a malformed body is answered with an id-0 error response and
@@ -580,7 +627,7 @@ class TcpFrontend::Loop {
         reply = wire::encode_ping(ping);
         shared_->pings.fetch_add(1, std::memory_order_relaxed);
       }
-    } else {
+    } else if (type == wire::kTypeStats) {
       wire::StatsFrame stats;
       const wire::DecodeStatus st = wire::decode_stats(p, avail, stats,
                                                        consumed);
@@ -599,6 +646,22 @@ class TcpFrontend::Loop {
         shared_->stats_requests.fetch_add(1, std::memory_order_relaxed);
       } else if (st == wire::DecodeStatus::kOk) {
         echo_id = stats.request_id;
+      }
+    } else {
+      wire::ModelAdminFrame admin;
+      const wire::DecodeStatus st = wire::decode_model_admin(p, avail, admin,
+                                                             consumed);
+      if (st == wire::DecodeStatus::kNeedMoreData) {
+        return false;
+      }
+      // Like stats: only requests are served; a server-bound admin
+      // *response* is rejected with its id echoed.
+      if (st == wire::DecodeStatus::kOk && !admin.response) {
+        ok = true;
+        reply = wire::encode_model_admin(service_.handle_model_admin(admin));
+        shared_->admin_requests.fetch_add(1, std::memory_order_relaxed);
+      } else if (st == wire::DecodeStatus::kOk) {
+        echo_id = admin.request_id;
       }
     }
     if (ok) {
@@ -1011,6 +1074,8 @@ TcpFrontend::Stats TcpFrontend::stats() const {
   s.pings = shared_->pings.load(std::memory_order_relaxed);
   s.stats_requests =
       shared_->stats_requests.load(std::memory_order_relaxed);
+  s.admin_requests =
+      shared_->admin_requests.load(std::memory_order_relaxed);
   s.batched_frames =
       shared_->batched_frames.load(std::memory_order_relaxed);
   s.chunked_responses =

@@ -39,10 +39,11 @@
 ///
 /// Besides type-1 requests a connection may interleave type-5 pings
 /// (answered inline on the loop thread with a pong echoing the nonce --
-/// the health probe serve::Balancer uses to mark replicas dead) and
-/// type-6 stats requests (answered with the service's stats digest).
-/// Both are served even while the gateway is saturated, since neither
-/// enters the admission queues.
+/// the health probe serve::Balancer uses to mark replicas dead), type-6
+/// stats requests (answered with the service's stats digest) and type-7
+/// model-admin requests (load/unload/list, answered with the service's
+/// WireService::handle_model_admin). All are served even while the
+/// gateway is saturated, since none enters the admission queues.
 ///
 /// Scope: loopback/LAN transport for tests and benches (now C10K-capable
 /// -- see bench/frontend_load.cpp), still plain TCP, no TLS, no auth.
@@ -77,6 +78,13 @@ class WireService {
   /// Fills `out` with the service's current counters + model list. The
   /// caller has already set `out.request_id` and `out.response`.
   virtual void fill_stats(wire::StatsFrame& out) = 0;
+  /// Answers one type-7 model-admin request (load/unload/list) inline;
+  /// `req.response` is false and the returned frame must echo the
+  /// request's id and op with `response = true`. The base implementation
+  /// declines every op with kInvalidArgument; Gateway-backed services
+  /// and serve::Balancer override it.
+  virtual wire::ModelAdminFrame handle_model_admin(
+      const wire::ModelAdminFrame& req);
 };
 
 /// Adapts a Gateway to the WireService interface: submit_async forwards
@@ -89,6 +97,11 @@ class GatewayWireService final : public WireService {
                     DeadlineClass cls, std::uint64_t deadline_us,
                     Completion done) override;
   void fill_stats(wire::StatsFrame& out) override;
+  /// load resolves against the gateway's cfg.model_dir (Gateway::
+  /// load_model); unload maps to unregister_model; list reports
+  /// model_ids(). Every response carries the post-op model list.
+  wire::ModelAdminFrame handle_model_admin(
+      const wire::ModelAdminFrame& req) override;
 
  private:
   Gateway& gateway_;
@@ -145,6 +158,7 @@ class TcpFrontend {
     std::size_t malformed = 0;    ///< Rejected frames (both kinds).
     std::size_t pings = 0;        ///< Type-5 pings answered with pongs.
     std::size_t stats_requests = 0;  ///< Type-6 stats requests answered.
+    std::size_t admin_requests = 0;  ///< Type-7 admin requests answered.
     std::size_t batched_frames = 0;   ///< Type-3 frames flushed.
     std::size_t chunked_responses = 0;  ///< Responses streamed as chunks.
     std::size_t bytes_read = 0;       ///< Raw bytes received.

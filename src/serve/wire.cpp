@@ -715,6 +715,113 @@ DecodeStatus decode_stats(const std::uint8_t* data, std::size_t size,
   return DecodeStatus::kOk;
 }
 
+std::vector<std::uint8_t> encode_model_admin(const ModelAdminFrame& admin) {
+  EB_REQUIRE(admin.model_id.size() <= UINT16_MAX,
+             "model id must be <= 65535 bytes");
+  EB_REQUIRE(admin.file.size() <= UINT16_MAX,
+             "model file name must be <= 65535 bytes");
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + admin.model_id.size() + admin.file.size() +
+              admin.message.size() + 32 * admin.models.size());
+  put_u32(out, 0);  // length placeholder
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, kTypeModelAdmin);
+  put_u8(out, admin.response ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(admin.op));
+  put_u64(out, admin.request_id);
+  put_u16(out, static_cast<std::uint16_t>(admin.model_id.size()));
+  out.insert(out.end(), admin.model_id.begin(), admin.model_id.end());
+  put_u16(out, static_cast<std::uint16_t>(admin.file.size()));
+  out.insert(out.end(), admin.file.begin(), admin.file.end());
+  if (admin.response) {
+    put_u8(out, static_cast<std::uint8_t>(admin.status));
+    EB_REQUIRE(admin.message.size() <= UINT16_MAX,
+               "admin message must be <= 65535 bytes");
+    put_u16(out, static_cast<std::uint16_t>(admin.message.size()));
+    out.insert(out.end(), admin.message.begin(), admin.message.end());
+    EB_REQUIRE(admin.models.size() <= UINT16_MAX,
+               "admin frame must hold <= 65535 models");
+    put_u16(out, static_cast<std::uint16_t>(admin.models.size()));
+    for (const auto& id : admin.models) {
+      EB_REQUIRE(!id.empty() && id.size() <= UINT16_MAX,
+                 "model id must be 1..65535 bytes");
+      put_u16(out, static_cast<std::uint16_t>(id.size()));
+      out.insert(out.end(), id.begin(), id.end());
+    }
+  }
+  seal_frame(out);
+  return out;
+}
+
+DecodeStatus decode_model_admin(const std::uint8_t* data, std::size_t size,
+                                ModelAdminFrame& out,
+                                std::size_t& consumed) {
+  consumed = 0;
+  Reader r{nullptr, 0};
+  std::size_t frame_size = 0;
+  const DecodeStatus head = open_frame(data, size, kTypeModelAdmin, r,
+                                       frame_size);
+  if (head != DecodeStatus::kOk) {
+    if (head != DecodeStatus::kNeedMoreData &&
+        head != DecodeStatus::kTooLarge) {
+      consumed = frame_size;
+    }
+    return head;
+  }
+  ModelAdminFrame a;
+  const std::uint8_t kind = r.get_u8();
+  const std::uint8_t op = r.get_u8();
+  a.request_id = r.get_u64();
+  const std::uint16_t id_len = r.get_u16();
+  a.model_id = r.get_bytes(id_len);
+  const std::uint16_t file_len = r.get_u16();
+  a.file = r.get_bytes(file_len);
+  if (!r.ok || kind > 1 ||
+      op > static_cast<std::uint8_t>(ModelAdminOp::kList)) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;
+  }
+  a.op = static_cast<ModelAdminOp>(op);
+  if (kind == 0) {
+    if (r.remaining != 0) {
+      consumed = frame_size;
+      return DecodeStatus::kMalformed;  // a request ends after the file
+    }
+    out = std::move(a);
+    consumed = frame_size;
+    return DecodeStatus::kOk;
+  }
+  a.response = true;
+  const std::uint8_t status = r.get_u8();
+  const std::uint16_t msg_len = r.get_u16();
+  a.message = r.get_bytes(msg_len);
+  const std::uint16_t count = r.get_u16();
+  if (!r.ok ||
+      status > static_cast<std::uint8_t>(Status::kInvalidArgument)) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;
+  }
+  a.status = static_cast<Status>(status);
+  a.models.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint16_t len = r.get_u16();
+    std::string id = r.get_bytes(len);
+    if (!r.ok || len == 0) {
+      consumed = frame_size;
+      return DecodeStatus::kMalformed;
+    }
+    a.models.push_back(std::move(id));
+  }
+  if (r.remaining != 0) {
+    consumed = frame_size;
+    return DecodeStatus::kMalformed;  // trailing bytes after last model
+  }
+  out = std::move(a);
+  consumed = frame_size;
+  return DecodeStatus::kOk;
+}
+
 DecodeStatus peek_type(const std::uint8_t* data, std::size_t size,
                        std::uint8_t& type_out) {
   if (size < 10) {  // prefix + magic + version + type

@@ -55,6 +55,24 @@
 ///     response echoes the request's id; a balancer uses the per-model
 ///     input_size to run the admission-time shape gate client-side and
 ///     the queue depths as its load signal.
+///     body (model admin, type = 7; v4+):
+///     ┌───────────┬────────┬──────┬─────────┬───────┬─────────────────┐
+///     │ u32 MAGIC │ u8 ver │ u8 7 │ u8 kind │ u8 op │ u64 request_id  │
+///     ├───────────┴────────┴─┬────┴─────────┴───────┴─────────────────┤
+///     │ u16 id_len + model_id│ u16 file_len + file                    │
+///     ├──────────────────────┴───────────────────────────────────────-┤
+///     │ kind 1 (response) only:  u8 status | u16 msg_len + message    │
+///     │  | u16 model_count | per model: u16 id_len + id               │
+///     └───────────────────────────────────────────────────────────────┘
+///     kind: 0 = request, 1 = response; op: 0 = load, 1 = unload,
+///     2 = list. A load names a .ebm file *relative to the replica's
+///     --model_dir* (never a raw path, never raw bytes) and the registry
+///     id to serve it under; unload names only the id; list carries
+///     neither. The response echoes the request's id and op, reports a
+///     Status plus a human-readable message, and -- for list, or any
+///     successful op -- the replica's registered model ids, sorted. The
+///     frame is answered inline on the event loop like ping/stats; a
+///     balancer fans it out to every live replica and aggregates.
 ///
 /// ## Pipelining contract
 ///
@@ -102,8 +120,9 @@ namespace eb::serve::wire {
 /// Frame magic ("EBGW" read as a little-endian u32).
 inline constexpr std::uint32_t kMagic = 0x57474245u;
 /// Protocol version this build speaks (v2 added ping + stats frames; v3
-/// appended the drift-monitor counters to the stats response).
-inline constexpr std::uint8_t kVersion = 3;
+/// appended the drift-monitor counters to the stats response; v4 added
+/// the type-7 model-admin frame).
+inline constexpr std::uint8_t kVersion = 4;
 /// Frame-type byte.
 inline constexpr std::uint8_t kTypeRequest = 1;
 /// Frame-type byte.
@@ -116,6 +135,8 @@ inline constexpr std::uint8_t kTypeResponseChunk = 4;
 inline constexpr std::uint8_t kTypePing = 5;
 /// Frame-type byte: gateway metrics request/response.
 inline constexpr std::uint8_t kTypeStats = 6;
+/// Frame-type byte: model administration (load/unload/list), v4+.
+inline constexpr std::uint8_t kTypeModelAdmin = 7;
 /// Request flag: the client understands type-3 batched response frames.
 inline constexpr std::uint8_t kFlagAcceptBatch = 0x01;
 /// Request flag: the client understands type-4 chunked response frames.
@@ -203,6 +224,31 @@ struct StatsFrame {
   std::vector<StatsModel> models;  ///< Response only; sorted by id.
 };
 
+/// Model-administration operation carried by a type-7 frame.
+enum class ModelAdminOp : std::uint8_t {
+  kLoad = 0,    ///< Register `file` (relative to --model_dir) as `model_id`.
+  kUnload = 1,  ///< Unregister `model_id`.
+  kList = 2,    ///< Report the registered model ids.
+};
+
+/// A decoded type-7 model-admin frame (v4+). A load request names a .ebm
+/// file *relative to the serving replica's --model_dir* -- never an
+/// absolute path and never raw model bytes -- plus the registry id to
+/// serve it under; unload names only the id; list names neither. The
+/// response echoes the request's id and op, carries a terminal Status
+/// with a human-readable message, and -- on success or for list -- the
+/// replica's registered model ids, sorted.
+struct ModelAdminFrame {
+  bool response = false;          ///< false = request, true = response.
+  std::uint64_t request_id = 0;   ///< Echoed verbatim in the response.
+  ModelAdminOp op = ModelAdminOp::kList;  ///< What to do / what was done.
+  std::string model_id;           ///< Registry name (load/unload).
+  std::string file;               ///< .ebm name under --model_dir (load).
+  Status status = Status::kOk;    ///< Response only: outcome.
+  std::string message;            ///< Response only: error detail, "" on ok.
+  std::vector<std::string> models;  ///< Response only: registered ids, sorted.
+};
+
 /// Decode outcome. Anything except kOk / kNeedMoreData means the frame is
 /// invalid; `consumed` > 0 additionally means the frame boundary was
 /// still recoverable (the caller may skip it and keep the stream).
@@ -285,6 +331,16 @@ enum class DecodeStatus {
 [[nodiscard]] DecodeStatus decode_stats(const std::uint8_t* data,
                                         std::size_t size, StatsFrame& out,
                                         std::size_t& consumed);
+/// Serializes a model-admin request or response (length prefix included).
+/// The status/message/models fields ride on responses only.
+[[nodiscard]] std::vector<std::uint8_t> encode_model_admin(
+    const ModelAdminFrame& admin);
+/// Decodes one type-7 model-admin frame (either kind -- `out.response`
+/// tells which); same contract as decode_request.
+[[nodiscard]] DecodeStatus decode_model_admin(const std::uint8_t* data,
+                                              std::size_t size,
+                                              ModelAdminFrame& out,
+                                              std::size_t& consumed);
 
 /// Peeks the type byte of the frame at the front of [data, data + size)
 /// without decoding the body -- how a pipelined client demultiplexes

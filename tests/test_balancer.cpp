@@ -33,12 +33,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <span>
@@ -46,7 +48,10 @@
 #include <thread>
 #include <vector>
 
+#include "bnn/dataset.hpp"
+#include "bnn/format.hpp"
 #include "bnn/model_zoo.hpp"
+#include "bnn/trainer.hpp"
 #include "bnn/network.hpp"
 #include "bnn/tensor.hpp"
 #include "common/rng.hpp"
@@ -140,8 +145,13 @@ GatewayConfig no_deadline_gateway_config() {
 /// standard model pair, kill()-able by shutting the frontend down (the
 /// sockets close exactly as they do when a real replica process dies).
 struct LocalReplica {
-  LocalReplica(const Network& a, const Network& b)
-      : gw(no_deadline_gateway_config()) {
+  LocalReplica(const Network& a, const Network& b,
+               const std::string& model_dir = "")
+      : gw([&] {
+          GatewayConfig g = no_deadline_gateway_config();
+          g.model_dir = model_dir;
+          return g;
+        }()) {
     ModelConfig mcfg;
     mcfg.server.max_batch = 8;
     mcfg.server.batching_window_us = 200;
@@ -409,6 +419,102 @@ TEST(Balancer, ServesBehindItsOwnTcpFrontend) {
   front.shutdown();
 }
 
+// ---------------------------------------------------------- model admin --
+
+// A type-7 load fans out to every replica, the aggregated ack reflects
+// the union registry, and the deployed model serves byte-identically
+// through the balancer. The wire path is exercised end to end: a
+// ReplicaClient dials the balancer's own TcpFrontend and issues the
+// admin frame over the socket.
+TEST(Balancer, ModelAdminFanOutDeploysFleetWide) {
+  const std::string dir = ::testing::TempDir() + "balancer_admin_models";
+  std::filesystem::create_directories(dir);
+  RngStream model_rng(53);
+  const Network tiny = bnn::build_mlp("tiny", {16, 16, 8}, model_rng);
+  bnn::save_network(tiny, dir + "/tiny.ebm");
+
+  const ReplicaModels models = make_replica_models();
+  LocalReplica r0(models.net_a, models.net_b, dir);
+  LocalReplica r1(models.net_a, models.net_b, dir);
+  LocalReplica r2(models.net_a, models.net_b, dir);
+
+  Balancer lb(fleet_config({r0.port(), r1.port(), r2.port()}));
+  ASSERT_TRUE(lb.wait_ready(3, 5000));
+  TcpFrontend front(lb, TcpFrontendConfig{});
+  ReplicaClientConfig ccfg;
+  ccfg.address = {"127.0.0.1", front.port()};
+  ccfg.ping_interval_ms = 20;
+  ReplicaClient client(ccfg);
+  ASSERT_TRUE(wait_until([&] { return client.alive(); }));
+
+  const auto admin_over_wire = [&](wire::ModelAdminFrame req) {
+    auto prom = std::make_shared<std::promise<wire::ModelAdminFrame>>();
+    auto fut = prom->get_future();
+    EXPECT_TRUE(client.admin(
+        std::move(req),
+        [prom](wire::ModelAdminFrame ack) { prom->set_value(std::move(ack)); },
+        [prom] {
+          wire::ModelAdminFrame dead;
+          dead.response = true;
+          dead.status = Status::kInternalError;
+          dead.message = "client died";
+          prom->set_value(std::move(dead));
+        }));
+    return fut.get();
+  };
+
+  // List first: the fleet serves exactly the seed pair.
+  wire::ModelAdminFrame list;
+  list.op = wire::ModelAdminOp::kList;
+  wire::ModelAdminFrame ack = admin_over_wire(list);
+  EXPECT_EQ(ack.status, Status::kOk) << ack.message;
+  EXPECT_EQ(ack.models, (std::vector<std::string>{"mlp-a", "mlp-b"}));
+
+  // Deploy: one wire frame loads tiny.ebm on all three replicas.
+  wire::ModelAdminFrame load;
+  load.op = wire::ModelAdminOp::kLoad;
+  load.model_id = "tiny";
+  load.file = "tiny.ebm";
+  ack = admin_over_wire(load);
+  EXPECT_EQ(ack.status, Status::kOk) << ack.message;
+  EXPECT_EQ(ack.models,
+            (std::vector<std::string>{"mlp-a", "mlp-b", "tiny"}));
+
+  // The deployed model serves byte-identically through the balancer, no
+  // matter which replica takes each request.
+  const auto inputs = make_inputs(24, 16, 59);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Result r = lb.submit("tiny", inputs[i], DeadlineClass::kInteractive,
+                         kDeadlineUs)
+                   .get();
+    ASSERT_EQ(r.status, Status::kOk)
+        << i << " " << serve::to_string(r.status);
+    expect_tensors_equal(r.output, tiny.forward(inputs[i]), i);
+  }
+
+  // A load that fails everywhere aggregates the failure count loudly.
+  wire::ModelAdminFrame missing;
+  missing.op = wire::ModelAdminOp::kLoad;
+  missing.model_id = "ghost";
+  missing.file = "missing.ebm";
+  ack = admin_over_wire(missing);
+  EXPECT_EQ(ack.status, Status::kInvalidArgument);
+  EXPECT_NE(ack.message.find("3/3 replicas failed"), std::string::npos)
+      << ack.message;
+
+  // Unload removes it fleet-wide.
+  wire::ModelAdminFrame unload;
+  unload.op = wire::ModelAdminOp::kUnload;
+  unload.model_id = "tiny";
+  ack = admin_over_wire(unload);
+  EXPECT_EQ(ack.status, Status::kOk) << ack.message;
+  EXPECT_EQ(ack.models, (std::vector<std::string>{"mlp-a", "mlp-b"}));
+
+  client.shutdown();
+  front.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
 // ------------------------------------------------------------ fork/exec --
 
 const char* replica_bin() { return std::getenv("EB_REPLICA_BIN"); }
@@ -422,7 +528,8 @@ struct SpawnedReplica {
   std::string port_file;
   std::string log_file;
 
-  bool start(const std::string& tag) {
+  bool start(const std::string& tag,
+             const std::vector<std::string>& extra_args = {}) {
     port_file = tag + ".port";
     log_file = tag + ".log";
     std::remove(port_file.c_str());
@@ -434,6 +541,7 @@ struct SpawnedReplica {
     posix_spawn_file_actions_adddup2(&fa, 1, 2);
     std::vector<std::string> args = {replica_bin(), "port=0",
                                      "port_file=" + port_file, "seed=17"};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (auto& a : args) {
@@ -584,6 +692,79 @@ TEST(BalancerForkExec, KillOneOfThreeMidLoadEveryRequestResolves) {
   EXPECT_FALSE(snap.replicas[1].alive);
   EXPECT_GE(snap.replicas[1].deaths, 1u);
   EXPECT_EQ(lb.alive_replicas(), 2u);
+}
+
+// The full deployment pipeline over real processes: a trained MLP is
+// exported (threshold-folded) to EBM, real replicas boot from
+// --model_dir and serve it byte-identically through the balancer, and a
+// model saved AFTER boot is hot-loaded fleet-wide with one type-7 frame.
+TEST(BalancerForkExec, TrainedModelDeploysFromModelDirAndHotLoads) {
+  if (replica_bin() == nullptr) {
+    GTEST_SKIP() << "EB_REPLICA_BIN not set";
+  }
+  const std::string dir = ::testing::TempDir() + "balancer_fx_models";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  bnn::TrainerConfig tcfg;
+  tcfg.dims = {784, 32, 32, 10};
+  tcfg.epochs = 1;
+  tcfg.train_samples = 200;
+  bnn::MlpTrainer trainer(tcfg);
+  const bnn::SyntheticMnist data;
+  static_cast<void>(trainer.train(data));
+  const Network trained = bnn::fold_network(trainer.export_network("trained"));
+  bnn::save_network(trained, dir + "/trained.ebm");
+
+  SpawnedReplica fleet[2];
+  ASSERT_TRUE(fleet[0].start("balancer_fx_deploy_r0", {"model_dir=" + dir}));
+  ASSERT_TRUE(fleet[1].start("balancer_fx_deploy_r1", {"model_dir=" + dir}));
+
+  Balancer lb(fleet_config({fleet[0].port, fleet[1].port}));
+  ASSERT_TRUE(lb.wait_ready(2, 30'000));
+
+  // Boot-time deployment: the folded trained model serves byte-identically
+  // to the in-process reference, whichever replica each request lands on.
+  for (std::size_t i = 0; i < 16; ++i) {
+    const Tensor& x = data.sample(i).image;
+    Result r =
+        lb.submit("trained", x, DeadlineClass::kInteractive, kDeadlineUs)
+            .get();
+    ASSERT_EQ(r.status, Status::kOk)
+        << i << " " << serve::to_string(r.status);
+    expect_tensors_equal(r.output, trained.forward(x), i);
+  }
+
+  // Hot-load: a file that did not exist at boot, pushed to the whole
+  // fleet by one admin frame through the balancer.
+  RngStream rng(61);
+  const Network second = bnn::build_mlp("second", {24, 24, 6}, rng);
+  bnn::save_network(second, dir + "/second.ebm");
+  wire::ModelAdminFrame load;
+  load.op = wire::ModelAdminOp::kLoad;
+  load.model_id = "second";
+  load.file = "second.ebm";
+  const wire::ModelAdminFrame ack = lb.handle_model_admin(load);
+  ASSERT_EQ(ack.status, Status::kOk) << ack.message;
+  EXPECT_EQ(ack.models, (std::vector<std::string>{"second", "trained"}));
+
+  const auto inputs = make_inputs(8, 24, 67);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Result r = lb.submit("second", inputs[i], DeadlineClass::kInteractive,
+                         kDeadlineUs)
+                   .get();
+    ASSERT_EQ(r.status, Status::kOk)
+        << i << " " << serve::to_string(r.status);
+    expect_tensors_equal(r.output, second.forward(inputs[i]), i);
+  }
+
+  // Both replicas shut down cleanly after serving hot-loaded traffic.
+  for (auto& r : fleet) {
+    const int status = r.terminate();
+    ASSERT_TRUE(WIFEXITED(status)) << "status " << status;
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

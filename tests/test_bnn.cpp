@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "bnn/binarize.hpp"
 #include "bnn/dataset.hpp"
@@ -238,7 +239,8 @@ TEST(BatchNormLayer, FoldToThresholdsMatchesSignDecision) {
     var.push_back(rng.uniform(0.1, 4.0));
   }
   const BatchNormLayer bn("bn", gamma, beta, mean, var);
-  const auto thr = bn.fold_to_thresholds();
+  const auto fold = bn.fold_to_thresholds();
+  EXPECT_FALSE(fold.any_flip());
   for (int trial = 0; trial < 200; ++trial) {
     Tensor x({32});
     for (std::size_t c = 0; c < 32; ++c) {
@@ -246,14 +248,43 @@ TEST(BatchNormLayer, FoldToThresholdsMatchesSignDecision) {
     }
     const Tensor z = bn.forward(x);
     for (std::size_t c = 0; c < 32; ++c) {
-      EXPECT_EQ(z[c] >= 0.0, x[c] >= thr[c]) << "channel " << c;
+      EXPECT_EQ(z[c] >= 0.0, x[c] >= fold.thr[c]) << "channel " << c;
     }
   }
 }
 
-TEST(BatchNormLayer, FoldRequiresPositiveGamma) {
-  const BatchNormLayer bn("bn", {-1.0}, {0.0}, {0.0}, {1.0});
-  EXPECT_THROW(bn.fold_to_thresholds(), Error);
+TEST(BatchNormLayer, FoldFlipsComparisonForNegativeGamma) {
+  Rng rng(11);
+  std::vector<double> gamma, beta, mean, var;
+  for (int c = 0; c < 16; ++c) {
+    gamma.push_back(rng.uniform(-3.0, -0.1));
+    beta.push_back(rng.uniform(-2.0, 2.0));
+    mean.push_back(rng.uniform(-5.0, 5.0));
+    var.push_back(rng.uniform(0.1, 4.0));
+  }
+  const BatchNormLayer bn("bn", gamma, beta, mean, var);
+  const auto fold = bn.fold_to_thresholds();
+  EXPECT_TRUE(fold.any_flip());
+  for (int trial = 0; trial < 200; ++trial) {
+    Tensor x({16});
+    for (std::size_t c = 0; c < 16; ++c) {
+      x[c] = rng.uniform(-10.0, 10.0);
+    }
+    const Tensor z = bn.forward(x);
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_EQ(z[c] >= 0.0, x[c] <= fold.thr[c]) << "channel " << c;
+    }
+  }
+}
+
+TEST(BatchNormLayer, FoldZeroGammaIsConstant) {
+  const BatchNormLayer bn("bn", {0.0, 0.0}, {0.5, -0.5}, {1.0, 1.0},
+                          {1.0, 1.0});
+  const auto fold = bn.fold_to_thresholds();
+  EXPECT_FALSE(fold.any_flip());
+  // Channel 0 (beta >= 0): always +1 -> threshold -inf. Channel 1: +inf.
+  EXPECT_EQ(fold.thr[0], -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(fold.thr[1], std::numeric_limits<double>::infinity());
 }
 
 TEST(MaxPool2dLayer, PoolsMaxPerWindow) {

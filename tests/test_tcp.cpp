@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <span>
@@ -44,6 +45,9 @@
 #include <thread>
 #include <vector>
 
+#include "bnn/format.hpp"
+#include "bnn/model_zoo.hpp"
+#include "bnn/network.hpp"
 #include "bnn/tensor.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -869,6 +873,99 @@ TEST(Wire, StatsFramesRoundTripAndRejectTruncation) {
   EXPECT_EQ(consumed, bad.size());
 }
 
+TEST(Wire, ModelAdminFramesRoundTripAndRejectTruncation) {
+  // The request flavor: op + model id + file name.
+  wire::ModelAdminFrame req;
+  req.request_id = 55;
+  req.op = wire::ModelAdminOp::kLoad;
+  req.model_id = "tiny";
+  req.file = "tiny.ebm";
+  const auto reqf = wire::encode_model_admin(req);
+  std::uint8_t type = 0;
+  ASSERT_EQ(wire::peek_type(reqf.data(), reqf.size(), type),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(type, wire::kTypeModelAdmin);
+  wire::ModelAdminFrame out;
+  std::size_t consumed = 0;
+  for (std::size_t cut = 0; cut < reqf.size(); ++cut) {
+    ASSERT_EQ(wire::decode_model_admin(reqf.data(), cut, out, consumed),
+              wire::DecodeStatus::kNeedMoreData)
+        << "cut " << cut;
+    ASSERT_EQ(consumed, 0u);
+  }
+  ASSERT_EQ(wire::decode_model_admin(reqf.data(), reqf.size(), out, consumed),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(consumed, reqf.size());
+  EXPECT_FALSE(out.response);
+  EXPECT_EQ(out.request_id, 55u);
+  EXPECT_EQ(out.op, wire::ModelAdminOp::kLoad);
+  EXPECT_EQ(out.model_id, "tiny");
+  EXPECT_EQ(out.file, "tiny.ebm");
+
+  // The response flavor: status + message + registry listing.
+  wire::ModelAdminFrame resp;
+  resp.response = true;
+  resp.request_id = 56;
+  resp.op = wire::ModelAdminOp::kList;
+  resp.status = Status::kInvalidArgument;
+  resp.message = "no model 'x' is registered";
+  resp.models = {"mlp-a", "mlp-b", "tiny"};
+  const auto respf = wire::encode_model_admin(resp);
+  for (std::size_t cut = 0; cut < respf.size(); ++cut) {
+    ASSERT_EQ(wire::decode_model_admin(respf.data(), cut, out, consumed),
+              wire::DecodeStatus::kNeedMoreData)
+        << "cut " << cut;
+  }
+  ASSERT_EQ(
+      wire::decode_model_admin(respf.data(), respf.size(), out, consumed),
+      wire::DecodeStatus::kOk);
+  EXPECT_EQ(consumed, respf.size());
+  EXPECT_TRUE(out.response);
+  EXPECT_EQ(out.request_id, 56u);
+  EXPECT_EQ(out.status, Status::kInvalidArgument);
+  EXPECT_EQ(out.message, resp.message);
+  ASSERT_EQ(out.models.size(), 3u);
+  EXPECT_EQ(out.models[0], "mlp-a");
+  EXPECT_EQ(out.models[2], "tiny");
+
+  // Unknown kind byte: malformed, boundary known.
+  auto bad = respf;
+  bad[10] = 7;
+  EXPECT_EQ(wire::decode_model_admin(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(consumed, bad.size());
+
+  // Unknown op byte: malformed.
+  bad = reqf;
+  bad[11] = 9;
+  EXPECT_EQ(wire::decode_model_admin(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(consumed, bad.size());
+
+  // A request body must end right after the file name: trailing bytes
+  // reject.
+  bad = reqf;
+  bad[0] += 1;
+  bad.push_back(0);
+  EXPECT_EQ(wire::decode_model_admin(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+
+  // An empty model id inside a response listing is malformed. With every
+  // string empty the first entry's u16 length sits at a fixed offset:
+  // 10 header + kind + op + 8 id + 2 + 2 + status + 2 msg + 2 count.
+  wire::ModelAdminFrame bare;
+  bare.response = true;
+  bare.op = wire::ModelAdminOp::kList;
+  bare.models = {"m"};
+  bad = wire::encode_model_admin(bare);
+  const std::size_t entry_len = 10 + 1 + 1 + 8 + 2 + 2 + 1 + 2 + 2;
+  bad[entry_len] = 0;
+  bad[entry_len + 1] = 0;
+  EXPECT_EQ(wire::decode_model_admin(bad.data(), bad.size(), out, consumed),
+            wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(consumed, bad.size());
+}
+
 // ------------------------------------------------------- control frames --
 
 // Raw frame-level client: unlike TestClient it hands back WHOLE frames
@@ -1008,6 +1105,107 @@ TEST(TcpFrontend, ServesStatsOverTheSocketAndSurvivesMalformedControl) {
   const auto stats = frontend.stats();
   EXPECT_EQ(stats.stats_requests, 1u);
   EXPECT_EQ(stats.malformed, 1u);
+}
+
+// Sends one type-7 request and blocks for the matching type-7 reply.
+wire::ModelAdminFrame admin_round_trip(RawFrameClient& client,
+                                       const wire::ModelAdminFrame& req) {
+  EXPECT_TRUE(client.send_bytes(wire::encode_model_admin(req)));
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> frame;
+  wire::ModelAdminFrame resp;
+  EXPECT_TRUE(client.next_frame(type, frame));
+  EXPECT_EQ(type, wire::kTypeModelAdmin);
+  std::size_t consumed = 0;
+  EXPECT_EQ(
+      wire::decode_model_admin(frame.data(), frame.size(), resp, consumed),
+      wire::DecodeStatus::kOk);
+  EXPECT_TRUE(resp.response);
+  EXPECT_EQ(resp.request_id, req.request_id);
+  return resp;
+}
+
+// Hot-loads an .ebm file over the wire, serves it, lists it, unloads it
+// -- the full model-administration lifecycle through a live frontend.
+TEST(TcpFrontend, ModelAdminLoadServeListUnloadOverTheSocket) {
+  const std::string dir = ::testing::TempDir() + "tcp_admin_models";
+  std::filesystem::create_directories(dir);
+  RngStream rng(31);
+  const bnn::Network net = bnn::build_mlp("tiny", {16, 16, 8}, rng);
+  bnn::save_network(net, dir + "/tiny.ebm");
+
+  GatewayConfig gcfg;
+  gcfg.model_dir = dir;
+  Gateway gw(gcfg);
+  gw.register_model("echo", echo_handler());
+  TcpFrontend frontend(gw);
+  RawFrameClient client(frontend.port());
+
+  // Load: the model joins the registry listing in the ack.
+  wire::ModelAdminFrame load;
+  load.request_id = 1;
+  load.op = wire::ModelAdminOp::kLoad;
+  load.model_id = "tiny";
+  load.file = "tiny.ebm";
+  wire::ModelAdminFrame resp = admin_round_trip(client, load);
+  EXPECT_EQ(resp.status, Status::kOk) << resp.message;
+  EXPECT_EQ(resp.models, (std::vector<std::string>{"echo", "tiny"}));
+
+  // The freshly loaded model serves -- and bit-identically to an
+  // in-process forward of the same network.
+  Rng in_rng(3);
+  const Tensor x = Tensor::random_uniform({16}, 1.0, in_rng);
+  const Tensor want = net.forward(x);
+  wire::RequestFrame ask = make_request(2, x);
+  ask.model_id = "tiny";
+  ASSERT_TRUE(client.send_bytes(wire::encode_request(ask)));
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(client.next_frame(type, frame));
+  ASSERT_EQ(type, wire::kTypeResponse);
+  wire::ResponseFrame served;
+  std::size_t consumed = 0;
+  ASSERT_EQ(
+      wire::decode_response(frame.data(), frame.size(), served, consumed),
+      wire::DecodeStatus::kOk);
+  ASSERT_EQ(served.status, Status::kOk);
+  ASSERT_EQ(served.tensor.size(), want.size());
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_EQ(served.tensor[k], want[k]);
+  }
+
+  // List is read-only.
+  wire::ModelAdminFrame list;
+  list.request_id = 3;
+  list.op = wire::ModelAdminOp::kList;
+  resp = admin_round_trip(client, list);
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.models, (std::vector<std::string>{"echo", "tiny"}));
+
+  // A path-escaping file name is rejected without touching the registry.
+  wire::ModelAdminFrame escape;
+  escape.request_id = 4;
+  escape.op = wire::ModelAdminOp::kLoad;
+  escape.model_id = "evil";
+  escape.file = "../tiny.ebm";
+  resp = admin_round_trip(client, escape);
+  EXPECT_EQ(resp.status, Status::kInvalidArgument);
+  EXPECT_EQ(resp.models, (std::vector<std::string>{"echo", "tiny"}));
+
+  // Unload removes it; unloading again reports the miss.
+  wire::ModelAdminFrame unload;
+  unload.request_id = 5;
+  unload.op = wire::ModelAdminOp::kUnload;
+  unload.model_id = "tiny";
+  resp = admin_round_trip(client, unload);
+  EXPECT_EQ(resp.status, Status::kOk) << resp.message;
+  EXPECT_EQ(resp.models, (std::vector<std::string>{"echo"}));
+  unload.request_id = 6;
+  resp = admin_round_trip(client, unload);
+  EXPECT_EQ(resp.status, Status::kInvalidArgument);
+
+  EXPECT_EQ(frontend.stats().admin_requests, 5u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

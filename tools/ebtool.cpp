@@ -1,0 +1,243 @@
+// ebtool: command-line front end for the EBM model format (bnn/format.hpp).
+//
+// Subcommands (flags are key=value, like the benches):
+//
+//   ebtool train out=model.ebm [dims=64,64,10] [epochs=5] [batch=32]
+//          [samples=2000] [lr=0.01] [seed=7] [eval=500] [fold=1]
+//          [name=trained-mlp]
+//     Trains an STE binarized MLP on SyntheticMnist (bnn/trainer.hpp),
+//     exports the inference network and saves it as EBM. fold=1
+//     (default) folds every integer-fed BatchNorm+Sign pair into
+//     ThresholdLayers first -- bit-identical, see fold_network().
+//
+//   ebtool export model=mlp_s out=model.ebm [seed=42]
+//     Builds one MlBench zoo network (mlp_s | cnn1 | cnn2 | vgg_d, with
+//     randomly initialized weights drawn from `seed`) and saves it.
+//
+//   ebtool inspect in=model.ebm
+//     Prints the decoded header + per-layer summary. Decoding verifies
+//     the CRC trailer, so inspect doubles as an integrity check.
+//
+//   ebtool fold in=model.ebm out=folded.ebm
+//     Loads, folds BatchNorm+Sign pairs into ThresholdLayers and saves.
+//
+//   ebtool eval in=model.ebm [samples=500] [offset=2000]
+//     Loads a model and scores top-1 accuracy on SyntheticMnist samples
+//     [offset, offset+samples). The model-zoo CI lane runs this on a
+//     folded and an unfolded export of the same training run and gates
+//     on the two accuracies being identical (folding is bit-exact).
+//
+// Exit status: 0 on success, 2 on usage/config errors, 1 on I/O or
+// decode failures (message on stderr).
+
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bnn/dataset.hpp"
+#include "bnn/format.hpp"
+#include "bnn/model_zoo.hpp"
+#include "bnn/network.hpp"
+#include "bnn/trainer.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ebtool <subcommand> key=value...\n"
+      "  train   out=F [dims=64,64,10] [epochs=5] [batch=32] [samples=2000]\n"
+      "          [lr=0.01] [seed=7] [eval=500] [fold=1] [name=trained-mlp]\n"
+      "  export  model=mlp_s|cnn1|cnn2|vgg_d out=F [seed=42]\n"
+      "  inspect in=F\n"
+      "  fold    in=F out=F\n"
+      "  eval    in=F [samples=500] [offset=2000]\n");
+}
+
+std::vector<std::size_t> parse_dims(const std::string& s) {
+  std::vector<std::size_t> dims;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok.empty()) {
+      throw std::invalid_argument("empty entry in dims list '" + s + "'");
+    }
+    dims.push_back(static_cast<std::size_t>(std::stoull(tok)));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return dims;
+}
+
+int cmd_train(const eb::Config& cfg) {
+  eb::bnn::TrainerConfig tcfg;
+  tcfg.dims = parse_dims(cfg.get_string("dims", "64,64,10"));
+  tcfg.epochs = static_cast<std::size_t>(cfg.get_int("epochs", 5));
+  tcfg.batch_size = static_cast<std::size_t>(cfg.get_int("batch", 32));
+  tcfg.train_samples =
+      static_cast<std::size_t>(cfg.get_int("samples", 2000));
+  tcfg.learning_rate = cfg.get_double("lr", 0.01);
+  tcfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  const std::string out = cfg.get_string("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "ebtool train: out=FILE is required\n");
+    return 2;
+  }
+  const eb::bnn::SyntheticMnist data;
+  eb::bnn::MlpTrainer trainer(tcfg);
+  const auto result = trainer.train(data);
+  const auto eval_count =
+      static_cast<std::size_t>(cfg.get_int("eval", 500));
+  const double holdout =
+      trainer.evaluate(data, tcfg.train_samples, eval_count);
+  eb::bnn::Network net =
+      trainer.export_network(cfg.get_string("name", "trained-mlp"));
+  if (cfg.get_bool("fold", true)) {
+    net = eb::bnn::fold_network(net);
+  }
+  eb::bnn::save_network(net, out);
+  std::printf("trained %s: loss %.4f train_acc %.3f holdout_acc %.3f\n",
+              net.name().c_str(), result.final_train_loss,
+              result.train_accuracy, holdout);
+  std::printf("saved %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_export(const eb::Config& cfg) {
+  const std::string model = cfg.get_string("model", "");
+  const std::string out = cfg.get_string("out", "");
+  if (model.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "ebtool export: model=NAME and out=FILE are required\n");
+    return 2;
+  }
+  eb::RngStream rng(static_cast<std::uint64_t>(cfg.get_int("seed", 42)));
+  eb::bnn::Network net = [&]() -> eb::bnn::Network {
+    if (model == "mlp_s") {
+      return eb::bnn::build_mlp_s(rng);
+    }
+    if (model == "cnn1") {
+      return eb::bnn::build_cnn1(rng);
+    }
+    if (model == "cnn2") {
+      return eb::bnn::build_cnn2(rng);
+    }
+    if (model == "vgg_d") {
+      return eb::bnn::build_vgg_d(rng);
+    }
+    throw std::invalid_argument("unknown zoo model '" + model +
+                                "' (mlp_s | cnn1 | cnn2 | vgg_d)");
+  }();
+  eb::bnn::save_network(net, out);
+  std::printf("saved %s (%s)\n%s", out.c_str(), net.name().c_str(),
+              eb::bnn::summarize_network(net).c_str());
+  return 0;
+}
+
+int cmd_inspect(const eb::Config& cfg) {
+  const std::string in = cfg.get_string("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "ebtool inspect: in=FILE is required\n");
+    return 2;
+  }
+  const eb::bnn::Network net = eb::bnn::load_network(in);
+  std::printf("%s", eb::bnn::summarize_network(net).c_str());
+  return 0;
+}
+
+int cmd_fold(const eb::Config& cfg) {
+  const std::string in = cfg.get_string("in", "");
+  const std::string out = cfg.get_string("out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "ebtool fold: in=FILE and out=FILE are required\n");
+    return 2;
+  }
+  const eb::bnn::Network net = eb::bnn::load_network(in);
+  const eb::bnn::Network folded = eb::bnn::fold_network(net);
+  eb::bnn::save_network(folded, out);
+  std::printf("saved %s\n%s", out.c_str(),
+              eb::bnn::summarize_network(folded).c_str());
+  return 0;
+}
+
+int cmd_eval(const eb::Config& cfg) {
+  const std::string in = cfg.get_string("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "ebtool eval: in=FILE is required\n");
+    return 2;
+  }
+  const auto samples = static_cast<std::size_t>(cfg.get_int("samples", 500));
+  const auto offset = static_cast<std::size_t>(cfg.get_int("offset", 2000));
+  const eb::bnn::Network net = eb::bnn::load_network(in);
+  const eb::bnn::SyntheticMnist data;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const eb::bnn::Sample s = data.sample(offset + i);
+    const eb::bnn::Tensor out = net.forward(s.image);
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < out.size(); ++k) {
+      if (out[k] > out[best]) {
+        best = k;
+      }
+    }
+    if (best == s.label) {
+      ++correct;
+    }
+  }
+  std::printf("%s: accuracy %.4f (%zu/%zu)\n", net.name().c_str(),
+              static_cast<double>(correct) / static_cast<double>(samples),
+              correct, samples);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string sub = argv[1];
+  try {
+    const int sub_argc = argc - 1;
+    char** sub_argv = argv + 1;
+    if (sub == "train") {
+      return cmd_train(eb::Config::from_args(
+          sub_argc, sub_argv,
+          {"out", "dims", "epochs", "batch", "samples", "lr", "seed", "eval",
+           "fold", "name"}));
+    }
+    if (sub == "export") {
+      return cmd_export(eb::Config::from_args(sub_argc, sub_argv,
+                                              {"model", "out", "seed"}));
+    }
+    if (sub == "inspect") {
+      return cmd_inspect(eb::Config::from_args(sub_argc, sub_argv, {"in"}));
+    }
+    if (sub == "fold") {
+      return cmd_fold(
+          eb::Config::from_args(sub_argc, sub_argv, {"in", "out"}));
+    }
+    if (sub == "eval") {
+      return cmd_eval(eb::Config::from_args(sub_argc, sub_argv,
+                                            {"in", "samples", "offset"}));
+    }
+    std::fprintf(stderr, "ebtool: unknown subcommand '%s'\n", sub.c_str());
+    usage();
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "ebtool %s: %s\n", sub.c_str(), e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ebtool %s: %s\n", sub.c_str(), e.what());
+    return 1;
+  }
+}
